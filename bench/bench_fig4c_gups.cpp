@@ -1,0 +1,26 @@
+// Fig. 4c reproduction: GUPS vs table size under the three memory configs.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "report/sweep.hpp"
+#include "workloads/gups.hpp"
+
+int main() {
+  using namespace knl;
+  Machine machine;
+
+  const auto factory = [](std::uint64_t bytes) -> std::unique_ptr<workloads::Workload> {
+    return std::make_unique<workloads::Gups>(bytes);  // fig4c sizes are powers of two
+  };
+  report::Figure figure = report::sweep_sizes(
+      machine, factory, bench::fig4c_sizes(), /*threads=*/64, report::kAllConfigs,
+      report::Figure("Fig. 4c: GUPS", "Table Size (GiB)", "GUPS"));
+  report::add_ratio_series(figure, "DRAM", "HBM", "DRAM advantage (x)");
+
+  bench::print_figure(
+      "Fig. 4c: GUPS vs table size",
+      "nearly flat; DRAM marginally best at every size (latency-bound, no benefit "
+      "from HBM); HBM series stops past 16 GB",
+      figure);
+  return 0;
+}

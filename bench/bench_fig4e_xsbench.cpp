@@ -1,0 +1,26 @@
+// Fig. 4e reproduction: XSBench lookups/s vs problem size.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "report/sweep.hpp"
+#include "workloads/xsbench.hpp"
+
+int main() {
+  using namespace knl;
+  Machine machine;
+
+  const auto factory = [](std::uint64_t bytes) -> std::unique_ptr<workloads::Workload> {
+    return std::make_unique<workloads::XsBench>(workloads::XsBench::from_footprint(bytes));
+  };
+  report::Figure figure = report::sweep_sizes(
+      machine, factory, bench::fig4e_sizes(), /*threads=*/64, report::kAllConfigs,
+      report::Figure("Fig. 4e: XSBench", "Problem Size (GB)", "Lookups/s"));
+  report::add_ratio_series(figure, "DRAM", "HBM", "DRAM advantage (x)");
+
+  bench::print_figure(
+      "Fig. 4e: XSBench vs problem size",
+      "DRAM best at one thread/core; differences small at 5.6 GB and growing with "
+      "size; HBM series stops past 16 GB (paper's footprints reach 90 GB)",
+      figure);
+  return 0;
+}

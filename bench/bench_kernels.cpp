@@ -1,0 +1,148 @@
+// google-benchmark microbenchmarks of the *real* kernels and simulator
+// components shipped in this library (wall-clock performance of the code
+// itself, as opposed to the modelled KNL timings of the figure benches).
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/mcdram_cache.hpp"
+#include "sim/tlb.hpp"
+#include "trace/generators.hpp"
+#include "workloads/dgemm.hpp"
+#include "workloads/graph500.hpp"
+#include "workloads/gups.hpp"
+#include "workloads/minife.hpp"
+#include "workloads/stream.hpp"
+#include "workloads/xsbench.hpp"
+
+namespace {
+
+using namespace knl;
+
+void BM_StreamTriad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n, 0.0), b(n, 1.0), c(n, 2.0);
+  for (auto _ : state) {
+    workloads::StreamTriad::triad(a, b, c, 3.0);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 24);
+}
+BENCHMARK(BM_StreamTriad)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_DgemmBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n * n, 1.0), b(n * n, 2.0), c(n * n, 0.0);
+  for (auto _ : state) {
+    workloads::Dgemm::multiply_blocked(a, b, c, n, 32);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_DgemmBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpMV27pt(benchmark::State& state) {
+  const auto nx = static_cast<std::uint32_t>(state.range(0));
+  const auto mat = workloads::assemble_27pt(nx, nx, nx);
+  std::vector<double> x(mat.rows, 1.0), y(mat.rows, 0.0);
+  for (auto _ : state) {
+    workloads::spmv(mat, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mat.nnz()) * 2);
+}
+BENCHMARK(BM_SpMV27pt)->Arg(16)->Arg(32);
+
+void BM_CgSolve(benchmark::State& state) {
+  const auto nx = static_cast<std::uint32_t>(state.range(0));
+  const auto mat = workloads::assemble_27pt(nx, nx, nx);
+  const std::vector<double> b(mat.rows, 1.0);
+  for (auto _ : state) {
+    std::vector<double> x(mat.rows, 0.0);
+    const auto r = workloads::conjugate_gradient(mat, b, x, 200, 1e-8);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+}
+BENCHMARK(BM_CgSolve)->Arg(12)->Arg(20);
+
+void BM_GupsUpdates(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::vector<std::uint64_t> table(n, 0);
+  for (auto _ : state) {
+    workloads::Gups::run_updates(table, n, 1);
+    benchmark::DoNotOptimize(table.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GupsUpdates)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Bfs(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  const auto edges = workloads::generate_kronecker(scale, 16, 1);
+  const auto g = workloads::build_csr(1ull << scale, edges);
+  for (auto _ : state) {
+    const auto parent = workloads::bfs(g, 0);
+    benchmark::DoNotOptimize(parent.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_directed_edges()));
+}
+BENCHMARK(BM_Bfs)->Arg(10)->Arg(14);
+
+void BM_XsLookup(benchmark::State& state) {
+  const auto data = workloads::build_xs_data(64, 512, 3);
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> uni(0.01, 0.99);
+  std::vector<std::pair<int, double>> material;
+  for (int i = 0; i < 12; ++i) material.emplace_back(i * 5, 0.5);
+  double xs[5];
+  for (auto _ : state) {
+    workloads::lookup_macro_xs(data, uni(rng), material, xs);
+    benchmark::DoNotOptimize(xs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_XsLookup);
+
+void BM_CacheSimSweep(benchmark::State& state) {
+  sim::CacheSim cache(sim::CacheConfig{.capacity_bytes = 1 << 20, .line_bytes = 64,
+                                       .ways = 8, .sample_every = 1});
+  for (auto _ : state) {
+    trace::generate_sweep(0, 4 << 20, 64, 1,
+                          [&](std::uint64_t addr) { cache.access(addr); });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          ((4 << 20) / 64));
+}
+BENCHMARK(BM_CacheSimSweep);
+
+void BM_McdramCacheSimRandom(benchmark::State& state) {
+  sim::McdramCacheSim cache({}, /*sample_every=*/256);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    trace::generate_uniform_random(0, 8ull << 30, 10000, ++i,
+                                   [&](std::uint64_t addr) { cache.access(addr); });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_McdramCacheSimRandom);
+
+void BM_TlbSim(benchmark::State& state) {
+  sim::TlbSim tlb;
+  std::mt19937_64 rng(5);
+  for (auto _ : state) {
+    tlb.access(rng() % (1ull << 30));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TlbSim);
+
+}  // namespace
+
+BENCHMARK_MAIN();

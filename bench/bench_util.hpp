@@ -1,0 +1,62 @@
+// Shared helpers for the figure/table reproduction benches: the paper's
+// exact sweep points and a uniform print format so EXPERIMENTS.md can quote
+// bench output directly.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "report/figure.hpp"
+
+namespace knl::bench {
+
+/// Decimal GB helper matching the paper's axis labels.
+constexpr std::uint64_t gb(double x) { return static_cast<std::uint64_t>(x * 1e9); }
+
+/// Fig. 2 sizes: 2..40 GB STREAM footprints.
+inline std::vector<std::uint64_t> fig2_sizes() {
+  std::vector<std::uint64_t> sizes;
+  for (double s = 2.0; s <= 40.0; s += 2.0) sizes.push_back(gb(s));
+  return sizes;
+}
+
+/// Fig. 3 block sizes: 128 KB .. 1 GB, powers of two.
+inline std::vector<std::uint64_t> fig3_blocks() {
+  std::vector<std::uint64_t> blocks;
+  for (std::uint64_t b = 128ull * 1024; b <= (1ull << 30); b *= 2) blocks.push_back(b);
+  return blocks;
+}
+
+inline std::vector<std::uint64_t> fig4a_sizes() {
+  return {gb(0.1), gb(0.4), gb(1.5), gb(6.0), gb(24.0)};
+}
+inline std::vector<std::uint64_t> fig4b_sizes() {
+  return {gb(0.1), gb(0.9), gb(1.8), gb(3.6), gb(7.2), gb(14.4), gb(28.8)};
+}
+inline std::vector<std::uint64_t> fig4c_sizes() {
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t g = 1; g <= 32; g *= 2) sizes.push_back(g * (1ull << 30));
+  return sizes;
+}
+inline std::vector<std::uint64_t> fig4d_sizes() {
+  return {gb(1.1), gb(2.2), gb(4.4), gb(8.8), gb(17.5), gb(35.0)};
+}
+inline std::vector<std::uint64_t> fig4e_sizes() {
+  return {gb(5.6), gb(11.3), gb(22.5), gb(45.0), gb(90.0)};
+}
+
+inline std::vector<int> fig6_threads() { return {64, 128, 192, 256}; }
+
+/// Print a figure with a header naming the experiment and the paper's
+/// expectation for its shape.
+inline void print_figure(const std::string& experiment, const std::string& expectation,
+                         const report::Figure& figure) {
+  std::printf("==== %s ====\n", experiment.c_str());
+  std::printf("paper shape: %s\n\n", expectation.c_str());
+  std::printf("%s\n", figure.to_table().c_str());
+}
+
+}  // namespace knl::bench

@@ -1,0 +1,99 @@
+// capacity_planner: the paper's §IV-C multi-node guidance as a tool.
+//
+// Given a total problem size, find the node count and per-node memory
+// configuration with the best modelled time on an Aries-connected cluster
+// of simulated KNL nodes — and show that the winner decomposes the problem
+// to roughly MCDRAM capacity per node, as the paper recommends.
+//
+//   capacity_planner [--workload MiniFE] [--total-gb 96] [--threads 64]
+//                    [--max-nodes 12]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace knl;
+
+  std::string workload_name = "MiniFE";
+  double total_gb = 96.0;
+  int threads = 64;
+  int max_nodes = 12;  // the paper's testbed: 12 KNL nodes on Archer
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(2);
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload_name = next();
+    } else if (arg == "--total-gb") {
+      total_gb = std::atof(next());
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+    } else if (arg == "--max-nodes") {
+      max_nodes = std::atoi(next());
+    } else {
+      std::printf("usage: capacity_planner [--workload NAME] [--total-gb X] "
+                  "[--threads N] [--max-nodes N]\n");
+      return 2;
+    }
+  }
+
+  try {
+    const auto& entry = workloads::find_workload(workload_name);
+    const cluster::NodeWorkloadFactory factory = [&entry](std::uint64_t bytes) {
+      return entry.make(bytes);
+    };
+    // Pick the communication model matching the workload family.
+    cluster::CommModel comm = cluster::comm::none();
+    if (entry.info.name == "MiniFE" || entry.info.name == "DGEMM") {
+      comm = cluster::comm::minife_cg(/*iterations=*/200);
+    } else if (entry.info.name == "Graph500" || entry.info.name == "GUPS") {
+      comm = cluster::comm::alltoall(/*traffic_fraction=*/0.05, /*rounds=*/64);
+    }
+
+    const auto total_bytes = static_cast<std::uint64_t>(total_gb * 1e9);
+    cluster::ClusterMachine cluster_machine;
+
+    std::vector<int> node_counts;
+    for (int n = 1; n <= max_nodes; ++n) node_counts.push_back(n);
+
+    std::printf("strong scaling of %s, %.1f GB total, %d threads/node:\n\n",
+                entry.info.name.c_str(), total_gb, threads);
+    std::printf("nodes  per-node   DRAM(s)     HBM(s)      Cache(s)\n");
+    for (const int nodes : node_counts) {
+      std::printf("%5d  %6.1f GB", nodes, total_gb / nodes);
+      for (const MemConfig config :
+           {MemConfig::DRAM, MemConfig::HBM, MemConfig::CacheMode}) {
+        const auto point = cluster_machine.run_strong(
+            factory, total_bytes, nodes, RunConfig{config, threads}, comm);
+        if (point.feasible) {
+          std::printf("  %9.3f", point.total_seconds);
+        } else {
+          std::printf("  %9s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+
+    const cluster::CapacityPlanner planner(cluster_machine);
+    const auto plan = planner.plan(factory, total_bytes, node_counts, threads, comm);
+    std::printf("\nbest plan: %d nodes, %s, %.3f s total "
+                "(%.3f s compute + %.3f s comm)\n",
+                plan.nodes, to_string(plan.config).c_str(), plan.point.total_seconds,
+                plan.point.node_seconds, plan.point.comm_seconds);
+    std::printf("per-node footprint %.1f GB -> %s MCDRAM (paper SIV-C: decompose "
+                "to ~MCDRAM capacity per node)\n",
+                static_cast<double>(plan.point.per_node_bytes) / 1e9,
+                plan.fits_hbm_per_node ? "fits" : "exceeds");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,125 @@
+// numactl_sim: a numactl-style CLI against the simulated node.
+//
+//   numactl_sim --hardware [--mode flat|cache|hybrid]
+//   numactl_sim --membind=0|1 | --interleave | --preferred=1
+//               --workload NAME --size-gb X [--threads N]
+//
+// Examples (the paper's three configurations):
+//   numactl_sim --membind=0 --workload MiniFE --size-gb 7.2     # "DRAM"
+//   numactl_sim --membind=1 --workload MiniFE --size-gb 7.2     # "HBM"
+//   numactl_sim --cache-mode --workload MiniFE --size-gb 7.2    # "Cache Mode"
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/machine.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage:\n"
+      "  numactl_sim --hardware [--mode flat|cache|hybrid]\n"
+      "  numactl_sim (--membind=0|--membind=1|--interleave|--preferred=1|--cache-mode)\n"
+      "              --workload NAME --size-gb X [--threads N]\n"
+      "workloads: DGEMM MiniFE GUPS Graph500 XSBench STREAM\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace knl;
+  Machine machine;
+
+  bool hardware = false;
+  bool cache_mode = false;
+  std::optional<Placement> placement;
+  std::string mode_str = "flat";
+  std::string workload_name;
+  double size_gb = 0.0;
+  int threads = 64;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--hardware") {
+      hardware = true;
+    } else if (arg == "--mode") {
+      mode_str = next();
+    } else if (arg == "--membind=0") {
+      placement = Placement::DDR;
+    } else if (arg == "--membind=1") {
+      placement = Placement::HBM;
+    } else if (arg == "--interleave") {
+      placement = Placement::Interleave;
+    } else if (arg == "--preferred=1") {
+      placement = Placement::Preferred;
+    } else if (arg == "--cache-mode") {
+      cache_mode = true;
+    } else if (arg == "--workload") {
+      workload_name = next();
+    } else if (arg == "--size-gb") {
+      size_gb = std::atof(next());
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  if (hardware) {
+    MemoryMode mode = MemoryMode::Flat;
+    if (mode_str == "cache") mode = MemoryMode::Cache;
+    if (mode_str == "hybrid") mode = MemoryMode::Hybrid;
+    const mem::NumaTopology topo(mode);
+    std::printf("%s", topo.hardware_string().c_str());
+    return 0;
+  }
+
+  if (workload_name.empty() || size_gb <= 0.0 || (!placement && !cache_mode)) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const auto& entry = workloads::find_workload(workload_name);
+    const auto workload = entry.make(static_cast<std::uint64_t>(size_gb * 1e9));
+    const auto profile = workload->profile();
+
+    RunResult result;
+    std::string config_desc;
+    if (cache_mode) {
+      result = machine.run(profile, RunConfig{MemConfig::CacheMode, threads});
+      config_desc = "cache mode";
+    } else {
+      result = machine.run_flat_placement(profile, threads, *placement);
+      config_desc = to_string(*placement);
+    }
+
+    if (!result.feasible) {
+      std::fprintf(stderr, "placement failed: %s\n", result.infeasible_reason.c_str());
+      return 1;
+    }
+    std::printf("workload:   %s (footprint %.2f GB)\n", entry.info.name.c_str(),
+                static_cast<double>(workload->footprint_bytes()) / 1e9);
+    std::printf("placement:  %s, %d threads\n", config_desc.c_str(), threads);
+    std::printf("time:       %.4f s\n", result.seconds);
+    std::printf("mem BW:     %.1f GB/s (avg latency %.0f ns)\n", result.achieved_bw_gbs,
+                result.avg_latency_ns);
+    std::printf("%s:  %.4g\n", entry.info.metric_name.c_str(), workload->metric(result));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

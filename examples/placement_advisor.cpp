@@ -1,0 +1,75 @@
+// placement_advisor: the paper's guideline (contribution #6) as a tool.
+//
+// Describe your application's memory behaviour; get the recommended memory
+// configuration, thread count and the expected speedup band — with the full
+// ranking the recommendation was chosen from.
+//
+//   placement_advisor --regular 0.9 --size-gb 12 [--flops-per-byte 0.2]
+//                     [--max-threads 256] [--granule 8]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/advisor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace knl;
+
+  AppCharacteristics app;
+  app.name = "your-app";
+  app.regular_fraction = 0.5;
+  app.footprint_bytes = 8ull * 1000 * 1000 * 1000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(2);
+      return argv[++i];
+    };
+    if (arg == "--regular") {
+      app.regular_fraction = std::atof(next());
+    } else if (arg == "--size-gb") {
+      app.footprint_bytes = static_cast<std::uint64_t>(std::atof(next()) * 1e9);
+    } else if (arg == "--flops-per-byte") {
+      app.flops_per_byte = std::atof(next());
+    } else if (arg == "--max-threads") {
+      app.max_threads = std::atoi(next());
+    } else if (arg == "--granule") {
+      app.random_granule_bytes = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--name") {
+      app.name = next();
+    } else {
+      std::printf("usage: placement_advisor --regular F --size-gb X "
+                  "[--flops-per-byte F] [--max-threads N] [--granule B]\n");
+      return 2;
+    }
+  }
+
+  try {
+    Machine machine;
+    const Advice advice = Advisor(machine).advise(app);
+
+    std::printf("application:     %s\n", app.name.c_str());
+    std::printf("classification:  %s\n", advice.classification.c_str());
+    std::printf("recommendation:  %s @ %d threads (%.2fx vs DRAM@64)\n",
+                to_string(advice.best.config).c_str(), advice.best.threads,
+                advice.best.predicted_speedup_vs_dram64);
+    std::printf("rationale:       %s\n\n", advice.best.rationale.c_str());
+
+    std::printf("full ranking:\n");
+    for (const auto& rec : advice.ranked) {
+      if (rec.feasible) {
+        std::printf("  %-11s %3d threads   %6.2fx\n", to_string(rec.config).c_str(),
+                    rec.threads, rec.predicted_speedup_vs_dram64);
+      } else {
+        std::printf("  %-11s %3d threads   infeasible (%s)\n",
+                    to_string(rec.config).c_str(), rec.threads, rec.rationale.c_str());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,51 @@
+// Quickstart: build the simulated KNL node, reproduce the paper's headline
+// micro-benchmark numbers, run one application under all three memory
+// configurations, and ask the Advisor for a placement recommendation.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/advisor.hpp"
+#include "core/machine.hpp"
+#include "workloads/latency_probe.hpp"
+#include "workloads/minife.hpp"
+#include "workloads/stream.hpp"
+
+int main() {
+  using namespace knl;
+
+  Machine machine;  // defaults = the paper's KNL 7210 testbed
+
+  std::printf("== STREAM triad, 6 GB, 64 threads (paper Fig. 2 anchors) ==\n");
+  const workloads::StreamTriad stream(6ull * 1000 * 1000 * 1000);
+  for (const MemConfig config : {MemConfig::DRAM, MemConfig::HBM, MemConfig::CacheMode}) {
+    const RunResult r = machine.run(stream.profile(), RunConfig{config, 64});
+    std::printf("  %-10s %7.1f GB/s\n", to_string(config).c_str(), stream.metric(r));
+  }
+
+  std::printf("\n== Idle latency (paper: DRAM 130.4 ns, HBM 154.0 ns) ==\n");
+  std::printf("  DRAM %.1f ns   HBM %.1f ns\n",
+              workloads::LatencyProbe::idle_latency_ns(machine, MemNode::DDR),
+              workloads::LatencyProbe::idle_latency_ns(machine, MemNode::HBM));
+
+  std::printf("\n== MiniFE, ~7 GB matrix, 64 threads (paper Fig. 4b) ==\n");
+  const auto minife = workloads::MiniFe::from_footprint(7ull * 1000 * 1000 * 1000);
+  double dram_mflops = 0.0;
+  for (const MemConfig config : {MemConfig::DRAM, MemConfig::HBM, MemConfig::CacheMode}) {
+    const RunResult r = machine.run(minife.profile(), RunConfig{config, 64});
+    const double mflops = minife.metric(r);
+    if (config == MemConfig::DRAM) dram_mflops = mflops;
+    std::printf("  %-10s %10.0f CG MFLOPS  (%.2fx vs DRAM)\n", to_string(config).c_str(),
+                mflops, dram_mflops > 0 ? mflops / dram_mflops : 1.0);
+  }
+
+  std::printf("\n== Advisor: 8 GB random-access app (GUPS-like) ==\n");
+  AppCharacteristics app;
+  app.name = "hash-join";
+  app.regular_fraction = 0.1;
+  app.footprint_bytes = 8ull * 1000 * 1000 * 1000;
+  const Advice advice = Advisor(machine).advise(app);
+  std::printf("  classification: %s\n", advice.classification.c_str());
+  std::printf("  %s\n", advice.best.rationale.c_str());
+  return 0;
+}

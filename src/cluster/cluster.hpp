@@ -1,0 +1,115 @@
+// Multi-node execution model + capacity planner.
+//
+// Paper §IV-C: "If the application has good parallel efficiency across
+// multi-nodes, with enough compute nodes, the optimal setup is to decompose
+// the problem so that each compute node is assigned a sub-problem that has
+// a size close to the HBM capacity." This module makes that guidance
+// executable: strong-scale a problem over an Aries-connected cluster of
+// simulated KNL nodes and find the node count / memory configuration with
+// the best modelled time (and report the per-node footprint that wins).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/collectives.hpp"
+#include "cluster/interconnect.hpp"
+#include "core/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace knl::cluster {
+
+/// Builds the per-node workload for a given per-node problem size.
+using NodeWorkloadFactory =
+    std::function<std::unique_ptr<workloads::Workload>(std::uint64_t bytes)>;
+
+/// Communication volume per node as a function of the decomposition.
+struct CommVolume {
+  double bytes_per_node = 0.0;
+  int messages = 0;
+  bool alltoall = false;  ///< all-to-all (BFS/GUPS) vs neighbour halo (FE)
+  /// Collective operations on the critical path (e.g. CG's dot-product
+  /// allreduces), priced through the Collectives library.
+  int allreduce_count = 0;
+  std::uint64_t allreduce_bytes = 8;
+};
+using CommModel = std::function<CommVolume(std::uint64_t total_bytes, int nodes)>;
+
+/// Built-in communication models for the bundled workloads.
+namespace comm {
+/// 3D halo exchange (MiniFE-style FE): surface-to-volume scaling,
+/// 6 neighbour messages per node per iteration, `iterations` rounds.
+[[nodiscard]] CommModel halo3d(int iterations);
+/// MiniFE's full CG communication: halo exchange plus two 8-byte
+/// allreduces (the dot products) per iteration.
+[[nodiscard]] CommModel minife_cg(int iterations);
+/// Frontier all-to-all per BFS level (Graph500-style), `levels` rounds with
+/// a `traffic_fraction` of the node's data crossing the network.
+[[nodiscard]] CommModel alltoall(double traffic_fraction, int rounds);
+/// Fully replicated data (XSBench): no steady-state communication.
+[[nodiscard]] CommModel none();
+}  // namespace comm
+
+struct ScalingPoint {
+  int nodes = 0;
+  std::uint64_t per_node_bytes = 0;
+  double node_seconds = 0.0;  ///< slowest node's computation
+  double comm_seconds = 0.0;
+  double total_seconds = 0.0;
+  bool feasible = false;
+  std::string note;
+};
+
+class ClusterMachine {
+ public:
+  explicit ClusterMachine(MachineConfig node_config = MachineConfig::knl7210(),
+                          InterconnectConfig net = {});
+
+  [[nodiscard]] const Machine& node() const noexcept { return node_; }
+
+  /// Strong scaling: split `total_bytes` evenly over `nodes`, run the
+  /// per-node workload under `run_config`, add communication.
+  [[nodiscard]] ScalingPoint run_strong(const NodeWorkloadFactory& factory,
+                                        std::uint64_t total_bytes, int nodes,
+                                        const RunConfig& run_config,
+                                        const CommModel& comm) const;
+
+  /// Sweep node counts; returns one point per count (infeasible points
+  /// carry the reason — e.g. HBM binding with per-node size > 16 GB).
+  [[nodiscard]] std::vector<ScalingPoint> strong_scaling(
+      const NodeWorkloadFactory& factory, std::uint64_t total_bytes,
+      const std::vector<int>& node_counts, const RunConfig& run_config,
+      const CommModel& comm) const;
+
+ private:
+  Machine node_;
+  Interconnect net_;
+  Collectives collectives_;
+};
+
+struct CapacityPlan {
+  int nodes = 0;
+  MemConfig config = MemConfig::DRAM;
+  ScalingPoint point;
+  /// Paper §IV-C heuristic satisfied: per-node footprint within MCDRAM.
+  bool fits_hbm_per_node = false;
+};
+
+/// Search node counts x memory configs for the fastest feasible setup.
+class CapacityPlanner {
+ public:
+  explicit CapacityPlanner(const ClusterMachine& cluster) : cluster_(cluster) {}
+
+  [[nodiscard]] CapacityPlan plan(const NodeWorkloadFactory& factory,
+                                  std::uint64_t total_bytes,
+                                  const std::vector<int>& node_counts, int threads,
+                                  const CommModel& comm) const;
+
+ private:
+  const ClusterMachine& cluster_;
+};
+
+}  // namespace knl::cluster

@@ -1,0 +1,105 @@
+#include "cluster/collectives.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace knl::cluster {
+
+int Collectives::log2_ceil(int ranks) {
+  if (ranks < 1) throw std::invalid_argument("Collectives: need >= 1 rank");
+  int rounds = 0;
+  int span = 1;
+  while (span < ranks) {
+    span *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+double Collectives::step(std::uint64_t bytes) const {
+  return net_.exchange_seconds(static_cast<double>(bytes), 1);
+}
+
+CollectiveCost Collectives::barrier(int ranks) const {
+  CollectiveCost cost;
+  cost.rounds = log2_ceil(ranks);
+  cost.seconds = static_cast<double>(cost.rounds) * step(0);
+  cost.algorithm = "dissemination";
+  return cost;
+}
+
+CollectiveCost Collectives::broadcast(int ranks, std::uint64_t bytes) const {
+  CollectiveCost cost;
+  cost.rounds = log2_ceil(ranks);
+  cost.seconds = static_cast<double>(cost.rounds) * step(bytes);
+  cost.wire_bytes_per_rank = static_cast<double>(bytes);
+  cost.algorithm = "binomial";
+  return cost;
+}
+
+CollectiveCost Collectives::reduce(int ranks, std::uint64_t bytes) const {
+  CollectiveCost cost = broadcast(ranks, bytes);
+  cost.algorithm = "binomial-reduce";
+  return cost;
+}
+
+CollectiveCost Collectives::allreduce(int ranks, std::uint64_t bytes) const {
+  const int rounds_rd = log2_ceil(ranks);
+  const double t_recursive = static_cast<double>(rounds_rd) * step(bytes);
+
+  CollectiveCost cost;
+  if (ranks == 1) {
+    cost.algorithm = "local";
+    return cost;
+  }
+  // Ring: reduce-scatter then allgather, 2(p-1) steps of bytes/p each.
+  const double chunk = static_cast<double>(bytes) / ranks;
+  const int rounds_ring = 2 * (ranks - 1);
+  const double t_ring =
+      static_cast<double>(rounds_ring) *
+      net_.exchange_seconds(chunk, 1);
+
+  if (t_recursive <= t_ring) {
+    cost.seconds = t_recursive;
+    cost.rounds = rounds_rd;
+    cost.wire_bytes_per_rank = static_cast<double>(bytes) * rounds_rd;
+    cost.algorithm = "recursive-doubling";
+  } else {
+    cost.seconds = t_ring;
+    cost.rounds = rounds_ring;
+    cost.wire_bytes_per_rank = 2.0 * static_cast<double>(ranks - 1) * chunk;
+    cost.algorithm = "ring";
+  }
+  return cost;
+}
+
+CollectiveCost Collectives::allgather(int ranks, std::uint64_t bytes_per_rank) const {
+  CollectiveCost cost;
+  if (ranks == 1) {
+    cost.algorithm = "local";
+    return cost;
+  }
+  cost.rounds = ranks - 1;
+  cost.seconds = static_cast<double>(cost.rounds) *
+                 step(bytes_per_rank);
+  cost.wire_bytes_per_rank =
+      static_cast<double>(ranks - 1) * static_cast<double>(bytes_per_rank);
+  cost.algorithm = "ring";
+  return cost;
+}
+
+CollectiveCost Collectives::alltoall(int ranks, std::uint64_t bytes_per_rank) const {
+  CollectiveCost cost;
+  if (ranks == 1) {
+    cost.algorithm = "local";
+    return cost;
+  }
+  const double chunk = static_cast<double>(bytes_per_rank) / ranks;
+  cost.rounds = ranks - 1;
+  cost.seconds = static_cast<double>(cost.rounds) * net_.exchange_seconds(chunk, 1);
+  cost.wire_bytes_per_rank = static_cast<double>(ranks - 1) * chunk;
+  cost.algorithm = "pairwise";
+  return cost;
+}
+
+}  // namespace knl::cluster

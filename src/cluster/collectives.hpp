@@ -1,0 +1,59 @@
+// MPI-style collective cost models over the Aries-class interconnect.
+//
+// The paper's applications are MPI codes (linked against Cray MPICH); at
+// multi-node scale their communication is dominated by a handful of
+// collectives — CG's dot-product allreduces, BFS's frontier alltoall,
+// SUMMA's broadcasts. This module prices each collective with the standard
+// algorithm literature (binomial broadcast, ring vs recursive-doubling
+// allreduce, pairwise alltoall, dissemination barrier) on the alpha-beta
+// network model, picking the better algorithm per message size the way an
+// MPI library's tuned thresholds would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/interconnect.hpp"
+
+namespace knl::cluster {
+
+struct CollectiveCost {
+  double seconds = 0.0;
+  int rounds = 0;                 ///< latency-bound steps on the critical path
+  double wire_bytes_per_rank = 0; ///< bytes each rank moves
+  std::string algorithm;
+};
+
+class Collectives {
+ public:
+  explicit Collectives(Interconnect net = Interconnect{}) : net_(net) {}
+
+  /// Dissemination barrier: ceil(log2 p) rounds of zero-byte messages.
+  [[nodiscard]] CollectiveCost barrier(int ranks) const;
+
+  /// Binomial-tree broadcast: ceil(log2 p) rounds carrying the full buffer.
+  [[nodiscard]] CollectiveCost broadcast(int ranks, std::uint64_t bytes) const;
+
+  /// Reduce: binomial tree, same shape as broadcast (reduction flops
+  /// ignored — the network dominates at these scales).
+  [[nodiscard]] CollectiveCost reduce(int ranks, std::uint64_t bytes) const;
+
+  /// Allreduce: recursive doubling (log p rounds, full buffer) for small
+  /// messages; ring reduce-scatter + allgather (2(p-1) rounds, 2(p-1)/p of
+  /// the buffer on the wire) for large ones. The cheaper wins.
+  [[nodiscard]] CollectiveCost allreduce(int ranks, std::uint64_t bytes) const;
+
+  /// Ring allgather: p-1 rounds, each rank receives (p-1)/p of the result.
+  [[nodiscard]] CollectiveCost allgather(int ranks, std::uint64_t bytes_per_rank) const;
+
+  /// Pairwise-exchange alltoall: p-1 rounds, each moving bytes_per_rank/p.
+  [[nodiscard]] CollectiveCost alltoall(int ranks, std::uint64_t bytes_per_rank) const;
+
+ private:
+  [[nodiscard]] static int log2_ceil(int ranks);
+  [[nodiscard]] double step(std::uint64_t bytes) const;  // alpha + bytes/beta
+
+  Interconnect net_;
+};
+
+}  // namespace knl::cluster

@@ -1,0 +1,59 @@
+// Cray Aries-class interconnect model (the paper's testbed network,
+// §III-A: "compute nodes are connected via Cray's proprietary Aries
+// interconnect").
+//
+// A deliberately simple alpha-beta model: a transfer of B bytes split into
+// M messages costs  M*alpha + B/beta  per node, with an optional
+// all-to-all contention factor. That is all the multi-node guidance of the
+// paper's §IV-C needs — the question there is where computation time versus
+// per-node footprint trade off, not network microstructure.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace knl::cluster {
+
+struct InterconnectConfig {
+  /// Per-message latency (Aries ~1.3 us MPI latency).
+  double alpha_us = 1.3;
+  /// Per-node injection bandwidth (Aries ~10 GB/s effective).
+  double beta_gbs = 10.0;
+  /// Effective bandwidth share under all-to-all traffic (global links).
+  double alltoall_efficiency = 0.6;
+};
+
+class Interconnect {
+ public:
+  explicit Interconnect(InterconnectConfig config = {}) : config_(config) {
+    if (config_.alpha_us < 0.0 || config_.beta_gbs <= 0.0 ||
+        config_.alltoall_efficiency <= 0.0 || config_.alltoall_efficiency > 1.0) {
+      throw std::invalid_argument("Interconnect: invalid configuration");
+    }
+  }
+
+  [[nodiscard]] const InterconnectConfig& config() const noexcept { return config_; }
+
+  /// Time for each node to exchange `bytes_per_node` with neighbours in
+  /// `messages` point-to-point messages (halo-style traffic).
+  [[nodiscard]] double exchange_seconds(double bytes_per_node, int messages) const {
+    if (bytes_per_node < 0.0 || messages < 0) {
+      throw std::invalid_argument("exchange_seconds: negative traffic");
+    }
+    return static_cast<double>(messages) * config_.alpha_us * 1e-6 +
+           bytes_per_node / (config_.beta_gbs * 1e9);
+  }
+
+  /// Time for an all-to-all of `bytes_per_node` across `nodes` nodes.
+  [[nodiscard]] double alltoall_seconds(double bytes_per_node, int nodes) const {
+    if (nodes < 1) throw std::invalid_argument("alltoall_seconds: need >= 1 node");
+    if (nodes == 1) return 0.0;
+    return static_cast<double>(nodes - 1) * config_.alpha_us * 1e-6 +
+           bytes_per_node / (config_.beta_gbs * 1e9 * config_.alltoall_efficiency);
+  }
+
+ private:
+  InterconnectConfig config_;
+};
+
+}  // namespace knl::cluster

@@ -1,0 +1,239 @@
+#include "core/machine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/page_table.hpp"
+#include "sim/physical_memory.hpp"
+
+namespace knl {
+
+Machine::Machine(MachineConfig config) : config_(config), timing_(config.timing) {
+  config_.validate();
+}
+
+std::string Machine::describe() const {
+  const auto& t = config_.timing;
+  std::ostringstream os;
+  os << "simulated KNL-class node (paper testbed: KNL 7210, quadrant mode)\n";
+  os << "  cores: " << t.cores << " @ " << params::kClockGHz << " GHz, "
+     << t.smt_per_core << " HT/core\n";
+  os << "  L1: " << params::kL1Bytes / KiB << " KiB/core; L2: "
+     << params::kL2Bytes / MiB << " MiB/tile x " << params::kTiles << " tiles\n";
+  os << "  DDR:    " << t.ddr.capacity_bytes / GiB << " GiB, stream "
+     << t.ddr.stream_bw_gbs << " GB/s (paper Fig. 2), random " << t.ddr.random_bw_gbs
+     << " GB/s, idle " << t.ddr.idle_latency_ns << " ns (paper SIV-A)\n";
+  os << "  MCDRAM: " << t.hbm.capacity_bytes / GiB << " GiB, stream cap "
+     << t.hbm.stream_bw_gbs << " GB/s (Fig. 5 @4HT), random " << t.hbm.random_bw_gbs
+     << " GB/s, idle " << t.hbm.idle_latency_ns << " ns (paper SIV-A)\n";
+  os << "  MLP: seq " << t.seq_mlp_per_core << " lines/core (330 GB/s anchor), "
+     << "random " << t.rand_mlp_per_thread << " lines/thread\n";
+  os << "  MCDRAM cache: direct-mapped " << t.mcdram.capacity_bytes / GiB
+     << " GiB, sweep knee " << t.mcdram.sweep_knee << " sharpness "
+     << t.mcdram.sweep_sharpness << " (cache-mode STREAM anchors)\n";
+  os << "  TLB: " << t.tlb.entries << " x " << t.tlb.page_bytes / MiB
+     << " MiB pages (Fig. 3 rise at 128 MiB)\n";
+  return os.str();
+}
+
+mem::NumaTopology Machine::topology(MemConfig config) const {
+  const MemoryMode mode =
+      config == MemConfig::CacheMode ? MemoryMode::Cache : MemoryMode::Flat;
+  return mem::NumaTopology(mode, 0.5, config_.timing.ddr.capacity_bytes,
+                           config_.timing.hbm.capacity_bytes);
+}
+
+Machine::Resolved Machine::resolve_placement(std::uint64_t resident_bytes,
+                                             MemConfig config) const {
+  // Exercise the real placement machinery on a fresh process image so
+  // capacity failures surface exactly as numactl would make them.
+  sim::PhysicalMemory phys(config_.physical);
+  sim::PageTable pt(phys.page_bytes());
+
+  const mem::NumaPolicy policy = config == MemConfig::HBM
+                                     ? mem::NumaPolicy::membind(MemNode::HBM)
+                                     : mem::NumaPolicy::membind(MemNode::DDR);
+  const auto placed = policy.place(phys.page_bytes(), resident_bytes, phys, pt);
+  Resolved resolved;
+  if (!placed.ok) {
+    resolved.error = placed.error;
+    return resolved;
+  }
+  resolved.ok = true;
+  resolved.hbm_fraction = placed.hbm_fraction();
+  return resolved;
+}
+
+Machine::Resolved Machine::resolve_flat(std::uint64_t resident_bytes,
+                                        Placement placement) const {
+  sim::PhysicalMemory phys(config_.physical);
+  sim::PageTable pt(phys.page_bytes());
+  mem::NumaPolicy policy = mem::NumaPolicy::local();
+  switch (placement) {
+    case Placement::DDR: policy = mem::NumaPolicy::membind(MemNode::DDR); break;
+    case Placement::HBM: policy = mem::NumaPolicy::membind(MemNode::HBM); break;
+    case Placement::Preferred: policy = mem::NumaPolicy::preferred(MemNode::HBM); break;
+    case Placement::Interleave: policy = mem::NumaPolicy::interleave(); break;
+  }
+  const auto placed = policy.place(phys.page_bytes(), resident_bytes, phys, pt);
+  Resolved resolved;
+  if (!placed.ok) {
+    resolved.error = placed.error;
+    return resolved;
+  }
+  resolved.ok = true;
+  resolved.hbm_fraction = placed.hbm_fraction();
+  return resolved;
+}
+
+DetailedRunResult Machine::run_impl(const trace::AccessProfile& profile,
+                                    const RunConfig& run_config, double hbm_fraction,
+                                    bool want_phases) const {
+  DetailedRunResult out;
+  RunResult& r = out.summary;
+  r.feasible = true;
+
+  double latency_weight = 0.0;
+  double hit_weight = 0.0;
+  for (const auto& phase : profile.phases()) {
+    const sim::PhaseTiming t = timing_.time_phase(phase, run_config, hbm_fraction);
+    r.seconds += t.seconds;
+    r.bytes_from_memory += t.memory_bytes;
+    r.flops += phase.flops;
+    r.avg_latency_ns += t.effective_latency_ns * t.memory_bytes;
+    latency_weight += t.memory_bytes;
+    r.mcdram_hit_rate += t.mcdram_hit_rate * t.memory_bytes;
+    hit_weight += t.memory_bytes;
+    if (want_phases) out.phases.push_back(PhaseReport{phase.name, t});
+  }
+  if (latency_weight > 0.0) r.avg_latency_ns /= latency_weight;
+  if (hit_weight > 0.0) r.mcdram_hit_rate /= hit_weight;
+  if (r.seconds > 0.0) r.achieved_bw_gbs = r.bytes_from_memory / (r.seconds * 1e9);
+  return out;
+}
+
+RunResult Machine::run(const trace::AccessProfile& profile,
+                       const RunConfig& run_config) const {
+  return run_detailed(profile, run_config).summary;
+}
+
+DetailedRunResult Machine::run_detailed(const trace::AccessProfile& profile,
+                                        const RunConfig& run_config) const {
+  if (!run_config.valid()) throw std::invalid_argument("Machine::run: invalid RunConfig");
+
+  const Resolved resolved =
+      resolve_placement(profile.resident_bytes(), run_config.config);
+  if (!resolved.ok) {
+    DetailedRunResult out;
+    out.summary.feasible = false;
+    out.summary.infeasible_reason = resolved.error;
+    return out;
+  }
+  const double hbm_fraction = run_config.config == MemConfig::HBM ? 1.0 : 0.0;
+  return run_impl(profile, run_config, hbm_fraction, /*want_phases=*/true);
+}
+
+RunResult Machine::run_flat_placement(const trace::AccessProfile& profile, int threads,
+                                      Placement placement) const {
+  const Resolved resolved = resolve_flat(profile.resident_bytes(), placement);
+  if (!resolved.ok) {
+    RunResult r;
+    r.feasible = false;
+    r.infeasible_reason = resolved.error;
+    return r;
+  }
+  RunConfig rc;
+  rc.threads = threads;
+  rc.config = MemConfig::DRAM;  // flat mode; split handled by hbm_fraction
+  return run_impl(profile, rc, resolved.hbm_fraction, false).summary;
+}
+
+RunResult Machine::run_hybrid(const trace::AccessProfile& profile, int threads,
+                              double cache_fraction, std::uint64_t flat_hbm_bytes) const {
+  if (cache_fraction < 0.0 || cache_fraction > 1.0) {
+    throw std::invalid_argument("run_hybrid: cache_fraction outside [0,1]");
+  }
+  const auto hbm_total = config_.timing.hbm.capacity_bytes;
+  const auto cache_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(hbm_total) * cache_fraction);
+  const auto flat_capacity = hbm_total - cache_bytes;
+  const std::uint64_t resident = profile.resident_bytes();
+  if (flat_hbm_bytes > flat_capacity) {
+    RunResult r;
+    r.feasible = false;
+    r.infeasible_reason = "hybrid: flat MCDRAM partition smaller than requested placement";
+    return r;
+  }
+  if (resident < flat_hbm_bytes) flat_hbm_bytes = resident;
+  if (resident - flat_hbm_bytes > config_.timing.ddr.capacity_bytes) {
+    RunResult r;
+    r.feasible = false;
+    r.infeasible_reason = "hybrid: DDR cannot hold the spill";
+    return r;
+  }
+
+  // Rebuild a machine whose MCDRAM-cache capacity is the cache partition and
+  // whose flat-HBM traffic share matches the explicit placement; the DDR
+  // share then flows through the partial cache (cache-mode path).
+  MachineConfig hybrid_cfg = config_;
+  hybrid_cfg.timing.mcdram.capacity_bytes = std::max<std::uint64_t>(cache_bytes, 1);
+  const sim::TimingModel hybrid_timing(hybrid_cfg.timing);
+
+  const double hbm_fraction =
+      resident == 0 ? 0.0
+                    : static_cast<double>(flat_hbm_bytes) / static_cast<double>(resident);
+
+  RunResult r;
+  r.feasible = true;
+  double latency_weight = 0.0;
+  for (const auto& phase : profile.phases()) {
+    // Flat share goes straight to HBM; the remainder is timed through the
+    // (shrunken) cache path when a cache partition exists, else plain DDR.
+    RunConfig flat_rc{MemConfig::DRAM, threads, 0.0};
+    RunConfig cache_rc{cache_bytes > 0 ? MemConfig::CacheMode : MemConfig::DRAM, threads,
+                       0.0};
+
+    trace::AccessPhase hbm_part = phase;
+    trace::AccessPhase ddr_part = phase;
+    hbm_part.logical_bytes = phase.logical_bytes * hbm_fraction;
+    hbm_part.flops = phase.flops * hbm_fraction;
+    ddr_part.logical_bytes = phase.logical_bytes * (1.0 - hbm_fraction);
+    ddr_part.flops = phase.flops * (1.0 - hbm_fraction);
+
+    // The two sub-streams share the cores' outstanding-request budget, so
+    // their times add (equivalent to splitting concurrency when latency-
+    // bound; conservative about controller overlap when bandwidth-bound).
+    double seconds = 0.0;
+    double bytes = 0.0;
+    double lat_acc = 0.0;
+    if (hbm_part.logical_bytes > 0.0) {
+      const auto t = hybrid_timing.time_phase(hbm_part, flat_rc, 1.0);
+      seconds += t.seconds;
+      bytes += t.memory_bytes;
+      lat_acc += t.effective_latency_ns * t.memory_bytes;
+    }
+    if (ddr_part.logical_bytes > 0.0) {
+      const auto t = hybrid_timing.time_phase(ddr_part, cache_rc, 0.0);
+      seconds += t.seconds;
+      bytes += t.memory_bytes;
+      lat_acc += t.effective_latency_ns * t.memory_bytes;
+      r.mcdram_hit_rate = t.mcdram_hit_rate;
+    }
+    if (phase.pattern == trace::Pattern::Compute && phase.flops > 0.0) {
+      // Pure-compute phases do not split: time once at full flops.
+      const auto t = hybrid_timing.time_phase(phase, flat_rc, 0.0);
+      seconds = t.seconds;
+    }
+    r.seconds += seconds;
+    r.bytes_from_memory += bytes;
+    r.flops += phase.flops;
+    r.avg_latency_ns += lat_acc;
+    latency_weight += bytes;
+  }
+  if (latency_weight > 0.0) r.avg_latency_ns /= latency_weight;
+  if (r.seconds > 0.0) r.achieved_bw_gbs = r.bytes_from_memory / (r.seconds * 1e9);
+  return r;
+}
+
+}  // namespace knl

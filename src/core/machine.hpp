@@ -1,0 +1,88 @@
+// Machine: the top-level simulated KNL-class node.
+//
+// Combines the placement substrate (simulated physical memory, page table,
+// numactl-style policies) with the timing model. `run` executes one workload
+// profile under one of the paper's three configurations — including the
+// capacity feasibility rule the paper applies ("no measurements for HBM in
+// flat mode when the problem size exceeds its capacity").
+#pragma once
+
+#include <optional>
+
+#include "core/machine_config.hpp"
+#include "core/types.hpp"
+#include "mem/numa_policy.hpp"
+#include "mem/numa_topology.hpp"
+#include "sim/timing_model.hpp"
+#include "trace/profile.hpp"
+
+namespace knl {
+
+/// Per-phase breakdown attached to a RunResult when requested.
+struct PhaseReport {
+  std::string name;
+  sim::PhaseTiming timing;
+};
+
+struct DetailedRunResult {
+  RunResult summary;
+  std::vector<PhaseReport> phases;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config = MachineConfig::knl7210());
+
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const sim::TimingModel& timing() const noexcept { return timing_; }
+
+  /// NUMA topology the OS would expose under the given configuration.
+  [[nodiscard]] mem::NumaTopology topology(MemConfig config) const;
+
+  /// Human-readable model card: every calibrated parameter and the paper
+  /// anchor it encodes (for experiment logs and reproducibility records).
+  [[nodiscard]] std::string describe() const;
+
+  /// Run `profile` under the paper's named configuration. Placement is
+  /// coarse-grained (all data bound the same way), matching the paper §III-C.
+  [[nodiscard]] RunResult run(const trace::AccessProfile& profile,
+                              const RunConfig& run_config) const;
+
+  /// Same, with the per-phase breakdown.
+  [[nodiscard]] DetailedRunResult run_detailed(const trace::AccessProfile& profile,
+                                               const RunConfig& run_config) const;
+
+  /// Flat-mode run under an arbitrary numactl-style placement (interleave /
+  /// preferred) — the paper's §IV-C suggestion for problems larger than HBM.
+  [[nodiscard]] RunResult run_flat_placement(const trace::AccessProfile& profile,
+                                             int threads, Placement placement) const;
+
+  /// Hybrid-mode run (paper §II): `cache_fraction` of MCDRAM serves as cache
+  /// for DDR while the rest is a small flat HBM node holding the hottest
+  /// `flat_hbm_bytes` of the footprint.
+  [[nodiscard]] RunResult run_hybrid(const trace::AccessProfile& profile, int threads,
+                                     double cache_fraction,
+                                     std::uint64_t flat_hbm_bytes) const;
+
+ private:
+  /// Resolve placement: returns the HBM page fraction, or an error string
+  /// when the configuration cannot hold the resident set.
+  struct Resolved {
+    bool ok = false;
+    std::string error;
+    double hbm_fraction = 0.0;
+  };
+  [[nodiscard]] Resolved resolve_placement(std::uint64_t resident_bytes,
+                                           MemConfig config) const;
+  [[nodiscard]] Resolved resolve_flat(std::uint64_t resident_bytes,
+                                      Placement placement) const;
+
+  [[nodiscard]] DetailedRunResult run_impl(const trace::AccessProfile& profile,
+                                           const RunConfig& run_config,
+                                           double hbm_fraction, bool want_phases) const;
+
+  MachineConfig config_;
+  sim::TimingModel timing_;
+};
+
+}  // namespace knl

@@ -1,0 +1,50 @@
+#include "core/machine_config.hpp"
+
+#include <stdexcept>
+
+namespace knl {
+
+void MachineConfig::validate() const {
+  if (timing.ddr.capacity_bytes != physical.ddr.capacity_bytes ||
+      timing.hbm.capacity_bytes != physical.hbm.capacity_bytes) {
+    throw std::invalid_argument(
+        "MachineConfig: timing and physical views disagree on node capacities");
+  }
+  if (timing.ddr.peak_bw_gbs <= 0.0 || timing.hbm.peak_bw_gbs <= 0.0) {
+    throw std::invalid_argument("MachineConfig: bandwidths must be positive");
+  }
+  if (timing.ddr.idle_latency_ns <= 0.0 || timing.hbm.idle_latency_ns <= 0.0) {
+    throw std::invalid_argument("MachineConfig: latencies must be positive");
+  }
+  if (physical.page_bytes == 0 || timing.mcdram.capacity_bytes == 0) {
+    throw std::invalid_argument("MachineConfig: page and cache sizes must be positive");
+  }
+}
+
+MachineConfig MachineConfig::knl7210() { return MachineConfig{}; }
+
+MachineConfig MachineConfig::knl7210_equal_latency() {
+  MachineConfig cfg;
+  cfg.timing.hbm.idle_latency_ns = cfg.timing.ddr.idle_latency_ns;
+  return cfg;
+}
+
+MachineConfig MachineConfig::knl7210_snc4() {
+  MachineConfig cfg;
+  cfg.timing.hierarchy.mesh.mode = sim::ClusterMode::Snc4;
+  // Directory confined to a quadrant: a slightly cheaper lookup than
+  // quadrant mode's memory-side co-location.
+  cfg.timing.hierarchy.mesh.directory_lookup_ns = 9.0;
+  return cfg;
+}
+
+MachineConfig MachineConfig::ddr_only() {
+  MachineConfig cfg;
+  // Shrink MCDRAM to a negligible sliver rather than zero so invariants and
+  // topology math remain well-defined; HBM placements will simply fail.
+  cfg.timing.hbm.capacity_bytes = params::kPageBytes;
+  cfg.physical.hbm.capacity_bytes = params::kPageBytes;
+  return cfg;
+}
+
+}  // namespace knl

@@ -1,0 +1,38 @@
+// Aggregate configuration of the simulated node.
+#pragma once
+
+#include "sim/knl_params.hpp"
+#include "sim/physical_memory.hpp"
+#include "sim/timing_model.hpp"
+
+namespace knl {
+
+/// Everything needed to instantiate a simulated KNL-class node. Defaults
+/// reproduce the paper's testbed (KNL 7210, 96 GB DDR4 + 16 GB MCDRAM,
+/// quadrant cluster mode).
+struct MachineConfig {
+  sim::TimingConfig timing = {};
+  sim::PhysicalMemoryConfig physical = {};
+
+  /// Sanity-check invariants (capacities match between the two views,
+  /// parameters positive). Throws std::invalid_argument on violation.
+  void validate() const;
+
+  /// The paper's testbed configuration.
+  [[nodiscard]] static MachineConfig knl7210();
+
+  /// A machine with MCDRAM-like latency *equal* to DDR — the ablation
+  /// machine for asking "how much of the random-access penalty is latency?"
+  [[nodiscard]] static MachineConfig knl7210_equal_latency();
+
+  /// A DDR-only machine (no MCDRAM): the conventional-node baseline.
+  [[nodiscard]] static MachineConfig ddr_only();
+
+  /// SNC-4 cluster mode: sub-NUMA clustering shortens the directory walk
+  /// (traffic stays within a quadrant) at the cost of exposing 8 NUMA
+  /// nodes to software. Not used by the paper's testbed (quadrant mode);
+  /// provided for what-if studies.
+  [[nodiscard]] static MachineConfig knl7210_snc4();
+};
+
+}  // namespace knl

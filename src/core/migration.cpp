@@ -1,0 +1,57 @@
+#include "core/migration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace knl {
+
+MigrationOutcome MigrationRuntime::run(const trace::AccessProfile& profile, int threads,
+                                       const MigrationConfig& config) const {
+  if (config.interval_seconds <= 0.0 || config.copy_bw_gbs <= 0.0) {
+    throw std::invalid_argument("MigrationRuntime: interval and copy bandwidth must be positive");
+  }
+  if (config.detection_lag < 0.0 || config.detection_lag > 1.0 ||
+      config.churn_fraction < 0.0 || config.churn_fraction > 1.0) {
+    throw std::invalid_argument("MigrationRuntime: fractions must be in [0,1]");
+  }
+
+  MigrationOutcome outcome;
+
+  // The daemon converges to the optimizer's placement: hottest structures
+  // in MCDRAM up to capacity.
+  const PlanOutcome plan = placer_.optimize(profile, threads);
+  const RunResult all_ddr = placer_.run_plan(profile, threads, {});
+  if (!plan.result.feasible || !all_ddr.feasible) {
+    outcome.result.feasible = false;
+    outcome.result.infeasible_reason = "migration: underlying placement infeasible";
+    return outcome;
+  }
+  outcome.hot_bytes = plan.hbm_bytes;
+  outcome.static_plan_seconds = plan.result.seconds;
+  outcome.steady_state_seconds = plan.result.seconds;
+
+  // Detection lag: that fraction of the run executes at all-DDR speed.
+  outcome.lag_penalty_seconds =
+      config.detection_lag * (all_ddr.seconds - plan.result.seconds);
+
+  // Migration traffic: the initial promotion moves the whole hot set once;
+  // churn re-moves a slice every interval for the duration of the run.
+  const double base_seconds = outcome.steady_state_seconds + outcome.lag_penalty_seconds;
+  const double intervals = std::max(1.0, base_seconds / config.interval_seconds);
+  const double moved_bytes =
+      static_cast<double>(outcome.hot_bytes) *
+      (1.0 + config.churn_fraction * (intervals - 1.0));
+  outcome.migration_seconds = moved_bytes / (config.copy_bw_gbs * 1e9);
+
+  outcome.result = plan.result;
+  outcome.result.seconds =
+      base_seconds + outcome.migration_seconds;
+  if (outcome.result.seconds > 0.0) {
+    outcome.result.achieved_bw_gbs =
+        outcome.result.bytes_from_memory / (outcome.result.seconds * 1e9);
+    outcome.speedup_vs_all_ddr = all_ddr.seconds / outcome.result.seconds;
+  }
+  return outcome;
+}
+
+}  // namespace knl

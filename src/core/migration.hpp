@@ -1,0 +1,63 @@
+// Hot-page migration runtime model — the dynamic flavour of the paper's
+// §VI "finer-grained approach": instead of a static per-structure plan, a
+// daemon (AutoHBM / memkind's memtier style) samples page heat and migrates
+// the hottest pages into MCDRAM at intervals.
+//
+// Model: in steady state the daemon approximates the optimizer's placement
+// (hot structures resident in MCDRAM up to capacity), but pays two taxes a
+// static plan does not:
+//   - detection lag: a fraction of execution runs with yesterday's
+//     placement (modelled as a blend with the all-DDR time);
+//   - migration traffic: moved pages cross both memories through the
+//     daemon, stealing bandwidth (costed at copy rate each interval).
+// The result quantifies when "just migrate" approaches explicit placement
+// and when its overheads eat the benefit — the decision a runtime designer
+// actually faces.
+#pragma once
+
+#include <cstdint>
+
+#include "core/machine.hpp"
+#include "core/placement_plan.hpp"
+#include "trace/profile.hpp"
+
+namespace knl {
+
+struct MigrationConfig {
+  /// Daemon wake-up interval.
+  double interval_seconds = 0.1;
+  /// Fraction of each interval spent detecting/settling before the
+  /// placement is right (0 = oracle daemon, 1 = never right).
+  double detection_lag = 0.15;
+  /// Bandwidth available to the migration copies (shared with the app).
+  double copy_bw_gbs = 20.0;
+  /// Fraction of the hot set that churns (gets re-migrated) per interval
+  /// once steady state is reached.
+  double churn_fraction = 0.02;
+};
+
+struct MigrationOutcome {
+  RunResult result;
+  double steady_state_seconds = 0.0;  ///< app time with ideal placement
+  double lag_penalty_seconds = 0.0;
+  double migration_seconds = 0.0;
+  std::uint64_t hot_bytes = 0;        ///< resident set promoted to MCDRAM
+  double speedup_vs_all_ddr = 1.0;
+  /// The static fine-grained plan's time, for comparison.
+  double static_plan_seconds = 0.0;
+};
+
+class MigrationRuntime {
+ public:
+  explicit MigrationRuntime(const Machine& machine)
+      : machine_(machine), placer_(machine) {}
+
+  [[nodiscard]] MigrationOutcome run(const trace::AccessProfile& profile, int threads,
+                                     const MigrationConfig& config = {}) const;
+
+ private:
+  const Machine& machine_;
+  FineGrainedPlacer placer_;
+};
+
+}  // namespace knl

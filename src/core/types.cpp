@@ -1,0 +1,48 @@
+#include "core/types.hpp"
+
+#include <ostream>
+
+namespace knl {
+
+std::string to_string(MemoryMode mode) {
+  switch (mode) {
+    case MemoryMode::Flat: return "flat";
+    case MemoryMode::Cache: return "cache";
+    case MemoryMode::Hybrid: return "hybrid";
+  }
+  return "unknown";
+}
+
+std::string to_string(MemNode node) {
+  switch (node) {
+    case MemNode::DDR: return "DDR";
+    case MemNode::HBM: return "HBM";
+  }
+  return "unknown";
+}
+
+std::string to_string(Placement placement) {
+  switch (placement) {
+    case Placement::DDR: return "membind=0";
+    case Placement::HBM: return "membind=1";
+    case Placement::Interleave: return "interleave=0,1";
+    case Placement::Preferred: return "preferred=1";
+  }
+  return "unknown";
+}
+
+std::string to_string(MemConfig config) {
+  switch (config) {
+    case MemConfig::DRAM: return "DRAM";
+    case MemConfig::HBM: return "HBM";
+    case MemConfig::CacheMode: return "Cache Mode";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, MemoryMode mode) { return os << to_string(mode); }
+std::ostream& operator<<(std::ostream& os, MemNode node) { return os << to_string(node); }
+std::ostream& operator<<(std::ostream& os, Placement placement) { return os << to_string(placement); }
+std::ostream& operator<<(std::ostream& os, MemConfig config) { return os << to_string(config); }
+
+}  // namespace knl

@@ -1,0 +1,90 @@
+// Core vocabulary types shared across the knlmem library.
+//
+// These model the configuration space the paper explores: the MCDRAM memory
+// mode (flat / cache / hybrid), the coarse-grained data placement chosen via
+// numactl, and the execution setup (OpenMP-style thread count on a 64-core,
+// 4-SMT node).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace knl {
+
+/// Byte-count convenience literals (binary units, matching the 16 GiB
+/// MCDRAM / 96 GiB DDR capacities the paper reports).
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+/// Decimal gigabyte, used when mirroring the paper's axis labels (the paper
+/// quotes problem sizes in decimal GB).
+inline constexpr double GB = 1e9;
+
+/// How MCDRAM is configured at boot (paper §II).
+enum class MemoryMode : std::uint8_t {
+  Flat,    ///< MCDRAM exposed as a second NUMA node next to DDR.
+  Cache,   ///< MCDRAM is a hardware-managed direct-mapped cache for DDR.
+  Hybrid,  ///< Part flat, part cache (partition ratio set separately).
+};
+
+/// Identifier of a physical memory node in flat/hybrid mode.
+/// Matches the NUMA node numbering of the paper's testbed (Table II):
+/// node 0 = DDR (96 GB), node 1 = MCDRAM (16 GB).
+enum class MemNode : std::uint8_t {
+  DDR = 0,
+  HBM = 1,
+};
+
+/// Coarse-grained placement policy, the numactl-level knob the paper uses.
+enum class Placement : std::uint8_t {
+  DDR,         ///< numactl --membind=0 : everything in DDR ("DRAM" config).
+  HBM,         ///< numactl --membind=1 : everything in MCDRAM ("HBM" config).
+  Interleave,  ///< numactl --interleave=0,1 : page round-robin.
+  Preferred,   ///< numactl --preferred=1 : HBM until full, then DDR.
+};
+
+/// The three named experiment configurations of paper §III-C.
+enum class MemConfig : std::uint8_t {
+  DRAM,       ///< Flat mode, membind to DDR.
+  HBM,        ///< Flat mode, membind to MCDRAM.
+  CacheMode,  ///< Cache mode (MCDRAM = last-level cache for DDR).
+};
+
+/// Execution setup for one measurement: thread count and memory config.
+struct RunConfig {
+  MemConfig config = MemConfig::DRAM;
+  /// Total OpenMP-style threads. The paper uses 64 (1 HT/core) by default
+  /// and sweeps 64..256 in Fig. 6.
+  int threads = 64;
+  /// Fraction of MCDRAM configured as cache in Hybrid mode (0 = all flat,
+  /// 1 = all cache). Only meaningful for hybrid-mode experiments.
+  double hybrid_cache_fraction = 0.0;
+
+  [[nodiscard]] bool valid() const noexcept { return threads > 0; }
+};
+
+/// Result of simulating one workload execution.
+struct RunResult {
+  double seconds = 0.0;          ///< Modelled execution time.
+  double bytes_from_memory = 0;  ///< Traffic that reached DRAM/MCDRAM.
+  double flops = 0.0;            ///< Floating point operations performed.
+  double avg_latency_ns = 0.0;   ///< Traffic-weighted effective mem latency.
+  double achieved_bw_gbs = 0.0;  ///< Traffic / time, in GB/s (decimal).
+  double mcdram_hit_rate = 0.0;  ///< Cache-mode hit rate (1.0 in flat HBM).
+  bool feasible = true;          ///< False if footprint exceeds capacity.
+  std::string infeasible_reason;
+};
+
+[[nodiscard]] std::string to_string(MemoryMode mode);
+[[nodiscard]] std::string to_string(MemNode node);
+[[nodiscard]] std::string to_string(Placement placement);
+[[nodiscard]] std::string to_string(MemConfig config);
+
+std::ostream& operator<<(std::ostream& os, MemoryMode mode);
+std::ostream& operator<<(std::ostream& os, MemNode node);
+std::ostream& operator<<(std::ostream& os, Placement placement);
+std::ostream& operator<<(std::ostream& os, MemConfig config);
+
+}  // namespace knl

@@ -1,0 +1,74 @@
+#include "mem/hbwmalloc.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace knl::mem {
+
+int HbwMalloc::check_available() const {
+  return allocator_.available_bytes(MemKind::Hbw) > 0 ? 0 : 1;
+}
+
+int HbwMalloc::set_policy(HbwPolicy policy) {
+  if (allocated_any_) return 1;  // EPERM-like: policy is latched by first use
+  policy_ = policy;
+  return 0;
+}
+
+MemKind HbwMalloc::kind_for_policy() const {
+  switch (policy_) {
+    case HbwPolicy::Bind: return MemKind::Hbw;
+    case HbwPolicy::Preferred: return MemKind::HbwPreferred;
+    case HbwPolicy::Interleave: return MemKind::HbwInterleave;
+  }
+  return MemKind::Hbw;
+}
+
+std::uint64_t HbwMalloc::malloc(std::uint64_t bytes) {
+  if (bytes == 0) return 0;
+  const auto alloc = allocator_.allocate(kind_for_policy(), bytes);
+  if (!alloc) return 0;
+  allocated_any_ = true;
+  live_.emplace(alloc->vaddr, *alloc);
+  return alloc->vaddr;
+}
+
+std::uint64_t HbwMalloc::calloc(std::uint64_t n, std::uint64_t bytes) {
+  if (n != 0 && bytes > UINT64_MAX / n) return 0;  // overflow check
+  return malloc(n * bytes);
+}
+
+int HbwMalloc::posix_memalign(std::uint64_t* out, std::uint64_t alignment,
+                              std::uint64_t bytes) {
+  if (out == nullptr) return 22;  // EINVAL
+  *out = 0;
+  if (alignment < 8 || !std::has_single_bit(alignment)) return 22;  // EINVAL
+  const std::uint64_t addr = malloc(bytes);
+  if (addr == 0) return 12;  // ENOMEM
+  // Page-granular simulated addresses are aligned to 2 MiB, which covers
+  // any practical request; assert the invariant anyway.
+  if (addr % alignment != 0) {
+    free(addr);
+    return 12;
+  }
+  *out = addr;
+  return 0;
+}
+
+void HbwMalloc::free(std::uint64_t addr) {
+  if (addr == 0) return;
+  auto it = live_.find(addr);
+  if (it == live_.end()) {
+    throw std::logic_error("hbw_free: unknown or already-freed address");
+  }
+  allocator_.free(it->second);
+  live_.erase(it);
+}
+
+bool HbwMalloc::verify_hbw(std::uint64_t addr) const {
+  auto it = live_.find(addr);
+  if (it == live_.end()) return false;
+  return allocator_.node_split(it->second).hbm_fraction() == 1.0;
+}
+
+}  // namespace knl::mem

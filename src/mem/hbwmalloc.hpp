@@ -1,0 +1,72 @@
+// hbwmalloc-compatible API over the simulated hybrid memory.
+//
+// memkind ships the `hbwmalloc` convenience interface (hbw_malloc,
+// hbw_free, hbw_check_available, hbw_set_policy); codes ported to KNL —
+// including some the paper cites — use it rather than raw memkind. This
+// shim exposes the same call shapes against the simulated node, so a
+// user's placement logic can be exercised unchanged. Pointers are
+// simulated virtual addresses (opaque handles), not dereferenceable host
+// memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/memkind.hpp"
+
+namespace knl::mem {
+
+enum class HbwPolicy : int {
+  Bind = 1,        ///< HBW_POLICY_BIND: fail when MCDRAM is full
+  Preferred = 2,   ///< HBW_POLICY_PREFERRED: fall back to DDR
+  Interleave = 3,  ///< HBW_POLICY_INTERLEAVE
+};
+
+/// The hbwmalloc interface bound to one allocator instance (the C library
+/// uses process-global state; a class keeps tests independent).
+class HbwMalloc {
+ public:
+  explicit HbwMalloc(MemKindAllocator& allocator) : allocator_(allocator) {}
+
+  /// hbw_check_available(): 0 if MCDRAM exists and has any capacity,
+  /// ENOMEM-like nonzero otherwise.
+  [[nodiscard]] int check_available() const;
+
+  /// hbw_set_policy()/hbw_get_policy(). Setting the policy after the first
+  /// allocation fails (returns nonzero), as in the real library.
+  int set_policy(HbwPolicy policy);
+  [[nodiscard]] HbwPolicy get_policy() const noexcept { return policy_; }
+
+  /// hbw_malloc(): returns a simulated address, or 0 on failure.
+  [[nodiscard]] std::uint64_t malloc(std::uint64_t bytes);
+
+  /// hbw_calloc(): same placement semantics as malloc (zeroing is a no-op
+  /// for simulated memory).
+  [[nodiscard]] std::uint64_t calloc(std::uint64_t n, std::uint64_t bytes);
+
+  /// hbw_posix_memalign(): alignment must be a power of two >= 8;
+  /// returns 0 on success with *out set, EINVAL/ENOMEM-like codes else.
+  int posix_memalign(std::uint64_t* out, std::uint64_t alignment, std::uint64_t bytes);
+
+  /// hbw_free(): ignores 0, like free(NULL).
+  void free(std::uint64_t addr);
+
+  /// True if the simulated address lies in MCDRAM-backed pages (useful for
+  /// asserting placement in tests; the real library has hbw_verify_memory).
+  [[nodiscard]] bool verify_hbw(std::uint64_t addr) const;
+
+  [[nodiscard]] std::uint64_t live_allocations() const {
+    return static_cast<std::uint64_t>(live_.size());
+  }
+
+ private:
+  [[nodiscard]] MemKind kind_for_policy() const;
+
+  MemKindAllocator& allocator_;
+  HbwPolicy policy_ = HbwPolicy::Bind;
+  bool allocated_any_ = false;
+  std::unordered_map<std::uint64_t, KindAllocation> live_;
+};
+
+}  // namespace knl::mem

@@ -1,0 +1,84 @@
+#include "mem/memkind.hpp"
+
+#include <stdexcept>
+
+namespace knl::mem {
+
+std::string to_string(MemKind kind) {
+  switch (kind) {
+    case MemKind::Default: return "MEMKIND_DEFAULT";
+    case MemKind::Hbw: return "MEMKIND_HBW";
+    case MemKind::HbwPreferred: return "MEMKIND_HBW_PREFERRED";
+    case MemKind::HbwInterleave: return "MEMKIND_HBW_INTERLEAVE";
+  }
+  return "unknown";
+}
+
+MemKindAllocator::MemKindAllocator(sim::PhysicalMemory& phys)
+    : phys_(phys), page_table_(phys.page_bytes()), next_vaddr_(phys.page_bytes()) {}
+
+NumaPolicy MemKindAllocator::policy_for(MemKind kind) {
+  switch (kind) {
+    case MemKind::Default: return NumaPolicy::membind(MemNode::DDR);
+    case MemKind::Hbw: return NumaPolicy::membind(MemNode::HBM);
+    case MemKind::HbwPreferred: return NumaPolicy::preferred(MemNode::HBM);
+    case MemKind::HbwInterleave: return NumaPolicy::interleave();
+  }
+  throw std::logic_error("MemKindAllocator: unknown kind");
+}
+
+std::optional<KindAllocation> MemKindAllocator::allocate(MemKind kind, std::uint64_t bytes) {
+  ++stats_.total_allocations;
+  if (bytes == 0) {
+    ++stats_.failed_allocations;
+    return std::nullopt;
+  }
+  const std::uint64_t page = phys_.page_bytes();
+  const std::uint64_t n_pages = (bytes + page - 1) / page;
+  const std::uint64_t vaddr = next_vaddr_;
+
+  const PlacementResult placed = policy_for(kind).place(vaddr, bytes, phys_, page_table_);
+  if (!placed.ok) {
+    ++stats_.failed_allocations;
+    return std::nullopt;
+  }
+
+  next_vaddr_ += n_pages * page;
+  KindAllocation alloc{vaddr, bytes, kind, placed.hbm_fraction()};
+  live_.emplace(vaddr, alloc);
+  ++stats_.live_allocations;
+  stats_.live_bytes += bytes;
+  return alloc;
+}
+
+void MemKindAllocator::free(const KindAllocation& alloc) {
+  auto it = live_.find(alloc.vaddr);
+  if (it == live_.end() || it->second.bytes != alloc.bytes) {
+    throw std::logic_error("MemKindAllocator::free: unknown or already-freed allocation");
+  }
+  const std::uint64_t page = phys_.page_bytes();
+  const std::uint64_t n_pages = (alloc.bytes + page - 1) / page;
+  auto frames = page_table_.unmap_range(alloc.vaddr / page, n_pages);
+  phys_.free(frames);
+  live_.erase(it);
+  --stats_.live_allocations;
+  stats_.live_bytes -= alloc.bytes;
+}
+
+sim::PageTable::NodeSplit MemKindAllocator::node_split(const KindAllocation& alloc) const {
+  return page_table_.node_split(alloc.vaddr, alloc.bytes);
+}
+
+std::uint64_t MemKindAllocator::available_bytes(MemKind kind) const {
+  const std::uint64_t page = phys_.page_bytes();
+  switch (kind) {
+    case MemKind::Default: return phys_.free_frames(MemNode::DDR) * page;
+    case MemKind::Hbw:
+    case MemKind::HbwPreferred: return phys_.free_frames(MemNode::HBM) * page;
+    case MemKind::HbwInterleave:
+      return (phys_.free_frames(MemNode::DDR) + phys_.free_frames(MemNode::HBM)) * page;
+  }
+  return 0;
+}
+
+}  // namespace knl::mem

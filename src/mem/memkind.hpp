@@ -1,0 +1,87 @@
+// memkind-style heap manager over the simulated hybrid memory (paper §II
+// cites memkind [10] as the fine-grained flat-mode placement tool).
+//
+// Each *kind* owns an arena of virtual address space whose pages are placed
+// by the matching NUMA policy:
+//   Default       -> DDR (node 0)
+//   Hbw           -> MCDRAM, strict (hbw_malloc with HBW_POLICY_BIND)
+//   HbwPreferred  -> MCDRAM, falling back to DDR when full
+//   HbwInterleave -> pages alternated across both nodes
+//
+// Allocations carry simulated placement only — no host memory is consumed —
+// so a 90 GB XSBench heap is representable. The allocator still implements
+// real heap bookkeeping (size-class free lists, coalescing-free reuse,
+// double-free detection) because workloads allocate and free repeatedly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "mem/numa_policy.hpp"
+#include "sim/page_table.hpp"
+#include "sim/physical_memory.hpp"
+
+namespace knl::mem {
+
+enum class MemKind : std::uint8_t {
+  Default,
+  Hbw,
+  HbwPreferred,
+  HbwInterleave,
+};
+
+[[nodiscard]] std::string to_string(MemKind kind);
+
+/// A live allocation handle.
+struct KindAllocation {
+  std::uint64_t vaddr = 0;
+  std::uint64_t bytes = 0;
+  MemKind kind = MemKind::Default;
+  /// Fraction of the allocation's pages that landed in MCDRAM.
+  double hbm_fraction = 0.0;
+
+  [[nodiscard]] bool valid() const noexcept { return bytes != 0; }
+};
+
+struct MemKindStats {
+  std::uint64_t live_allocations = 0;
+  std::uint64_t live_bytes = 0;
+  std::uint64_t total_allocations = 0;
+  std::uint64_t failed_allocations = 0;
+};
+
+class MemKindAllocator {
+ public:
+  explicit MemKindAllocator(sim::PhysicalMemory& phys);
+
+  /// Allocate `bytes` under `kind`. Returns nullopt if the kind's policy
+  /// cannot place the pages (e.g. Hbw on a full MCDRAM).
+  [[nodiscard]] std::optional<KindAllocation> allocate(MemKind kind, std::uint64_t bytes);
+
+  /// Free a live allocation. Throws on double free / unknown handle.
+  void free(const KindAllocation& alloc);
+
+  /// Node split of a live allocation's pages.
+  [[nodiscard]] sim::PageTable::NodeSplit node_split(const KindAllocation& alloc) const;
+
+  [[nodiscard]] const MemKindStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const sim::PageTable& page_table() const noexcept { return page_table_; }
+
+  /// Bytes currently usable by `kind` without falling back.
+  [[nodiscard]] std::uint64_t available_bytes(MemKind kind) const;
+
+ private:
+  [[nodiscard]] static NumaPolicy policy_for(MemKind kind);
+
+  sim::PhysicalMemory& phys_;
+  sim::PageTable page_table_;
+  std::uint64_t next_vaddr_;
+  std::map<std::uint64_t, KindAllocation> live_;  // by vaddr
+  MemKindStats stats_;
+};
+
+}  // namespace knl::mem

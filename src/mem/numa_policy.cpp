@@ -1,0 +1,99 @@
+#include "mem/numa_policy.hpp"
+
+#include <algorithm>
+
+namespace knl::mem {
+
+NumaPolicy NumaPolicy::membind(MemNode node) {
+  return NumaPolicy(node == MemNode::HBM ? Placement::HBM : Placement::DDR, node);
+}
+
+NumaPolicy NumaPolicy::preferred(MemNode node) {
+  return NumaPolicy(Placement::Preferred, node);
+}
+
+NumaPolicy NumaPolicy::interleave() { return NumaPolicy(Placement::Interleave, std::nullopt); }
+
+NumaPolicy NumaPolicy::local() { return NumaPolicy(Placement::DDR, MemNode::DDR); }
+
+namespace {
+
+MemNode other(MemNode n) { return n == MemNode::DDR ? MemNode::HBM : MemNode::DDR; }
+
+}  // namespace
+
+PlacementResult NumaPolicy::place(std::uint64_t vaddr, std::uint64_t bytes,
+                                  sim::PhysicalMemory& phys, sim::PageTable& pt) const {
+  PlacementResult result;
+  if (bytes == 0) {
+    result.ok = true;
+    return result;
+  }
+  const std::uint64_t page = phys.page_bytes();
+  const std::uint64_t first_vpage = vaddr / page;
+  const std::uint64_t n_pages = (bytes + page - 1) / page;
+
+  std::vector<sim::Frame> frames;
+  frames.reserve(static_cast<std::size_t>(n_pages));
+
+  auto take = [&](MemNode node, std::uint64_t count) -> bool {
+    auto got = phys.allocate(node, count);
+    if (!got) return false;
+    frames.insert(frames.end(), got->begin(), got->end());
+    return true;
+  };
+
+  switch (placement_) {
+    case Placement::DDR:
+    case Placement::HBM: {
+      // Strict bind: all-or-nothing on the target node.
+      if (!take(*target_, n_pages)) {
+        result.error = "membind: node " + to_string(*target_) + " cannot hold " +
+                       std::to_string(bytes) + " bytes";
+        return result;
+      }
+      break;
+    }
+    case Placement::Preferred: {
+      const std::uint64_t on_target = std::min<std::uint64_t>(
+          n_pages, phys.free_frames(*target_));
+      if (on_target > 0 && !take(*target_, on_target)) {
+        result.error = "preferred: allocation raced on " + to_string(*target_);
+        return result;
+      }
+      const std::uint64_t rest = n_pages - on_target;
+      if (rest > 0 && !take(other(*target_), rest)) {
+        phys.free(frames);
+        result.error = "preferred: fallback node full";
+        return result;
+      }
+      break;
+    }
+    case Placement::Interleave: {
+      // Round-robin page placement; when a node fills, the remainder lands
+      // on the other node (Linux interleave semantics).
+      MemNode next = MemNode::DDR;
+      for (std::uint64_t i = 0; i < n_pages; ++i) {
+        MemNode choice = next;
+        if (phys.free_frames(choice) == 0) choice = other(choice);
+        if (!take(choice, 1)) {
+          phys.free(frames);
+          result.error = "interleave: both nodes full";
+          return result;
+        }
+        next = other(next);
+      }
+      break;
+    }
+  }
+
+  pt.map_range(first_vpage, frames);
+  result.ok = true;
+  result.pages = n_pages;
+  result.hbm_pages = static_cast<std::uint64_t>(
+      std::count_if(frames.begin(), frames.end(),
+                    [](const sim::Frame& f) { return f.node == MemNode::HBM; }));
+  return result;
+}
+
+}  // namespace knl::mem

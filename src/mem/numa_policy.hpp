@@ -1,0 +1,63 @@
+// numactl-style placement policies over the simulated physical memory.
+//
+// The paper's three configurations are expressed exactly this way (§III-C):
+// `numactl --membind=0` (DRAM), `--membind=1` (HBM), and cache mode where
+// only node 0 exists. Interleave and preferred policies are also provided —
+// the paper's §IV-C points at interleaving as the way to run problems larger
+// than either node.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "mem/numa_topology.hpp"
+#include "sim/page_table.hpp"
+#include "sim/physical_memory.hpp"
+
+namespace knl::mem {
+
+/// Outcome of placing a buffer.
+struct PlacementResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t pages = 0;
+  std::uint64_t hbm_pages = 0;
+
+  [[nodiscard]] double hbm_fraction() const {
+    return pages == 0 ? 0.0 : static_cast<double>(hbm_pages) / static_cast<double>(pages);
+  }
+};
+
+class NumaPolicy {
+ public:
+  /// Build the policy corresponding to a numactl invocation.
+  static NumaPolicy membind(MemNode node);
+  static NumaPolicy preferred(MemNode node);
+  static NumaPolicy interleave();
+  /// Default policy: first-touch on node 0 (DDR).
+  static NumaPolicy local();
+
+  [[nodiscard]] Placement placement() const noexcept { return placement_; }
+
+  /// Place `bytes` at virtual address `vaddr`, allocating frames from `phys`
+  /// and installing mappings into `pt`.
+  ///
+  /// membind is strict: if the bound node lacks capacity the placement
+  /// fails (numactl kills the process with SIGKILL via the OOM path — here
+  /// we report it). preferred falls back to the other node; interleave
+  /// round-robins and falls back when one side fills.
+  [[nodiscard]] PlacementResult place(std::uint64_t vaddr, std::uint64_t bytes,
+                                      sim::PhysicalMemory& phys, sim::PageTable& pt) const;
+
+ private:
+  NumaPolicy(Placement placement, std::optional<MemNode> target)
+      : placement_(placement), target_(target) {}
+
+  Placement placement_;
+  std::optional<MemNode> target_;
+};
+
+}  // namespace knl::mem

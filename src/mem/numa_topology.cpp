@@ -1,0 +1,88 @@
+#include "mem/numa_topology.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace knl::mem {
+
+NumaTopology::NumaTopology(MemoryMode mode, double hybrid_cache_fraction,
+                           std::uint64_t ddr_bytes, std::uint64_t hbm_bytes)
+    : mode_(mode) {
+  if (hybrid_cache_fraction < 0.0 || hybrid_cache_fraction > 1.0) {
+    throw std::invalid_argument("NumaTopology: hybrid_cache_fraction outside [0,1]");
+  }
+  nodes_.push_back(NumaNodeInfo{0, ddr_bytes, false});
+  switch (mode) {
+    case MemoryMode::Flat:
+      nodes_.push_back(NumaNodeInfo{1, hbm_bytes, true});
+      break;
+    case MemoryMode::Cache:
+      // MCDRAM hidden behind the hardware cache: single node.
+      break;
+    case MemoryMode::Hybrid: {
+      const auto flat_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(hbm_bytes) * (1.0 - hybrid_cache_fraction));
+      if (flat_bytes > 0) nodes_.push_back(NumaNodeInfo{1, flat_bytes, true});
+      break;
+    }
+  }
+}
+
+NumaTopology NumaTopology::snc4(MemoryMode mode, std::uint64_t ddr_bytes,
+                                std::uint64_t hbm_bytes) {
+  if (mode == MemoryMode::Hybrid) {
+    throw std::invalid_argument("NumaTopology::snc4: hybrid+SNC4 not supported");
+  }
+  NumaTopology topo(MemoryMode::Cache);  // start empty-ish, rebuild below
+  topo.mode_ = mode;
+  topo.snc4_ = true;
+  topo.nodes_.clear();
+  for (int q = 0; q < 4; ++q) {
+    topo.nodes_.push_back(NumaNodeInfo{q, ddr_bytes / 4, false});
+  }
+  if (mode == MemoryMode::Flat) {
+    for (int q = 0; q < 4; ++q) {
+      topo.nodes_.push_back(NumaNodeInfo{4 + q, hbm_bytes / 4, true});
+    }
+  }
+  return topo;
+}
+
+int NumaTopology::distance(int from, int to) const {
+  if (!has_node(from) || !has_node(to)) {
+    throw std::out_of_range("NumaTopology::distance: node id out of range");
+  }
+  if (from == to) return params::kNumaDistanceLocal;
+  if (!snc4_) return params::kNumaDistanceRemote;
+  // SNC-4: quadrant q's DDR node is q, its MCDRAM node is 4+q.
+  const bool from_hbm = nodes_[static_cast<std::size_t>(from)].is_hbm;
+  const bool to_hbm = nodes_[static_cast<std::size_t>(to)].is_hbm;
+  const int from_quadrant = from % 4;
+  const int to_quadrant = to % 4;
+  if (from_hbm == to_hbm) {
+    return 21;  // same memory type, different quadrant
+  }
+  return from_quadrant == to_quadrant ? params::kNumaDistanceRemote : 41;
+}
+
+bool NumaTopology::has_node(int node) const noexcept {
+  return node >= 0 && node < num_nodes();
+}
+
+std::string NumaTopology::hardware_string() const {
+  std::ostringstream os;
+  os << "node distances:\nnode ";
+  for (const auto& n : nodes_) os << "  " << n.id;
+  os << '\n';
+  for (const auto& from : nodes_) {
+    os << "  " << from.id << ": ";
+    for (const auto& to : nodes_) {
+      os << " " << distance(from.id, to.id);
+    }
+    os << "  (" << from.size_bytes / GiB << " GB" << (from.is_hbm ? ", MCDRAM" : ", DDR")
+       << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace knl::mem

@@ -1,0 +1,62 @@
+// NUMA topology as exposed by the OS for each MCDRAM mode — what
+// `numactl --hardware` printed on the paper's testbed (Table II).
+//
+// Flat mode: two nodes — node 0 = 96 GB DDR, node 1 = 16 GB MCDRAM,
+// distance 10 local / 31 cross. Cache mode: a single 96 GB node (MCDRAM is
+// invisible to the OS). Hybrid mode: two nodes, node 1 shrunk to the flat
+// partition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/knl_params.hpp"
+
+namespace knl::mem {
+
+struct NumaNodeInfo {
+  int id = 0;
+  std::uint64_t size_bytes = 0;
+  bool is_hbm = false;
+};
+
+class NumaTopology {
+ public:
+  /// Build the topology visible under `mode`. `hybrid_cache_fraction` is the
+  /// share of MCDRAM given to the cache in Hybrid mode.
+  explicit NumaTopology(MemoryMode mode = MemoryMode::Flat,
+                        double hybrid_cache_fraction = 0.5,
+                        std::uint64_t ddr_bytes = params::kDdr.capacity_bytes,
+                        std::uint64_t hbm_bytes = params::kHbm.capacity_bytes);
+
+  /// SNC-4 (sub-NUMA clustering) topology: each memory splits into four
+  /// quadrant nodes. Flat mode exposes 8 nodes (4x 24 GB DDR + 4x 4 GB
+  /// MCDRAM on the default machine); cache mode exposes the 4 DDR quadrants.
+  [[nodiscard]] static NumaTopology snc4(MemoryMode mode = MemoryMode::Flat,
+                                         std::uint64_t ddr_bytes = params::kDdr.capacity_bytes,
+                                         std::uint64_t hbm_bytes = params::kHbm.capacity_bytes);
+
+  [[nodiscard]] bool is_snc4() const noexcept { return snc4_; }
+
+  [[nodiscard]] MemoryMode mode() const noexcept { return mode_; }
+  [[nodiscard]] const std::vector<NumaNodeInfo>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] int num_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
+
+  /// Distance matrix entry, numactl semantics (10 = local).
+  [[nodiscard]] int distance(int from, int to) const;
+
+  /// True if `node` exists in this topology.
+  [[nodiscard]] bool has_node(int node) const noexcept;
+
+  /// Reproduce the `numactl --hardware` distance table (Table II layout).
+  [[nodiscard]] std::string hardware_string() const;
+
+ private:
+  MemoryMode mode_;
+  std::vector<NumaNodeInfo> nodes_;
+  bool snc4_ = false;
+};
+
+}  // namespace knl::mem

@@ -1,0 +1,106 @@
+#include "report/roofline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/knl_params.hpp"
+
+namespace knl::report {
+
+Roofline::Roofline(const Machine& machine, MemConfig config, int threads)
+    : machine_(machine), config_(config), threads_(threads) {
+  if (threads_ < 1) throw std::invalid_argument("Roofline: threads must be >= 1");
+  const int ht = machine_.timing().ht_per_core(threads_);
+  peak_gflops_ = params::attainable_gflops(ht);
+
+  // Memory slope: run a pure streaming probe through the machine under
+  // this configuration (4 GiB footprint: beyond caches, within MCDRAM).
+  trace::AccessProfile probe("roofline-probe");
+  trace::AccessPhase phase;
+  phase.name = "stream";
+  phase.pattern = trace::Pattern::Sequential;
+  phase.footprint_bytes = 4 * GiB;
+  phase.logical_bytes = 40e9;
+  phase.sweeps = 10;
+  probe.add(phase);
+  const RunResult r = machine_.run(probe, RunConfig{config_, threads_});
+  if (!r.feasible || r.seconds <= 0.0) {
+    throw std::runtime_error("Roofline: streaming probe infeasible");
+  }
+  stream_bw_gbs_ = phase.logical_bytes / (r.seconds * 1e9);
+}
+
+double Roofline::attainable_gflops(double intensity) const {
+  if (intensity < 0.0) throw std::invalid_argument("Roofline: negative intensity");
+  return std::min(peak_gflops_, stream_bw_gbs_ * intensity);
+}
+
+double Roofline::ridge_intensity() const { return peak_gflops_ / stream_bw_gbs_; }
+
+std::vector<std::pair<double, double>> Roofline::curve(double lo, double hi,
+                                                       int points) const {
+  if (lo <= 0.0 || hi <= lo || points < 2) {
+    throw std::invalid_argument("Roofline::curve: bad range");
+  }
+  std::vector<std::pair<double, double>> out;
+  out.reserve(static_cast<std::size_t>(points));
+  const double step = std::log(hi / lo) / (points - 1);
+  for (int i = 0; i < points; ++i) {
+    const double x = lo * std::exp(step * i);
+    out.emplace_back(x, attainable_gflops(x));
+  }
+  return out;
+}
+
+Roofline::Placement Roofline::classify(const workloads::Workload& workload) const {
+  const auto profile = workload.profile();
+  const auto& timing = machine_.timing();
+  double flops = 0.0;
+  double bytes = 0.0;
+  for (const auto& phase : profile.phases()) {
+    flops += phase.flops;
+    bytes += timing.memory_traffic_bytes(phase, threads_);
+  }
+  // Kernel-achievable roof: the flop-weighted compute efficiency of the
+  // profile's phases scales the machine peak.
+  double eff_weighted = 0.0;
+  for (const auto& phase : profile.phases()) {
+    eff_weighted += phase.flops * phase.compute_efficiency;
+  }
+  const double efficiency = flops > 0.0 ? eff_weighted / flops : 1.0;
+
+  Placement placement;
+  placement.kernel_roof_gflops = peak_gflops_ * efficiency;
+  if (bytes <= 0.0) {
+    placement.compute_bound = true;
+    placement.attainable_gflops = placement.kernel_roof_gflops;
+    return placement;
+  }
+  placement.intensity = flops / bytes;
+  placement.attainable_gflops =
+      std::min(placement.kernel_roof_gflops, stream_bw_gbs_ * placement.intensity);
+  placement.compute_bound =
+      stream_bw_gbs_ * placement.intensity >= placement.kernel_roof_gflops;
+  return placement;
+}
+
+Figure Roofline::chart(const Machine& machine, int threads,
+                       const std::vector<const workloads::Workload*>& marks) {
+  Figure figure("Roofline, " + std::to_string(threads) + " threads",
+                "flops/byte", "GFLOPS");
+  for (const MemConfig config :
+       {MemConfig::DRAM, MemConfig::HBM, MemConfig::CacheMode}) {
+    const Roofline roof(machine, config, threads);
+    for (const auto& [x, y] : roof.curve(0.01, 100.0, 33)) {
+      figure.add(to_string(config) + " roof", x, y);
+    }
+  }
+  const Roofline ddr_roof(machine, MemConfig::DRAM, threads);
+  for (const workloads::Workload* w : marks) {
+    const auto placement = ddr_roof.classify(*w);
+    figure.add(w->info().name, placement.intensity, placement.attainable_gflops);
+  }
+  return figure;
+}
+
+}  // namespace knl::report

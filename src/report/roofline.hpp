@@ -1,0 +1,64 @@
+// Roofline analysis for the simulated node.
+//
+// The paper's taxonomy — bandwidth-bound vs latency/compute-bound — is a
+// roofline statement: a kernel with arithmetic intensity below the ridge
+// point is bandwidth-bound, and MCDRAM moves the ridge 4x to the left.
+// This module computes the per-configuration rooflines and places any
+// workload on them, turning "which memory helps this code" into a chart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "report/figure.hpp"
+#include "workloads/workload.hpp"
+
+namespace knl::report {
+
+class Roofline {
+ public:
+  /// Roofline of `machine` under `config` with `threads` threads: compute
+  /// peak from the SMT-scaled FMA model, memory slope from a streaming
+  /// probe run through the machine itself.
+  Roofline(const Machine& machine, MemConfig config, int threads);
+
+  [[nodiscard]] double peak_gflops() const noexcept { return peak_gflops_; }
+  [[nodiscard]] double stream_bw_gbs() const noexcept { return stream_bw_gbs_; }
+
+  /// Attainable GFLOPS at a given arithmetic intensity (flops/byte).
+  [[nodiscard]] double attainable_gflops(double intensity) const;
+
+  /// Intensity where the memory slope meets the compute roof.
+  [[nodiscard]] double ridge_intensity() const;
+
+  /// Sampled curve (log-spaced intensities), for plotting.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(double lo, double hi,
+                                                             int points) const;
+
+  struct Placement {
+    double intensity = 0.0;        ///< workload flops per memory byte
+    double attainable_gflops = 0.0;
+    double kernel_roof_gflops = 0.0;  ///< machine roof x kernel efficiency
+    bool compute_bound = false;    ///< right of the kernel's own ridge point
+  };
+  /// Place a workload on this roofline using its profile's flops and the
+  /// machine's modelled memory traffic. The compute roof is scaled by the
+  /// kernel's own efficiency (a blocked DGEMM cannot exceed its achievable
+  /// fraction of peak, so that is the roof that decides its boundedness).
+  [[nodiscard]] Placement classify(const workloads::Workload& workload) const;
+
+  /// Figure with the rooflines of all three configurations plus markers
+  /// for the given workloads (series named after them).
+  [[nodiscard]] static Figure chart(const Machine& machine, int threads,
+                                    const std::vector<const workloads::Workload*>& marks);
+
+ private:
+  const Machine& machine_;
+  MemConfig config_;
+  int threads_;
+  double peak_gflops_ = 0.0;
+  double stream_bw_gbs_ = 0.0;
+};
+
+}  // namespace knl::report

@@ -1,0 +1,61 @@
+#include "report/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace knl::report {
+
+namespace {
+void require_nonempty(std::span<const double> xs, const char* who) {
+  if (xs.empty()) throw std::invalid_argument(std::string(who) + ": empty input");
+}
+}  // namespace
+
+double arithmetic_mean(std::span<const double> xs) {
+  require_nonempty(xs, "arithmetic_mean");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double harmonic_mean(std::span<const double> xs) {
+  require_nonempty(xs, "harmonic_mean");
+  double acc = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("harmonic_mean: non-positive value");
+    acc += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / acc;
+}
+
+double geometric_mean(std::span<const double> xs) {
+  require_nonempty(xs, "geometric_mean");
+  double acc = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("geometric_mean: non-positive value");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double minimum(std::span<const double> xs) {
+  require_nonempty(xs, "minimum");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double maximum(std::span<const double> xs) {
+  require_nonempty(xs, "maximum");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double stddev(std::span<const double> xs) {
+  require_nonempty(xs, "stddev");
+  const double mean = arithmetic_mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mean) * (x - mean);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace knl::report

@@ -1,0 +1,17 @@
+// Small statistics helpers used by the benchmark harness (Graph500 reports
+// harmonic-mean TEPS; sweeps report min/max/mean).
+#pragma once
+
+#include <span>
+
+namespace knl::report {
+
+[[nodiscard]] double arithmetic_mean(std::span<const double> xs);
+[[nodiscard]] double harmonic_mean(std::span<const double> xs);
+[[nodiscard]] double geometric_mean(std::span<const double> xs);
+[[nodiscard]] double minimum(std::span<const double> xs);
+[[nodiscard]] double maximum(std::span<const double> xs);
+/// Population standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+}  // namespace knl::report

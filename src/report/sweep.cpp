@@ -1,0 +1,63 @@
+#include "report/sweep.hpp"
+
+#include <set>
+
+namespace knl::report {
+
+Figure sweep_sizes(const Machine& machine, const WorkloadFactory& factory,
+                   const std::vector<std::uint64_t>& sizes_bytes, int threads,
+                   const std::vector<MemConfig>& configs, Figure figure) {
+  for (const std::uint64_t bytes : sizes_bytes) {
+    const auto workload = factory(bytes);
+    const double x = static_cast<double>(workload->footprint_bytes()) / 1e9;
+    for (const MemConfig config : configs) {
+      const RunResult result = machine.run(workload->profile(), RunConfig{config, threads});
+      if (!result.feasible) continue;  // paper: no bar when HBM can't hold it
+      figure.add(to_string(config), x, workload->metric(result));
+    }
+  }
+  return figure;
+}
+
+Figure sweep_threads(const Machine& machine, const workloads::Workload& workload,
+                     const std::vector<int>& thread_counts,
+                     const std::vector<MemConfig>& configs, Figure figure) {
+  const trace::AccessProfile profile = workload.profile();
+  for (const int threads : thread_counts) {
+    for (const MemConfig config : configs) {
+      const RunResult result = machine.run(profile, RunConfig{config, threads});
+      if (!result.feasible) continue;
+      figure.add(to_string(config), static_cast<double>(threads),
+                 workload.metric(result));
+    }
+  }
+  return figure;
+}
+
+void add_self_speedup_series(Figure& figure) {
+  const auto snapshot = figure.series();  // copy: we append while iterating
+  for (const auto& s : snapshot) {
+    if (s.points.empty()) continue;
+    const double base = s.points.front().second;
+    if (base <= 0.0) continue;
+    for (const auto& [x, y] : s.points) {
+      figure.add(s.name + " speedup", x, y / base);
+    }
+  }
+}
+
+void add_ratio_series(Figure& figure, const std::string& numerator,
+                      const std::string& denominator, const std::string& name) {
+  const Series* num = figure.find(numerator);
+  const Series* den = figure.find(denominator);
+  if (num == nullptr || den == nullptr) return;
+  const auto num_points = num->points;  // copies: figure.add may reallocate
+  for (const auto& [x, y] : num_points) {
+    const auto d = figure.value_at(denominator, x);
+    if (d.has_value() && *d > 0.0) {
+      figure.add(name, x, y / *d);
+    }
+  }
+}
+
+}  // namespace knl::report

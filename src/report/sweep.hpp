@@ -1,0 +1,47 @@
+// Sweep runner: the common loop of every bench binary — run a workload
+// across problem sizes or thread counts under the paper's three memory
+// configurations and collect a Figure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "report/figure.hpp"
+#include "workloads/workload.hpp"
+
+namespace knl::report {
+
+using WorkloadFactory =
+    std::function<std::unique_ptr<workloads::Workload>(std::uint64_t bytes)>;
+
+inline const std::vector<MemConfig> kAllConfigs{MemConfig::DRAM, MemConfig::HBM,
+                                                MemConfig::CacheMode};
+
+/// Fig. 4-style sweep: metric vs problem size for each memory config at a
+/// fixed thread count. Infeasible runs (e.g. HBM beyond 16 GB) are omitted,
+/// matching the paper's missing bars.
+[[nodiscard]] Figure sweep_sizes(const Machine& machine, const WorkloadFactory& factory,
+                                 const std::vector<std::uint64_t>& sizes_bytes,
+                                 int threads, const std::vector<MemConfig>& configs,
+                                 Figure figure);
+
+/// Fig. 6-style sweep: metric vs thread count for a fixed problem size.
+[[nodiscard]] Figure sweep_threads(const Machine& machine,
+                                   const workloads::Workload& workload,
+                                   const std::vector<int>& thread_counts,
+                                   const std::vector<MemConfig>& configs, Figure figure);
+
+/// Add "speedup vs first x" series (the black improvement lines of the
+/// paper's figures): for each existing series, appends a new series named
+/// "<name> speedup" normalized to that series' first point.
+void add_self_speedup_series(Figure& figure);
+
+/// Add a series of ratios between two existing series (e.g. the Fig. 4b
+/// "Speedup by HBM w.r.t. DRAM" line). Points exist where both series do.
+void add_ratio_series(Figure& figure, const std::string& numerator,
+                      const std::string& denominator, const std::string& name);
+
+}  // namespace knl::report

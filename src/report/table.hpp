@@ -1,0 +1,31 @@
+// Generic aligned text table (used for Table I/II style output and the
+// EXPERIMENTS summaries).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace knl::report {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Add a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_markdown() const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a byte count the way the paper labels axes ("11.4 GB").
+[[nodiscard]] std::string format_gb(double bytes);
+
+}  // namespace knl::report

@@ -1,0 +1,72 @@
+#include "sim/cache.hpp"
+
+#include <stdexcept>
+
+namespace knl::sim {
+
+CacheSim::CacheSim(CacheConfig config) : config_(config), num_sets_(0) {
+  if (config_.capacity_bytes == 0 || config_.line_bytes == 0 || config_.ways <= 0) {
+    throw std::invalid_argument("CacheSim: capacity, line size and ways must be positive");
+  }
+  num_sets_ = config_.num_sets();  // safe: divisor validated above
+  if (num_sets_ == 0) {
+    throw std::invalid_argument("CacheSim: capacity smaller than one set");
+  }
+  if (config_.sample_every == 0) {
+    throw std::invalid_argument("CacheSim: sample_every must be >= 1");
+  }
+}
+
+bool CacheSim::access(std::uint64_t addr) {
+  const std::uint64_t line = addr / config_.line_bytes;
+  const std::uint64_t set_idx = line % num_sets_;
+  if (set_idx % config_.sample_every != 0) return true;  // not sampled
+
+  ++tick_;
+  ++stats_.accesses;
+  auto& set = sets_[set_idx];
+  if (set.empty()) set.resize(static_cast<std::size_t>(config_.ways));
+
+  const std::uint64_t tag = line / num_sets_;
+  Way* victim = &set[0];
+  for (auto& way : set) {
+    if (way.valid && way.tag == tag) {
+      way.lru = tick_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!way.valid) {
+      if (victim->valid) victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  ++stats_.misses;
+  if (victim->valid) {
+    ++stats_.evictions;
+  } else {
+    ++resident_;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+std::uint64_t CacheSim::access_range(std::uint64_t addr, std::uint64_t bytes) {
+  if (bytes == 0) return 0;
+  std::uint64_t misses = 0;
+  const std::uint64_t first = addr / config_.line_bytes;
+  const std::uint64_t last = (addr + bytes - 1) / config_.line_bytes;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (!access(line * config_.line_bytes)) ++misses;
+  }
+  return misses;
+}
+
+void CacheSim::flush() {
+  sets_.clear();
+  resident_ = 0;
+}
+
+}  // namespace knl::sim

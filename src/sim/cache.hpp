@@ -1,0 +1,80 @@
+// Exact set-associative cache simulator with optional set sampling.
+//
+// Used two ways:
+//   - exact mode for the L1/L2 hierarchy at test scale, validating the
+//     analytic hit-rate expressions in CacheHierarchy;
+//   - sampled mode for the MCDRAM direct-mapped memory-side cache, whose
+//     full tag store (16 GiB / 64 B lines) is too large to hold — only sets
+//     whose index falls in a deterministic sample are simulated, which is
+//     unbiased for the address streams we replay (sequential sweeps and
+//     uniform-random).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace knl::sim {
+
+struct CacheConfig {
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t line_bytes = 64;
+  int ways = 1;  ///< 1 = direct-mapped.
+  /// Simulate only every `sample_every`-th set (1 = exact).
+  std::uint64_t sample_every = 1;
+
+  [[nodiscard]] std::uint64_t num_sets() const {
+    return capacity_bytes / (line_bytes * static_cast<std::uint64_t>(ways));
+  }
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;  ///< Accesses that fell in sampled sets.
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+};
+
+/// LRU set-associative cache over 64-bit byte addresses.
+class CacheSim {
+ public:
+  explicit CacheSim(CacheConfig config);
+
+  /// Access one byte address; returns true on hit. Accesses mapping to
+  /// non-sampled sets return true without being recorded (they do not
+  /// perturb the stats).
+  bool access(std::uint64_t addr);
+
+  /// Touch every line of [addr, addr+bytes); returns number of line misses
+  /// among sampled sets.
+  std::uint64_t access_range(std::uint64_t addr, std::uint64_t bytes);
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  /// Lines currently resident (in sampled sets).
+  [[nodiscard]] std::uint64_t resident_lines() const noexcept { return resident_; }
+
+  void reset_stats() noexcept { stats_ = {}; }
+  void flush();
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // last-access tick
+    bool valid = false;
+  };
+
+  CacheConfig config_;
+  std::uint64_t num_sets_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t resident_ = 0;
+  CacheStats stats_;
+  // Sparse set storage: only sampled, touched sets are materialized.
+  std::unordered_map<std::uint64_t, std::vector<Way>> sets_;
+};
+
+}  // namespace knl::sim

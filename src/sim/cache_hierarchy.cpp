@@ -1,0 +1,65 @@
+#include "sim/cache_hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace knl::sim {
+
+CacheHierarchy::CacheHierarchy(HierarchyConfig config)
+    : config_(config), mesh_(config.mesh) {
+  if (config_.tiles <= 0) throw std::invalid_argument("CacheHierarchy: tiles must be > 0");
+  if (config_.l2_effectiveness <= 0.0 || config_.l2_effectiveness > 1.0) {
+    throw std::invalid_argument("CacheHierarchy: l2_effectiveness must be in (0,1]");
+  }
+}
+
+double CacheHierarchy::sweep_l2_hit(std::uint64_t footprint_bytes) const {
+  // Repeated cyclic sweeps under LRU: full reuse while resident, none once
+  // the sweep exceeds capacity. A sharp logistic instead of a step keeps the
+  // model smooth across the boundary (set-conflict fuzz in practice).
+  const double cap = config_.l2_effectiveness * static_cast<double>(aggregate_l2_bytes());
+  const double rho = static_cast<double>(footprint_bytes) / cap;
+  return 1.0 / (1.0 + std::pow(rho, 8.0));
+}
+
+double CacheHierarchy::random_l2_hit(std::uint64_t footprint_bytes, int threads) const {
+  if (threads <= 0) throw std::invalid_argument("random_l2_hit: threads must be > 0");
+  if (footprint_bytes == 0) return 1.0;
+  // Warm tiles hold a uniformly-sampled subset of the footprint; the chance
+  // a random line is resident anywhere is capacity/footprint (capped at 1).
+  // With few threads only their tiles are warm.
+  const int cores = std::min(threads, params::kCores);
+  const int warm_tiles =
+      std::min(config_.tiles, (cores + params::kCoresPerTile - 1) / params::kCoresPerTile);
+  const double warm_bytes = config_.l2_effectiveness *
+                            static_cast<double>(config_.l2_tile_bytes) *
+                            static_cast<double>(warm_tiles);
+  return std::min(1.0, warm_bytes / static_cast<double>(footprint_bytes));
+}
+
+double CacheHierarchy::random_local_l2_hit(std::uint64_t footprint_bytes) const {
+  if (footprint_bytes == 0) return 1.0;
+  const double local = config_.l2_effectiveness * static_cast<double>(config_.l2_tile_bytes);
+  return std::min(1.0, local / static_cast<double>(footprint_bytes));
+}
+
+double CacheHierarchy::random_l2_service_ns(std::uint64_t footprint_bytes,
+                                            int threads) const {
+  const double p_any = random_l2_hit(footprint_bytes, threads);
+  if (p_any <= 0.0) return config_.l2_latency_ns;
+  // Of the resident lines, the fraction in the requester's own tile is
+  // 1/warm_tiles; the rest are remote-L2 forwards.
+  const int cores = std::min(threads, params::kCores);
+  const int warm_tiles =
+      std::min(config_.tiles, (cores + params::kCoresPerTile - 1) / params::kCoresPerTile);
+  const double p_local = 1.0 / static_cast<double>(warm_tiles);
+  return p_local * config_.l2_latency_ns +
+         (1.0 - p_local) * (config_.l2_latency_ns + mesh_.remote_l2_forward_ns());
+}
+
+double CacheHierarchy::directory_overhead_ns() const {
+  return mesh_.directory_latency_ns();
+}
+
+}  // namespace knl::sim

@@ -1,0 +1,68 @@
+// Analytic model of the on-die SRAM cache hierarchy (L1 + tiled L2 + mesh
+// directory), providing the cache-filtering probabilities and latency tiers
+// the timing model composes with the memory nodes.
+//
+// The exact CacheSim validates these closed forms at test scale; at paper
+// scale (GB footprints, billions of accesses) only the analytic path is
+// evaluated.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/knl_params.hpp"
+#include "sim/mesh.hpp"
+
+namespace knl::sim {
+
+struct HierarchyConfig {
+  std::uint64_t l1_bytes = params::kL1Bytes;
+  std::uint64_t l2_tile_bytes = params::kL2Bytes;
+  int tiles = params::kTiles;
+  double l1_latency_ns = params::kL1LatencyNs;
+  double l2_latency_ns = params::kL2LatencyNs;
+  /// Fraction of aggregate L2 usable before conflict/sharing waste.
+  double l2_effectiveness = 0.85;
+  MeshConfig mesh = {};
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(HierarchyConfig config = {});
+
+  [[nodiscard]] const HierarchyConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Mesh& mesh() const noexcept { return mesh_; }
+
+  [[nodiscard]] std::uint64_t aggregate_l2_bytes() const {
+    return config_.l2_tile_bytes * static_cast<std::uint64_t>(config_.tiles);
+  }
+
+  /// Steady-state probability that one pass of a *repeated sequential sweep*
+  /// over `footprint` bytes is served from L2 (all tiles cooperating).
+  /// ~1 while the footprint fits the aggregate L2, rolling off past it —
+  /// cyclic sweeps larger than the cache get no reuse under LRU.
+  [[nodiscard]] double sweep_l2_hit(std::uint64_t footprint_bytes) const;
+
+  /// Probability that a uniform-random line access over `footprint` bytes
+  /// hits in *some* L2 when `threads` threads share the data (lines spread
+  /// across all tiles' L2s; a remote hit is serviced by mesh forwarding).
+  [[nodiscard]] double random_l2_hit(std::uint64_t footprint_bytes, int threads) const;
+
+  /// Probability a *single-threaded* random access hits the thread's own
+  /// tile L2 (the latency-probe scenario: only one tile is warm).
+  [[nodiscard]] double random_local_l2_hit(std::uint64_t footprint_bytes) const;
+
+  /// Mean service latency of an L2 hit for random shared access: blend of
+  /// local hit and cache-to-cache forward from a remote tile.
+  [[nodiscard]] double random_l2_service_ns(std::uint64_t footprint_bytes,
+                                            int threads) const;
+
+  /// Latency contribution of the directory walk that precedes every memory
+  /// access (the mesh tier of Fig. 3).
+  [[nodiscard]] double directory_overhead_ns() const;
+
+ private:
+  HierarchyConfig config_;
+  Mesh mesh_;
+};
+
+}  // namespace knl::sim

@@ -1,0 +1,100 @@
+#include "sim/dram_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace knl::sim {
+
+DramTiming ddr4_2133_6ch() {
+  DramTiming t;
+  t.clock_mhz = 1066.0;
+  t.channels = 6;
+  t.bus_bytes = 8.0;
+  t.banks_per_channel = 16;
+  t.tCL = 14.06;
+  t.tRCD = 14.06;
+  t.tRP = 14.06;
+  t.tRAS = 32.0;
+  t.tFAW = 30.0;
+  t.burst_ns = 3.75;        // BL8 @ 2133 MT/s
+  t.stream_row_hit = 0.96;  // open-page policy under prefetched streams
+  t.controller_ns = 100.0;  // controller + on-die fabric to the core
+  return t;
+}
+
+DramTiming mcdram_8dev() {
+  DramTiming t;
+  // Eight devices, two pseudo-channels each, higher I/O rate: aggregate
+  // parallelism is the point; per-access timing is DDR-like or worse
+  // (Chang et al. — "latency is not reduced as expected").
+  t.clock_mhz = 1800.0;
+  t.channels = 16;
+  t.bus_bytes = 8.0;
+  t.banks_per_channel = 16;
+  t.tCL = 15.0;
+  t.tRCD = 15.0;
+  t.tRP = 15.0;
+  t.tRAS = 34.0;
+  t.tFAW = 16.0;            // deep banking: activates come faster
+  t.burst_ns = 2.22;        // 64 B @ 28.8 GB/s per pseudo-channel
+  t.stream_row_hit = 0.99;
+  t.controller_ns = 124.0;  // longer path: through the EDC mesh stops
+  return t;
+}
+
+DramModel::DramModel(DramTiming timing) : timing_(timing) {
+  if (timing_.channels < 1 || timing_.banks_per_channel < 1) {
+    throw std::invalid_argument("DramModel: need >= 1 channel and bank");
+  }
+  if (timing_.clock_mhz <= 0.0 || timing_.bus_bytes <= 0.0 || timing_.burst_ns <= 0.0 ||
+      timing_.tFAW <= 0.0) {
+    throw std::invalid_argument("DramModel: timing values must be positive");
+  }
+  if (timing_.stream_row_hit < 0.0 || timing_.stream_row_hit > 1.0) {
+    throw std::invalid_argument("DramModel: stream_row_hit outside [0,1]");
+  }
+}
+
+double DramModel::row_cycle_ns() const { return timing_.tRAS + timing_.tRP; }
+
+double DramModel::row_hit_ns() const { return timing_.tCL; }
+
+double DramModel::row_closed_ns() const { return timing_.tRCD + timing_.tCL; }
+
+double DramModel::row_conflict_ns() const {
+  return timing_.tRP + timing_.tRCD + timing_.tCL;
+}
+
+double DramModel::idle_latency_ns() const {
+  return timing_.controller_ns + row_closed_ns();
+}
+
+double DramModel::peak_bw_gbs() const {
+  // DDR data rate = 2 beats per clock.
+  return static_cast<double>(timing_.channels) * timing_.bus_bytes *
+         (2.0 * timing_.clock_mhz * 1e6) / 1e9;
+}
+
+double DramModel::stream_bw_gbs() const {
+  // Per line and channel: the bus is busy for `burst`; the occasional row
+  // miss stalls the open-page stream for precharge + activate.
+  const double miss = 1.0 - timing_.stream_row_hit;
+  const double line_ns = timing_.burst_ns + miss * (timing_.tRP + timing_.tRCD);
+  return static_cast<double>(timing_.channels) * 64.0 / line_ns;  // B/ns == GB/s
+}
+
+double DramModel::random_bw_gbs() const {
+  // Uniform-random lines: essentially every access activates a new row.
+  // The four-activate window bounds activates per channel: 4 per tFAW.
+  const double activates_per_s =
+      static_cast<double>(timing_.channels) * 4.0 / (timing_.tFAW * 1e-9);
+  // Bank-level parallelism is a second ceiling: each bank serves one line
+  // per row cycle.
+  const double bank_lines_per_s =
+      static_cast<double>(timing_.channels) *
+      static_cast<double>(timing_.banks_per_channel) / (row_cycle_ns() * 1e-9);
+  const double lines_per_s = std::min(activates_per_s, bank_lines_per_s);
+  return lines_per_s * 64.0 / 1e9;
+}
+
+}  // namespace knl::sim

@@ -1,0 +1,79 @@
+// Device-level DRAM timing model.
+//
+// The machine model's per-node bandwidth caps (stream_bw_gbs,
+// random_bw_gbs in knl_params.hpp) are calibrated to the paper's
+// measurements. This module derives the same quantities from JEDEC-style
+// device timing — channels, banks, row-buffer policy, tCL/tRCD/tRP/tRAS —
+// so the calibration can be cross-checked against device physics
+// (tests/sim/dram_model_test.cpp asserts the derived numbers bracket the
+// calibrated caps). It also explains *why* random line traffic reaches only
+// ~half of streaming bandwidth on DDR4: every line miss pays a row cycle,
+// and bank-level parallelism, not the bus, becomes the limit.
+#pragma once
+
+#include <cstdint>
+
+namespace knl::sim {
+
+/// JEDEC-ish device/channel timing (all times in ns unless noted).
+struct DramTiming {
+  double clock_mhz = 1066.0;   ///< I/O clock (DDR: 2x data rate)
+  int channels = 6;
+  double bus_bytes = 8.0;      ///< per channel per beat
+  int banks_per_channel = 16;
+  double tCL = 14.06;          ///< CAS latency (15 cycles @ 1066 MHz)
+  double tRCD = 14.06;         ///< RAS-to-CAS
+  double tRP = 14.06;          ///< precharge
+  double tRAS = 32.0;          ///< row active time
+  double tFAW = 30.0;          ///< four-activate window
+  double burst_ns = 3.75;      ///< 64 B line: BL8 @ 2133 MT/s
+  /// Fraction of streaming accesses that hit an open row (prefetched
+  /// sequential traffic with open-page policy).
+  double stream_row_hit = 0.94;
+  /// Controller + on-die fabric overhead added to the device latency.
+  double controller_ns = 55.0;
+};
+
+/// DDR4-2133, six channels — the testbed's off-package memory.
+[[nodiscard]] DramTiming ddr4_2133_6ch();
+
+/// MCDRAM: eight on-package devices with wide internal buses and deep
+/// banking; per-device timings are close to DDR but the aggregate beats it
+/// on parallelism, not latency (Chang et al., cited by the paper).
+[[nodiscard]] DramTiming mcdram_8dev();
+
+class DramModel {
+ public:
+  explicit DramModel(DramTiming timing);
+
+  [[nodiscard]] const DramTiming& timing() const noexcept { return timing_; }
+
+  /// Row cycle time tRC = tRAS + tRP.
+  [[nodiscard]] double row_cycle_ns() const;
+
+  /// Device access latency for a row-buffer hit / closed bank / conflict.
+  [[nodiscard]] double row_hit_ns() const;
+  [[nodiscard]] double row_closed_ns() const;
+  [[nodiscard]] double row_conflict_ns() const;
+
+  /// Unloaded end-to-end latency (controller + average device access under
+  /// a mostly-idle system with closed pages).
+  [[nodiscard]] double idle_latency_ns() const;
+
+  /// Pin-rate peak bandwidth: channels * bus * data rate.
+  [[nodiscard]] double peak_bw_gbs() const;
+
+  /// Attainable streaming bandwidth: the bus is busy `burst` out of every
+  /// `burst + (1-row_hit) * overhead` ns per line.
+  [[nodiscard]] double stream_bw_gbs() const;
+
+  /// Attainable uniform-random line bandwidth: every access conflicts with
+  /// probability (1 - 1/banks) and pays a row cycle; bank-level parallelism
+  /// across all channels bounds the line rate at banks_total / tRC.
+  [[nodiscard]] double random_bw_gbs() const;
+
+ private:
+  DramTiming timing_;
+};
+
+}  // namespace knl::sim

@@ -1,0 +1,78 @@
+#include "sim/mcdram_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace knl::sim {
+
+McdramCacheModel::McdramCacheModel(McdramCacheConfig config) : config_(config) {
+  if (config_.capacity_bytes == 0) {
+    throw std::invalid_argument("McdramCacheModel: capacity must be positive");
+  }
+  if (config_.sweep_knee <= 0.0 || config_.sweep_sharpness <= 0.0) {
+    throw std::invalid_argument("McdramCacheModel: sweep model parameters must be positive");
+  }
+}
+
+double McdramCacheModel::sweep_hit_rate(std::uint64_t footprint_bytes) const {
+  if (footprint_bytes == 0) return 1.0;
+  const double rho = static_cast<double>(footprint_bytes) /
+                     static_cast<double>(config_.capacity_bytes);
+  // Logistic body (conflict buildup toward full occupancy) with a residency
+  // tail: once the sweep exceeds capacity, multi-stream interleaving keeps
+  // ~0.35*C/S of accesses hitting — calibrated so cache mode crosses below
+  // DRAM near the paper's ~23 GB point rather than collapsing at 16 GB.
+  const double logistic =
+      1.0 / (1.0 + std::pow(rho / config_.sweep_knee, config_.sweep_sharpness));
+  const double tail = std::min(1.0, 0.35 / rho);
+  return std::max(logistic, tail);
+}
+
+double McdramCacheModel::random_hit_rate(std::uint64_t footprint_bytes) const {
+  if (footprint_bytes == 0) return 1.0;
+  const double rho = static_cast<double>(footprint_bytes) /
+                     static_cast<double>(config_.capacity_bytes);
+  // Residency bound capacity/footprint, degraded by direct-mapped conflict
+  // pressure: with k = footprint/capacity lines competing per set on
+  // average, the chance the needed line is the one currently resident in
+  // its set falls like 1/max(1,rho) and loses an extra conflict factor as
+  // occupancy approaches 1 (Poisson collision among hot pages).
+  const double residency = std::min(1.0, 1.0 / rho);
+  const double conflict = std::exp(-0.5 * std::min(rho, 1.0));
+  return residency * conflict;
+}
+
+double McdramCacheModel::effective_bandwidth_gbs(double hit_rate, double hbm_bw_gbs,
+                                                 double ddr_bw_gbs) const {
+  if (hit_rate < 0.0 || hit_rate > 1.0) {
+    throw std::invalid_argument("effective_bandwidth_gbs: hit rate outside [0,1]");
+  }
+  if (hbm_bw_gbs <= 0.0 || ddr_bw_gbs <= 0.0) {
+    throw std::invalid_argument("effective_bandwidth_gbs: bandwidths must be positive");
+  }
+  const double s_per_gb = hit_rate / hbm_bw_gbs +
+                          (1.0 - hit_rate) * (1.0 / ddr_bw_gbs + config_.miss_overhead_s_per_gb);
+  return 1.0 / s_per_gb;
+}
+
+double McdramCacheModel::effective_latency_ns(double hit_rate, double hbm_latency_ns,
+                                              double ddr_latency_ns) const {
+  if (hit_rate < 0.0 || hit_rate > 1.0) {
+    throw std::invalid_argument("effective_latency_ns: hit rate outside [0,1]");
+  }
+  // Hit: tag + data both in MCDRAM (the hbm trip already covers data).
+  // Miss: the MCDRAM tag probe, then the DDR access; the fill write is off
+  // the critical path but the tag update serializes a fraction of it again.
+  const double hit_ns = hbm_latency_ns;
+  const double miss_ns = config_.tag_latency_ns + ddr_latency_ns + 0.25 * config_.tag_latency_ns;
+  return hit_rate * hit_ns + (1.0 - hit_rate) * miss_ns;
+}
+
+McdramCacheSim::McdramCacheSim(McdramCacheConfig config, std::uint64_t sample_every)
+    : sim_(CacheConfig{.capacity_bytes = config.capacity_bytes,
+                       .line_bytes = config.line_bytes,
+                       .ways = 1,
+                       .sample_every = sample_every}) {}
+
+}  // namespace knl::sim

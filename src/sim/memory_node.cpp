@@ -1,0 +1,7 @@
+#include "sim/memory_node.hpp"
+
+// Header-only implementation; this translation unit anchors the type for the
+// library and keeps one non-inline symbol for ODR sanity in debug tooling.
+namespace knl::sim {
+static_assert(sizeof(MemoryNode) > 0);
+}  // namespace knl::sim

@@ -1,0 +1,61 @@
+// A physical memory node (DDR or MCDRAM) of the simulated machine:
+// capacity accounting plus the bandwidth/latency envelope used by the
+// timing model.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/types.hpp"
+#include "sim/knl_params.hpp"
+
+namespace knl::sim {
+
+/// One NUMA-visible memory device. Tracks simulated capacity (frames are
+/// never backed by host memory, so paper-scale footprints are representable)
+/// and exposes the calibrated performance envelope.
+class MemoryNode {
+ public:
+  MemoryNode(MemNode id, params::NodeParams p) : id_(id), params_(p) {}
+
+  [[nodiscard]] MemNode id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept { return params_.capacity_bytes; }
+  [[nodiscard]] std::uint64_t used_bytes() const noexcept { return used_bytes_; }
+  [[nodiscard]] std::uint64_t free_bytes() const noexcept {
+    return params_.capacity_bytes - used_bytes_;
+  }
+
+  [[nodiscard]] double peak_bw_gbs() const noexcept { return params_.peak_bw_gbs; }
+  [[nodiscard]] double stream_bw_gbs() const noexcept { return params_.stream_bw_gbs; }
+  [[nodiscard]] double random_bw_gbs() const noexcept { return params_.random_bw_gbs; }
+  [[nodiscard]] double idle_latency_ns() const noexcept { return params_.idle_latency_ns; }
+
+  /// Reserve `bytes` of simulated capacity. Returns false (and reserves
+  /// nothing) if the node cannot hold them — the caller decides whether to
+  /// fall back to another node or fail, mirroring numactl/memkind policies.
+  [[nodiscard]] bool reserve(std::uint64_t bytes) noexcept {
+    if (bytes > free_bytes()) return false;
+    used_bytes_ += bytes;
+    return true;
+  }
+
+  /// Release previously reserved capacity.
+  void release(std::uint64_t bytes) {
+    if (bytes > used_bytes_) {
+      throw std::logic_error("MemoryNode::release: releasing more than reserved on " +
+                             to_string(id_));
+    }
+    used_bytes_ -= bytes;
+  }
+
+  /// Drop all reservations (fresh process image).
+  void reset() noexcept { used_bytes_ = 0; }
+
+ private:
+  MemNode id_;
+  params::NodeParams params_;
+  std::uint64_t used_bytes_ = 0;
+};
+
+}  // namespace knl::sim

@@ -1,0 +1,51 @@
+#include "sim/mesh.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace knl::sim {
+
+Mesh::Mesh(MeshConfig config) : config_(config) {
+  if (config_.tiles_x <= 0 || config_.tiles_y <= 0) {
+    throw std::invalid_argument("Mesh: tile grid dimensions must be positive");
+  }
+  // Exact mean Manhattan distance between two independent uniform tiles.
+  // In quadrant mode directory traffic stays within a half-width/half-height
+  // quadrant, so the effective grid is (x/2, y/2) — matching the latency
+  // reduction quadrant mode is designed for.
+  int gx = config_.tiles_x;
+  int gy = config_.tiles_y;
+  if (config_.mode == ClusterMode::Quadrant || config_.mode == ClusterMode::Snc4) {
+    gx = (gx + 1) / 2;
+    gy = (gy + 1) / 2;
+  }
+  auto mean_1d = [](int n) {
+    // E|a-b| for a,b uniform over {0..n-1} = (n^2-1)/(3n).
+    const double nd = n;
+    return (nd * nd - 1.0) / (3.0 * nd);
+  };
+  mean_hops_ = mean_1d(gx) + mean_1d(gy);
+}
+
+int Mesh::hops(int tile_a, int tile_b) const {
+  const int total = tiles();
+  if (tile_a < 0 || tile_b < 0 || tile_a >= total || tile_b >= total) {
+    throw std::out_of_range("Mesh::hops: tile id out of range");
+  }
+  const int ax = tile_a % config_.tiles_x, ay = tile_a / config_.tiles_x;
+  const int bx = tile_b % config_.tiles_x, by = tile_b / config_.tiles_x;
+  return std::abs(ax - bx) + std::abs(ay - by);
+}
+
+double Mesh::directory_latency_ns() const {
+  return config_.directory_lookup_ns + mean_hops_ * config_.hop_latency_ns;
+}
+
+double Mesh::remote_l2_forward_ns() const {
+  // Directory lookup, then forward request to owner and data response:
+  // roughly three mesh traversals plus the tag access in the remote L2.
+  return directory_latency_ns() + 2.0 * mean_hops_ * config_.hop_latency_ns + 8.0;
+}
+
+}  // namespace knl::sim

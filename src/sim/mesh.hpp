@@ -1,0 +1,59 @@
+// Model of the KNL 2D mesh of tiles and its distributed tag directory.
+//
+// Paper §II: tiles (2 cores + 1 MB shared L2 each) are connected by a mesh
+// network-on-chip; L2 coherence uses a distributed tag directory (MESIF,
+// cache-to-cache forwarding).  The testbed runs in *quadrant* cluster mode:
+// the directory home of an address lives in the same quadrant as the memory
+// channel that owns it, which shortens the 3-hop coherence walk.
+//
+// The mesh contributes the middle latency tier of Fig. 3: accesses that miss
+// the local L2 pay a directory lookup plus, on a remote-L2 hit, a forwarding
+// trip across the mesh.
+#pragma once
+
+#include <cstdint>
+
+namespace knl::sim {
+
+enum class ClusterMode : std::uint8_t {
+  AllToAll,  ///< Directory home anywhere on the die.
+  Quadrant,  ///< Directory home co-located with the memory quadrant (testbed).
+  Snc4,      ///< Sub-NUMA clustering (not used by the paper's testbed).
+};
+
+struct MeshConfig {
+  int tiles_x = 8;
+  int tiles_y = 4;  // 32 active tiles on the 7210
+  double hop_latency_ns = 1.6;
+  double directory_lookup_ns = 12.0;
+  ClusterMode mode = ClusterMode::Quadrant;
+};
+
+/// Analytic latency contributions of the on-die interconnect.
+class Mesh {
+ public:
+  explicit Mesh(MeshConfig config = {});
+
+  [[nodiscard]] int tiles() const noexcept { return config_.tiles_x * config_.tiles_y; }
+  [[nodiscard]] const MeshConfig& config() const noexcept { return config_; }
+
+  /// Manhattan hop count between two tiles (row-major ids).
+  [[nodiscard]] int hops(int tile_a, int tile_b) const;
+
+  /// Mean hop count between two uniformly random tiles, respecting the
+  /// cluster mode (quadrant mode confines directory traffic to a quadrant).
+  [[nodiscard]] double mean_hops() const noexcept { return mean_hops_; }
+
+  /// Latency of a directory lookup for an address homed on a random tile.
+  [[nodiscard]] double directory_latency_ns() const;
+
+  /// Extra latency of a cache-to-cache forward from a random remote L2
+  /// (directory lookup + forward trip + response).
+  [[nodiscard]] double remote_l2_forward_ns() const;
+
+ private:
+  MeshConfig config_;
+  double mean_hops_ = 0.0;
+};
+
+}  // namespace knl::sim

@@ -1,0 +1,57 @@
+#include "sim/page_table.hpp"
+
+#include <stdexcept>
+
+namespace knl::sim {
+
+void PageTable::map_range(std::uint64_t first_vpage, const std::vector<Frame>& frames) {
+  // Validate the whole range before inserting anything so a failed map has
+  // no partial effect.
+  for (std::uint64_t i = 0; i < frames.size(); ++i) {
+    if (table_.contains(first_vpage + i)) {
+      throw std::logic_error("PageTable::map_range: virtual page already mapped");
+    }
+  }
+  for (std::uint64_t i = 0; i < frames.size(); ++i) {
+    table_.emplace(first_vpage + i, frames[static_cast<std::size_t>(i)]);
+  }
+}
+
+std::vector<Frame> PageTable::unmap_range(std::uint64_t first_vpage, std::uint64_t n) {
+  std::vector<Frame> frames;
+  frames.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto it = table_.find(first_vpage + i);
+    if (it == table_.end()) {
+      throw std::logic_error("PageTable::unmap_range: virtual page not mapped");
+    }
+    frames.push_back(it->second);
+    table_.erase(it);
+  }
+  return frames;
+}
+
+std::optional<Frame> PageTable::translate(std::uint64_t vaddr) const {
+  auto it = table_.find(vaddr / page_bytes_);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+PageTable::NodeSplit PageTable::node_split(std::uint64_t vaddr, std::uint64_t bytes) const {
+  NodeSplit split;
+  if (bytes == 0) return split;
+  const std::uint64_t first = vaddr / page_bytes_;
+  const std::uint64_t last = (vaddr + bytes - 1) / page_bytes_;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    auto it = table_.find(p);
+    if (it == table_.end()) continue;
+    if (it->second.node == MemNode::DDR) {
+      ++split.ddr_pages;
+    } else {
+      ++split.hbm_pages;
+    }
+  }
+  return split;
+}
+
+}  // namespace knl::sim

@@ -1,0 +1,61 @@
+// Per-process page table of the simulated machine: virtual page -> frame.
+//
+// The allocator layer (memkind / numactl analogues) maps virtual ranges onto
+// frames obtained from PhysicalMemory according to the active placement
+// policy; workload profiles then resolve which node serves each region.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/physical_memory.hpp"
+
+namespace knl::sim {
+
+struct Mapping {
+  std::uint64_t vpage;  ///< virtual page number
+  Frame frame;
+};
+
+class PageTable {
+ public:
+  explicit PageTable(std::uint64_t page_bytes = params::kPageBytes)
+      : page_bytes_(page_bytes) {}
+
+  [[nodiscard]] std::uint64_t page_bytes() const noexcept { return page_bytes_; }
+
+  /// Map a contiguous virtual page range [first_vpage, first_vpage+n) onto
+  /// the given frames (frames.size() == n). Throws if any page is already
+  /// mapped — a double map is always a bug in the allocator above.
+  void map_range(std::uint64_t first_vpage, const std::vector<Frame>& frames);
+
+  /// Remove mappings for [first_vpage, first_vpage+n); returns the frames
+  /// that backed them, for the caller to return to PhysicalMemory.
+  std::vector<Frame> unmap_range(std::uint64_t first_vpage, std::uint64_t n);
+
+  /// Translate a virtual byte address.
+  [[nodiscard]] std::optional<Frame> translate(std::uint64_t vaddr) const;
+
+  /// Count of mapped pages per node within a virtual byte range — used to
+  /// attribute a buffer's traffic to nodes (interleaved placements split).
+  struct NodeSplit {
+    std::uint64_t ddr_pages = 0;
+    std::uint64_t hbm_pages = 0;
+    [[nodiscard]] std::uint64_t total() const { return ddr_pages + hbm_pages; }
+    [[nodiscard]] double hbm_fraction() const {
+      const std::uint64_t t = total();
+      return t == 0 ? 0.0 : static_cast<double>(hbm_pages) / static_cast<double>(t);
+    }
+  };
+  [[nodiscard]] NodeSplit node_split(std::uint64_t vaddr, std::uint64_t bytes) const;
+
+  [[nodiscard]] std::size_t mapped_pages() const noexcept { return table_.size(); }
+
+ private:
+  std::uint64_t page_bytes_;
+  std::unordered_map<std::uint64_t, Frame> table_;
+};
+
+}  // namespace knl::sim

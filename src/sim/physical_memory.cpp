@@ -1,0 +1,87 @@
+#include "sim/physical_memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace knl::sim {
+
+PhysicalMemory::PhysicalMemory(PhysicalMemoryConfig config)
+    : config_(config),
+      ddr_{MemoryNode(MemNode::DDR, config.ddr), 0, {}},
+      hbm_{MemoryNode(MemNode::HBM, config.hbm), 0, {}},
+      rng_(config.seed) {
+  if (config_.page_bytes == 0) {
+    throw std::invalid_argument("PhysicalMemory: page_bytes must be positive");
+  }
+  if (config_.fragmentation < 0.0 || config_.fragmentation > 1.0) {
+    throw std::invalid_argument("PhysicalMemory: fragmentation must be in [0,1]");
+  }
+}
+
+PhysicalMemory::NodeState& PhysicalMemory::state(MemNode which) {
+  return which == MemNode::DDR ? ddr_ : hbm_;
+}
+const PhysicalMemory::NodeState& PhysicalMemory::state(MemNode which) const {
+  return which == MemNode::DDR ? ddr_ : hbm_;
+}
+
+const MemoryNode& PhysicalMemory::node(MemNode which) const { return state(which).node; }
+MemoryNode& PhysicalMemory::node(MemNode which) { return state(which).node; }
+
+std::uint64_t PhysicalMemory::total_frames(MemNode which) const {
+  return node(which).capacity_bytes() / config_.page_bytes;
+}
+
+std::uint64_t PhysicalMemory::free_frames(MemNode which) const {
+  return node(which).free_bytes() / config_.page_bytes;
+}
+
+std::optional<std::vector<Frame>> PhysicalMemory::allocate(MemNode which,
+                                                           std::uint64_t count) {
+  auto& st = state(which);
+  if (count > free_frames(which)) return std::nullopt;
+  if (!st.node.reserve(count * config_.page_bytes)) return std::nullopt;
+
+  std::vector<Frame> frames;
+  frames.reserve(static_cast<std::size_t>(count));
+  std::bernoulli_distribution fragment(config_.fragmentation);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t idx;
+    // Prefer recycled frames when fragmentation strikes (long-uptime
+    // behaviour: freed frames are scattered); otherwise extend the
+    // contiguous run.
+    if (!st.free_list.empty() && (st.next_index >= total_frames(which) ||
+                                  (config_.fragmentation > 0.0 && fragment(rng_)))) {
+      idx = st.free_list.back();
+      st.free_list.pop_back();
+    } else if (st.next_index < total_frames(which)) {
+      idx = st.next_index++;
+    } else {
+      idx = st.free_list.back();
+      st.free_list.pop_back();
+    }
+    frames.push_back(Frame{which, idx});
+  }
+  return frames;
+}
+
+void PhysicalMemory::free(const std::vector<Frame>& frames) {
+  for (const Frame& f : frames) {
+    auto& st = state(f.node);
+    if (f.index >= total_frames(f.node)) {
+      throw std::logic_error("PhysicalMemory::free: frame index out of range");
+    }
+    st.free_list.push_back(f.index);
+    st.node.release(config_.page_bytes);
+  }
+}
+
+void PhysicalMemory::reset() {
+  for (auto* st : {&ddr_, &hbm_}) {
+    st->node.reset();
+    st->next_index = 0;
+    st->free_list.clear();
+  }
+}
+
+}  // namespace knl::sim

@@ -1,0 +1,84 @@
+// Simulated physical memory: per-node frame allocators.
+//
+// Frames are bookkeeping only — nothing is backed by host memory — so the
+// simulated machine can "hold" the paper's 90 GB XSBench problem on any
+// development box. Frame identity still matters: the MCDRAM direct-mapped
+// cache maps DDR *physical* frames to cache sets, so fragmentation of the
+// physical layout is what produces cache-mode conflict misses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/knl_params.hpp"
+#include "sim/memory_node.hpp"
+
+namespace knl::sim {
+
+/// Physical frame number within one node.
+struct Frame {
+  MemNode node;
+  std::uint64_t index;
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+struct PhysicalMemoryConfig {
+  std::uint64_t page_bytes = params::kPageBytes;
+  params::NodeParams ddr = params::kDdr;
+  params::NodeParams hbm = params::kHbm;
+  /// Probability that the buddy allocator cannot extend the current
+  /// contiguous run and restarts at a random offset — models long-uptime
+  /// physical fragmentation. 0 = perfectly contiguous machine after boot.
+  double fragmentation = 0.05;
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+};
+
+/// Frame allocator over both nodes. Allocation is mostly-contiguous with a
+/// tunable fragmentation probability (see config); frees return frames to a
+/// free list that later allocations may reuse out of order.
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(PhysicalMemoryConfig config = {});
+
+  [[nodiscard]] std::uint64_t page_bytes() const noexcept { return config_.page_bytes; }
+  [[nodiscard]] const MemoryNode& node(MemNode which) const;
+  [[nodiscard]] MemoryNode& node(MemNode which);
+
+  /// Number of frames a node can hold in total.
+  [[nodiscard]] std::uint64_t total_frames(MemNode which) const;
+  [[nodiscard]] std::uint64_t free_frames(MemNode which) const;
+
+  /// Allocate `count` frames on `which`. Returns nullopt (allocating
+  /// nothing) if the node lacks capacity.
+  [[nodiscard]] std::optional<std::vector<Frame>> allocate(MemNode which,
+                                                           std::uint64_t count);
+
+  /// Return frames to their node. Frames must have been allocated by this
+  /// object and not yet freed.
+  void free(const std::vector<Frame>& frames);
+
+  void reset();
+
+ private:
+  [[nodiscard]] std::uint64_t fresh_frame(MemNode which);
+
+  struct NodeState {
+    MemoryNode node;
+    std::uint64_t next_index = 0;  // bump pointer for never-used frames
+    std::vector<std::uint64_t> free_list;
+  };
+
+  NodeState& state(MemNode which);
+  const NodeState& state(MemNode which) const;
+
+  PhysicalMemoryConfig config_;
+  NodeState ddr_;
+  NodeState hbm_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace knl::sim

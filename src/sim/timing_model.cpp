@@ -1,0 +1,258 @@
+#include "sim/timing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace knl::sim {
+
+namespace {
+
+constexpr double kNsPerSecond = 1e9;
+
+/// Smoothstep between 0 and 1 over [lo, hi].
+double smooth01(double x, double lo, double hi) {
+  if (x <= lo) return 0.0;
+  if (x >= hi) return 1.0;
+  const double t = (x - lo) / (hi - lo);
+  return t * t * (3.0 - 2.0 * t);
+}
+
+}  // namespace
+
+TimingModel::TimingModel(TimingConfig config)
+    : config_(config),
+      hierarchy_(config.hierarchy),
+      tlb_(config.tlb),
+      mcdram_(config.mcdram) {
+  if (config_.cores <= 0 || config_.smt_per_core <= 0) {
+    throw std::invalid_argument("TimingModel: cores and smt_per_core must be positive");
+  }
+  if (config_.seq_mlp_per_core <= 0.0 || config_.rand_mlp_per_thread <= 0.0) {
+    throw std::invalid_argument("TimingModel: MLP parameters must be positive");
+  }
+}
+
+int TimingModel::ht_per_core(int threads) const {
+  if (threads <= 0) throw std::invalid_argument("ht_per_core: threads must be positive");
+  const int max_threads = config_.cores * config_.smt_per_core;
+  const int clamped = std::min(threads, max_threads);
+  return (clamped + config_.cores - 1) / config_.cores;
+}
+
+double TimingModel::regularity(const trace::AccessPhase& phase) {
+  using trace::Pattern;
+  switch (phase.pattern) {
+    case Pattern::Sequential:
+    case Pattern::Compute:
+      return 1.0;
+    case Pattern::Random:
+    case Pattern::PointerChase:
+      return 0.0;
+    case Pattern::Strided: {
+      // Prefetchers track strides up to ~2 KB; past a page the stream is
+      // effectively random for both prefetch and DRAM page locality.
+      const double s = phase.stride_bytes;
+      return 1.0 - smooth01(s, 2.0 * 1024.0, 64.0 * 1024.0);
+    }
+  }
+  return 0.0;
+}
+
+double TimingModel::concurrency_lines(const trace::AccessPhase& phase, int threads) const {
+  const int ht = ht_per_core(threads);
+  const auto ht_idx = static_cast<std::size_t>(ht - 1);
+  const int active_threads = std::min(threads, config_.cores * config_.smt_per_core);
+  const int active_cores = std::min(threads, config_.cores);
+
+  if (phase.mlp_override > 0.0) {
+    const double ht_eff =
+        static_cast<double>(ht) / (1.0 + phase.smt_beta * static_cast<double>(ht - 1));
+    return phase.mlp_override * static_cast<double>(active_cores) * ht_eff;
+  }
+
+  using trace::Pattern;
+  switch (phase.pattern) {
+    case Pattern::Compute:
+      return 0.0;
+    case Pattern::PointerChase:
+      return static_cast<double>(phase.chains_per_thread) *
+             static_cast<double>(active_threads);
+    default:
+      break;
+  }
+
+  const double seq_conc = static_cast<double>(active_cores) * config_.seq_mlp_per_core *
+                          params::kSeqSmtScale[ht_idx];
+  const double rand_conc = static_cast<double>(active_threads) *
+                           config_.rand_mlp_per_thread * params::kRandSmtScale[ht_idx];
+  const double r = regularity(phase);
+  return r * seq_conc + (1.0 - r) * rand_conc;
+}
+
+double TimingModel::effective_latency_ns(const trace::AccessPhase& phase,
+                                         const params::NodeParams& node,
+                                         [[maybe_unused]] int threads,
+                                         double utilization) const {
+  const double r = regularity(phase);
+
+  // Prefetched streams overlap the directory walk and, with huge pages, see
+  // one TLB fill per 2 MiB — both effectively free. Random accesses pay the
+  // directory and the expected paging penalty on every miss. Page tables
+  // live in the same node as the data (membind binds them too), so the walk
+  // cost scales with the node's latency.
+  const double walk_scale = node.idle_latency_ns / config_.ddr.idle_latency_ns;
+  const double dir_ns = (1.0 - r) * hierarchy_.directory_overhead_ns();
+  const double tlb_ns =
+      (1.0 - r) * walk_scale * tlb_.expected_penalty_ns(phase.footprint_bytes);
+
+  double lat = node.idle_latency_ns + dir_ns + tlb_ns;
+
+  // Load-dependent queueing: as demand approaches the node cap, each access
+  // waits on controller queues. Clamp utilization below 1 to keep the model
+  // finite at the cap (throughput there is handled by the cap itself).
+  const double u = std::clamp(utilization, 0.0, 0.97);
+  lat *= 1.0 + config_.queue_coefficient * u * u / (1.0 - u);
+  return lat;
+}
+
+double TimingModel::memory_traffic_bytes(const trace::AccessPhase& phase,
+                                         int threads) const {
+  using trace::Pattern;
+  if (phase.pattern == Pattern::Compute) return 0.0;
+
+  const double line = static_cast<double>(params::kLineBytes);
+  const double r = regularity(phase);
+
+  // Line amplification: sub-line granules still move whole lines.
+  const double granule = static_cast<double>(phase.granule_bytes);
+  const double amplification = std::max(1.0, line / granule);
+
+  // L2 filtering.
+  double miss_fraction;
+  if (phase.l2_hit_override >= 0.0) {
+    miss_fraction = 1.0 - phase.l2_hit_override;
+  } else if (r >= 0.5) {
+    // Repeated sweeps: the first pass always misses; later passes hit while
+    // the footprint stays L2-resident.
+    const double h = hierarchy_.sweep_l2_hit(phase.footprint_bytes);
+    miss_fraction = (1.0 + (phase.sweeps - 1.0) * (1.0 - h)) / phase.sweeps;
+  } else {
+    const double h = hierarchy_.random_l2_hit(phase.footprint_bytes, threads);
+    miss_fraction = 1.0 - h;
+  }
+
+  // Stores add write-allocate fills plus dirty evictions.
+  const double write_factor = 1.0 + phase.write_fraction;
+
+  return phase.logical_bytes * amplification * miss_fraction * write_factor;
+}
+
+double TimingModel::node_cap_gbs(const trace::AccessPhase& phase,
+                                 const params::NodeParams& node) const {
+  const double r = regularity(phase);
+  return r * node.stream_bw_gbs + (1.0 - r) * node.random_bw_gbs;
+}
+
+TimingModel::NodePath TimingModel::time_on_node(const trace::AccessPhase& phase,
+                                                const params::NodeParams& node,
+                                                int threads, double bytes,
+                                                double conc_share) const {
+  NodePath path;
+  path.bytes = bytes;
+  path.cap_gbs = node_cap_gbs(phase, node);
+  if (bytes <= 0.0) return path;
+
+  const double conc = concurrency_lines(phase, threads) * conc_share;
+  // Little's law at unloaded latency gives the demand; the node cap bounds
+  // the throughput. At the cap, queueing raises the *observed* latency until
+  // demand meets supply (M/D/1 equilibrium) — it does not push throughput
+  // below the cap, so inflation is applied to the reported latency only.
+  const double lat0 = effective_latency_ns(phase, node, threads, 0.0);
+  const double demand = conc * static_cast<double>(params::kLineBytes) / lat0;
+
+  path.bw_gbs = std::min(path.cap_gbs, demand);
+  path.capped = demand >= path.cap_gbs;
+  const double util = path.bw_gbs / path.cap_gbs;
+  path.latency_ns = path.capped
+                        ? conc * static_cast<double>(params::kLineBytes) / path.bw_gbs
+                        : effective_latency_ns(phase, node, threads, util);
+  path.seconds = bytes / (path.bw_gbs * kNsPerSecond) * 1.0;  // bytes / (GB/s * 1e9 B/GB)
+  return path;
+}
+
+PhaseTiming TimingModel::time_phase(const trace::AccessPhase& phase, const RunConfig& run,
+                                    double hbm_fraction) const {
+  phase.validate();
+  if (!run.valid()) throw std::invalid_argument("time_phase: invalid RunConfig");
+  if (hbm_fraction < 0.0 || hbm_fraction > 1.0) {
+    throw std::invalid_argument("time_phase: hbm_fraction outside [0,1]");
+  }
+
+  PhaseTiming out;
+  const int threads = run.threads;
+  const int ht = ht_per_core(threads);
+
+  // Compute time: all phases may carry flops; the kernel overlaps compute
+  // with memory, so the phase takes the max of the two.
+  double compute_seconds = 0.0;
+  if (phase.flops > 0.0) {
+    const double gflops = params::attainable_gflops(ht) * phase.compute_efficiency;
+    compute_seconds = phase.flops / (gflops * 1e9);
+  }
+
+  const double mem_bytes = memory_traffic_bytes(phase, threads);
+  out.memory_bytes = mem_bytes;
+
+  double mem_seconds = 0.0;
+  if (mem_bytes > 0.0) {
+    if (run.config == MemConfig::CacheMode) {
+      // All pages in DDR behind the direct-mapped MCDRAM cache.
+      const double r = regularity(phase);
+      const double hit = r >= 0.5 ? mcdram_.sweep_hit_rate(phase.footprint_bytes)
+                                  : mcdram_.random_hit_rate(phase.footprint_bytes);
+      out.mcdram_hit_rate = hit;
+
+      const double hbm_cap = node_cap_gbs(phase, config_.hbm);
+      const double ddr_cap = node_cap_gbs(phase, config_.ddr);
+      const double blended_cap = mcdram_.effective_bandwidth_gbs(hit, hbm_cap, ddr_cap);
+
+      const double conc = concurrency_lines(phase, threads);
+      const double lat_hbm = effective_latency_ns(phase, config_.hbm, threads, 0.0);
+      const double lat_ddr = effective_latency_ns(phase, config_.ddr, threads, 0.0);
+      const double lat = mcdram_.effective_latency_ns(hit, lat_hbm, lat_ddr);
+      const double demand = conc * static_cast<double>(params::kLineBytes) / lat;
+
+      const double bw = std::min(blended_cap, demand);
+      out.bandwidth_bound = demand >= blended_cap;
+      out.effective_latency_ns =
+          out.bandwidth_bound ? conc * static_cast<double>(params::kLineBytes) / bw : lat;
+      out.concurrency_lines = conc;
+      mem_seconds = mem_bytes / (bw * kNsPerSecond);
+    } else {
+      const double hbm_bytes = mem_bytes * hbm_fraction;
+      const double ddr_bytes = mem_bytes - hbm_bytes;
+      const NodePath hbm_path =
+          time_on_node(phase, config_.hbm, threads, hbm_bytes, hbm_fraction);
+      const NodePath ddr_path =
+          time_on_node(phase, config_.ddr, threads, ddr_bytes, 1.0 - hbm_fraction);
+      // The two memory systems drain their shares concurrently.
+      mem_seconds = std::max(hbm_path.seconds, ddr_path.seconds);
+      const NodePath& dominant = hbm_path.seconds >= ddr_path.seconds ? hbm_path : ddr_path;
+      out.effective_latency_ns = dominant.latency_ns;
+      out.bandwidth_bound = dominant.capped;
+      out.concurrency_lines = concurrency_lines(phase, threads);
+      out.mcdram_hit_rate = 1.0;
+    }
+  }
+
+  out.seconds = std::max(mem_seconds, compute_seconds);
+  out.compute_bound = compute_seconds > mem_seconds;
+  if (out.compute_bound) out.bandwidth_bound = false;
+  if (out.seconds > 0.0 && mem_bytes > 0.0) {
+    out.achieved_bw_gbs = mem_bytes / (out.seconds * kNsPerSecond) * 1.0;
+  }
+  return out;
+}
+
+}  // namespace knl::sim

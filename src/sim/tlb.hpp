@@ -1,0 +1,79 @@
+// TLB and page-walk model.
+//
+// The latency rise beyond ~128 MB in the paper's Fig. 3 is a paging effect:
+// once the randomly-touched footprint exceeds L2-TLB coverage, every access
+// pays a page walk, and once the page-table working set itself falls out of
+// cache the walk hits memory.  This module provides both an analytic
+// expectation (used by the timing model at paper scale) and an exact LRU TLB
+// simulator (used by tests to validate the analytic form).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/knl_params.hpp"
+
+namespace knl::sim {
+
+struct TlbConfig {
+  std::uint64_t page_bytes = params::kPageBytes;
+  int entries = params::kTlbEntries;
+  double walk_cached_ns = params::kPageWalkCachedNs;
+  double walk_memory_ns = params::kPageWalkMemoryNs;
+  std::uint64_t walk_thrash_bytes = params::kWalkThrashBytes;
+
+  [[nodiscard]] std::uint64_t coverage_bytes() const {
+    return page_bytes * static_cast<std::uint64_t>(entries);
+  }
+};
+
+/// Analytic expected TLB penalty per access for a uniform-random access
+/// stream over `footprint` bytes.
+class TlbModel {
+ public:
+  explicit TlbModel(TlbConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const TlbConfig& config() const noexcept { return config_; }
+
+  /// Probability a random access misses the TLB under LRU with a uniform
+  /// stream: pages beyond coverage cannot be cached, so
+  /// P(miss) = max(0, 1 - coverage/footprint).
+  [[nodiscard]] double miss_probability(std::uint64_t footprint_bytes) const;
+
+  /// Cost of one page walk for the given footprint: walks over small tables
+  /// hit the cache hierarchy; very large footprints push the page-table
+  /// working set to memory (smooth blend between the two costs).
+  [[nodiscard]] double walk_cost_ns(std::uint64_t footprint_bytes) const;
+
+  /// Expected paging penalty added to each random access.
+  [[nodiscard]] double expected_penalty_ns(std::uint64_t footprint_bytes) const;
+
+ private:
+  TlbConfig config_;
+};
+
+/// Exact LRU TLB used by tests to validate TlbModel::miss_probability.
+class TlbSim {
+ public:
+  explicit TlbSim(TlbConfig config = {}) : config_(config) {}
+
+  /// Translate one address; returns true on TLB hit.
+  bool access(std::uint64_t addr);
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses_ == 0 ? 0.0
+                          : static_cast<double>(misses_) / static_cast<double>(accesses_);
+  }
+
+ private:
+  TlbConfig config_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+};
+
+}  // namespace knl::sim

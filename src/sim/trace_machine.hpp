@@ -1,0 +1,102 @@
+// Trace-driven timed simulator: replay a concrete address stream through
+// the exact component simulators (L1/L2 CacheSim, TlbSim, McdramCacheSim)
+// with MSHR-limited overlap, producing wall time.
+//
+// This is the discrete counterpart of the analytic TimingModel: the
+// analytic model computes throughput from Little's law in closed form;
+// TraceMachine *derives* it event by event from the same machine
+// parameters. tests/sim/trace_machine_test.cpp cross-validates the two —
+// the repository's core internal-consistency check.
+//
+// Scope: one core's access stream (optionally as independent accesses, a
+// dependent chain, or k interleaved dependent chains), exact caches, no
+// prefetcher (prefetch-train behaviour is a parameter of the analytic
+// model, not replayed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/knl_params.hpp"
+#include "sim/mcdram_cache.hpp"
+#include "sim/mesh.hpp"
+#include "sim/tlb.hpp"
+
+namespace knl::sim {
+
+struct TraceMachineConfig {
+  // Core front end.
+  double issue_ns = 0.77;  ///< 1 access/cycle @ 1.3 GHz
+  int mshrs = 12;          ///< outstanding L1 misses per core
+  // Hierarchy.
+  CacheConfig l1{.capacity_bytes = params::kL1Bytes, .line_bytes = params::kLineBytes,
+                 .ways = params::kL1Ways, .sample_every = 1};
+  CacheConfig l2{.capacity_bytes = params::kL2Bytes, .line_bytes = params::kLineBytes,
+                 .ways = params::kL2Ways, .sample_every = 1};
+  double l1_latency_ns = params::kL1LatencyNs;
+  double l2_latency_ns = params::kL2LatencyNs;
+  MeshConfig mesh = {};
+  TlbConfig tlb = {};
+  // Memory target.
+  params::NodeParams node = params::kDdr;
+  // Cache mode: route misses through a direct-mapped MCDRAM cache.
+  bool mcdram_cache_enabled = false;
+  McdramCacheConfig mcdram = {};
+  params::NodeParams mcdram_node = params::kHbm;
+};
+
+struct ReplayStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t memory_accesses = 0;
+  std::uint64_t tlb_misses = 0;
+  std::uint64_t mcdram_hits = 0;
+  double seconds = 0.0;
+
+  [[nodiscard]] double avg_access_ns() const {
+    return accesses == 0 ? 0.0 : seconds * 1e9 / static_cast<double>(accesses);
+  }
+  [[nodiscard]] double memory_bandwidth_gbs() const {
+    return seconds == 0.0 ? 0.0
+                          : static_cast<double>(memory_accesses) *
+                                static_cast<double>(params::kLineBytes) /
+                                (seconds * 1e9);
+  }
+};
+
+class TraceMachine {
+ public:
+  TraceMachine();  // default configuration
+  explicit TraceMachine(TraceMachineConfig config);
+
+  /// Replay `addrs` as *independent* accesses: up to `mshrs` misses overlap.
+  ReplayStats replay_independent(const std::vector<std::uint64_t>& addrs);
+
+  /// Replay `addrs` as `chains` interleaved *dependent* chains: access i
+  /// cannot issue before access i-chains completes (the latency-probe
+  /// semantics; chains=1 is a pure pointer chase).
+  ReplayStats replay_chained(const std::vector<std::uint64_t>& addrs, int chains);
+
+  /// Reset caches, TLB and statistics (fresh machine).
+  void reset();
+
+  [[nodiscard]] const TraceMachineConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Service one access starting no earlier than `ready_ns`; returns its
+  /// completion time and updates bookkeeping.
+  double service(std::uint64_t addr, double ready_ns, ReplayStats& stats);
+
+  TraceMachineConfig config_;
+  CacheSim l1_;
+  CacheSim l2_;
+  TlbSim tlb_;
+  McdramCacheSim mcdram_;
+  Mesh mesh_;
+  std::vector<double> mshr_free_at_;
+  double clock_ns_ = 0.0;
+};
+
+}  // namespace knl::sim

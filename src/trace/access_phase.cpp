@@ -1,0 +1,41 @@
+#include "trace/access_phase.hpp"
+
+#include <stdexcept>
+
+namespace knl::trace {
+
+std::string to_string(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::Sequential: return "sequential";
+    case Pattern::Strided: return "strided";
+    case Pattern::Random: return "random";
+    case Pattern::PointerChase: return "pointer-chase";
+    case Pattern::Compute: return "compute";
+  }
+  return "unknown";
+}
+
+void AccessPhase::validate() const {
+  auto fail = [this](const char* what) {
+    throw std::invalid_argument("AccessPhase '" + name + "': " + what);
+  };
+  if (pattern != Pattern::Compute) {
+    if (footprint_bytes == 0) fail("memory phase with zero footprint");
+    if (logical_bytes <= 0.0) fail("memory phase with no logical traffic");
+    if (granule_bytes == 0) fail("granule_bytes must be positive");
+  }
+  if (flops < 0.0 || logical_bytes < 0.0) fail("negative work");
+  if (sweeps < 1.0) fail("sweeps must be >= 1");
+  if (write_fraction < 0.0 || write_fraction > 1.0) fail("write_fraction outside [0,1]");
+  if (pattern == Pattern::Strided && stride_bytes <= 0.0) fail("strided with no stride");
+  if (pattern == Pattern::PointerChase && chains_per_thread <= 0) {
+    fail("pointer chase needs at least one chain");
+  }
+  if (compute_efficiency <= 0.0 || compute_efficiency > 1.0) {
+    fail("compute_efficiency outside (0,1]");
+  }
+  if (l2_hit_override > 1.0) fail("l2_hit_override above 1");
+  if (smt_beta < 0.0) fail("smt_beta must be non-negative");
+}
+
+}  // namespace knl::trace

@@ -1,0 +1,77 @@
+// AccessPhase: the contract between workloads and the timing model.
+//
+// A workload describes each execution phase by its memory behaviour — the
+// taxonomy the paper uses to explain its results (§IV-B): regular/sequential
+// phases are prefetchable and bandwidth-bound; random phases are latency-
+// bound with little memory-level parallelism; dependent pointer chases have
+// exactly one outstanding miss per chain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace knl::trace {
+
+enum class Pattern : std::uint8_t {
+  Sequential,    ///< Unit-stride streams (STREAM, DGEMM panels, CG vectors).
+  Strided,       ///< Constant stride; prefetch efficiency decays with stride.
+  Random,        ///< Independent uniform-random accesses (GUPS, XS lookups).
+  PointerChase,  ///< Dependent chain(s); MLP = chains (latency probe, search).
+  Compute,       ///< No memory traffic beyond caches; flops only.
+};
+
+[[nodiscard]] std::string to_string(Pattern pattern);
+
+/// One homogeneous phase of a workload execution.
+struct AccessPhase {
+  std::string name;
+  Pattern pattern = Pattern::Sequential;
+
+  /// Unique bytes touched by the phase (drives cache/TLB residency).
+  std::uint64_t footprint_bytes = 0;
+  /// Total bytes requested by the cores over the whole phase, across all
+  /// sweeps/iterations (pre cache filtering).
+  double logical_bytes = 0.0;
+  /// Floating point operations executed in this phase.
+  double flops = 0.0;
+  /// Useful bytes per independent access (8 for a GUPS update); accesses
+  /// below the 64 B line size fetch a full line anyway.
+  std::uint64_t granule_bytes = 64;
+  /// Number of passes over the footprint (temporal-reuse signal for the
+  /// MCDRAM cache and the L2 sweep model).
+  double sweeps = 1.0;
+  /// Fraction of logical bytes that are stores (adds write-allocate +
+  /// writeback traffic).
+  double write_fraction = 0.0;
+  /// Stride for Pattern::Strided, in bytes.
+  double stride_bytes = 64.0;
+  /// Independent dependency chains per thread for Pattern::PointerChase.
+  int chains_per_thread = 1;
+  /// Override per-thread/core MLP if the workload knows better (<=0: use
+  /// the calibrated pattern default).
+  double mlp_override = 0.0;
+  /// Override the modelled L2 hit probability (in [0,1]; negative = let the
+  /// hierarchy model decide). Used when a concurrent streaming phase
+  /// pollutes L2 beyond what the residency model can see (e.g. BFS's CSR
+  /// stream evicting the parent array).
+  double l2_hit_override = -1.0;
+  /// SMT saturation for phases using mlp_override: concurrency scales as
+  /// ht / (1 + smt_beta*(ht-1)) with hardware threads per core. 0 = linear;
+  /// the 0.08 default matches the calibrated random-pattern SMT curve;
+  /// synchronization-heavy kernels (BFS atomics) use larger values.
+  double smt_beta = 0.08;
+  /// Fraction of attainable peak flops this phase's kernel can reach when
+  /// compute-bound (vectorization/blocking quality).
+  double compute_efficiency = 0.8;
+
+  /// Throws std::invalid_argument on inconsistent fields.
+  void validate() const;
+
+  /// Independent accesses issued by the phase.
+  [[nodiscard]] double accesses() const {
+    return granule_bytes == 0 ? 0.0 : logical_bytes / static_cast<double>(granule_bytes);
+  }
+};
+
+}  // namespace knl::trace

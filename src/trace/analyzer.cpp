@@ -1,0 +1,151 @@
+#include "trace/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace knl::trace {
+
+TraceAnalyzer::TraceAnalyzer() : TraceAnalyzer(Config{}) {}
+
+TraceAnalyzer::TraceAnalyzer(Config config) : config_(config) {
+  if (config_.line_bytes == 0 || config_.page_bytes == 0) {
+    throw std::invalid_argument("TraceAnalyzer: line/page size must be positive");
+  }
+  if (config_.reuse_sample_every == 0) {
+    throw std::invalid_argument("TraceAnalyzer: reuse_sample_every must be >= 1");
+  }
+}
+
+void TraceAnalyzer::record(std::uint64_t addr) {
+  ++accesses_;
+  const std::uint64_t line = addr / config_.line_bytes;
+  lines_.insert(line);
+  pages_.insert(addr / config_.page_bytes);
+
+  if (have_last_) {
+    const auto stride = static_cast<std::int64_t>(line) -
+                        static_cast<std::int64_t>(last_addr_ / config_.line_bytes);
+    ++stride_histogram_[stride];
+    if (stride >= 0 && stride <= 2) ++sequential_hits_;
+  }
+  last_addr_ = addr;
+  have_last_ = true;
+
+  // Reuse-distance sampling: temporal distance since the line's last touch.
+  // For streams that touch mostly-distinct lines between reuses (sweeps,
+  // uniform random) temporal distance tracks true stack distance closely.
+  if (line % config_.reuse_sample_every == 0) {
+    if (auto it = last_touch_.find(line); it != last_touch_.end()) {
+      reuse_distances_.push_back(accesses_ - it->second);
+      it->second = accesses_;
+    } else {
+      last_touch_.emplace(line, accesses_);
+    }
+  }
+}
+
+TraceStats TraceAnalyzer::analyze() const {
+  TraceStats stats;
+  stats.accesses = accesses_;
+  stats.footprint_bytes = lines_.size() * config_.line_bytes;
+  stats.page_footprint_bytes = pages_.size() * config_.page_bytes;
+  if (accesses_ < 2) return stats;
+
+  const double transitions = static_cast<double>(accesses_ - 1);
+  stats.sequential_fraction = static_cast<double>(sequential_hits_) / transitions;
+
+  // Dominant non-trivial stride.
+  std::uint64_t best_count = 0;
+  for (const auto& [stride, count] : stride_histogram_) {
+    if (count > best_count) {
+      best_count = count;
+      stats.dominant_stride = stride * static_cast<std::int64_t>(config_.line_bytes);
+    }
+  }
+  stats.dominant_stride_fraction = static_cast<double>(best_count) / transitions;
+
+  // Reuse-based cache affinity.
+  if (!reuse_distances_.empty()) {
+    const std::uint64_t cache_lines = config_.reuse_cache_bytes / config_.line_bytes;
+    std::uint64_t within = 0;
+    for (const std::uint64_t d : reuse_distances_) {
+      if (d <= cache_lines) ++within;
+    }
+    stats.l2_reuse_hit =
+        static_cast<double>(within) / static_cast<double>(reuse_distances_.size());
+  }
+
+  // Regularity: sequential transitions count fully; a repeated constant
+  // stride is prefetchable too (partially, decaying with stride size).
+  double strided_bonus = 0.0;
+  if (std::abs(stats.dominant_stride) > 2 * static_cast<std::int64_t>(config_.line_bytes)) {
+    const double decay =
+        1.0 / (1.0 + static_cast<double>(std::abs(stats.dominant_stride)) / 4096.0);
+    strided_bonus = stats.dominant_stride_fraction * decay;
+  }
+  stats.regularity = std::clamp(stats.sequential_fraction + strided_bonus, 0.0, 1.0);
+  return stats;
+}
+
+AccessPhase TraceAnalyzer::to_phase(const std::string& name, double scale_factor) const {
+  if (scale_factor <= 0.0) {
+    throw std::invalid_argument("TraceAnalyzer::to_phase: scale_factor must be positive");
+  }
+  const TraceStats stats = analyze();
+  if (stats.accesses == 0) {
+    throw std::logic_error("TraceAnalyzer::to_phase: no accesses recorded");
+  }
+
+  AccessPhase phase;
+  phase.name = name;
+  phase.footprint_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(stats.footprint_bytes) * scale_factor);
+  phase.footprint_bytes = std::max<std::uint64_t>(phase.footprint_bytes, 1);
+
+  if (stats.regularity >= 0.7) {
+    phase.pattern = Pattern::Sequential;
+    phase.granule_bytes = config_.line_bytes;
+  } else if (stats.regularity >= 0.3 && stats.dominant_stride_fraction > 0.5) {
+    phase.pattern = Pattern::Strided;
+    phase.stride_bytes = static_cast<double>(std::abs(stats.dominant_stride));
+    phase.granule_bytes = config_.line_bytes;
+  } else {
+    phase.pattern = Pattern::Random;
+    phase.granule_bytes = 8;  // conservative sub-line granule
+  }
+
+  phase.logical_bytes = static_cast<double>(stats.accesses) *
+                        static_cast<double>(phase.granule_bytes) * scale_factor;
+  phase.sweeps = std::max(1.0, phase.logical_bytes /
+                                   static_cast<double>(phase.footprint_bytes));
+  return phase;
+}
+
+AppCharacteristics TraceAnalyzer::to_characteristics(const std::string& name,
+                                                     double scale_factor) const {
+  const TraceStats stats = analyze();
+  AppCharacteristics app;
+  app.name = name;
+  app.regular_fraction = stats.regularity;
+  app.footprint_bytes = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(static_cast<double>(stats.footprint_bytes) *
+                                 scale_factor),
+      1);
+  app.random_granule_bytes = 8;
+  return app;
+}
+
+void TraceAnalyzer::reset() {
+  accesses_ = 0;
+  have_last_ = false;
+  last_addr_ = 0;
+  lines_.clear();
+  pages_.clear();
+  stride_histogram_.clear();
+  sequential_hits_ = 0;
+  last_touch_.clear();
+  reuse_distances_.clear();
+}
+
+}  // namespace knl::trace

@@ -1,0 +1,63 @@
+#include "trace/generators.hpp"
+
+#include <stdexcept>
+
+namespace knl::trace {
+
+void generate_sweep(std::uint64_t base, std::uint64_t bytes, std::uint64_t line_bytes,
+                    int sweeps, const AddressVisitor& visit) {
+  if (line_bytes == 0) throw std::invalid_argument("generate_sweep: line_bytes == 0");
+  for (int s = 0; s < sweeps; ++s) {
+    for (std::uint64_t off = 0; off < bytes; off += line_bytes) {
+      visit(base + off);
+    }
+  }
+}
+
+void generate_strided(std::uint64_t base, std::uint64_t bytes, std::uint64_t stride_bytes,
+                      int sweeps, const AddressVisitor& visit) {
+  if (stride_bytes == 0) throw std::invalid_argument("generate_strided: stride == 0");
+  for (int s = 0; s < sweeps; ++s) {
+    for (std::uint64_t off = 0; off < bytes; off += stride_bytes) {
+      visit(base + off);
+    }
+  }
+}
+
+void generate_uniform_random(std::uint64_t base, std::uint64_t bytes, std::uint64_t count,
+                             std::uint64_t seed, const AddressVisitor& visit) {
+  if (bytes == 0) throw std::invalid_argument("generate_uniform_random: empty range");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> dist(0, bytes - 1);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    visit(base + dist(rng));
+  }
+}
+
+std::vector<std::uint32_t> build_chase_permutation(std::uint32_t n, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("build_chase_permutation: need >= 2 slots");
+  // Sattolo's algorithm yields a uniformly random single-cycle permutation:
+  // following next[] visits every slot exactly once before returning, so the
+  // chase cannot short-cycle and defeat the latency measurement.
+  std::vector<std::uint32_t> next(n);
+  for (std::uint32_t i = 0; i < n; ++i) next[i] = i;
+  std::mt19937_64 rng(seed);
+  for (std::uint32_t i = n - 1; i > 0; --i) {
+    std::uniform_int_distribution<std::uint32_t> dist(0, i - 1);
+    std::swap(next[i], next[dist(rng)]);
+  }
+  return next;
+}
+
+void generate_chase(std::uint64_t base, const std::vector<std::uint32_t>& next,
+                    std::uint64_t slot_bytes, std::uint64_t count,
+                    const AddressVisitor& visit) {
+  if (next.empty()) throw std::invalid_argument("generate_chase: empty permutation");
+  std::uint32_t cur = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    visit(base + static_cast<std::uint64_t>(cur) * slot_bytes);
+    cur = next[cur];
+  }
+}
+
+}  // namespace knl::trace

@@ -1,0 +1,41 @@
+// Address-stream generators.
+//
+// These replay concrete address streams into the exact simulators (CacheSim,
+// McdramCacheSim, TlbSim) so the analytic hit-rate expressions used at paper
+// scale can be validated against ground truth at test scale. They are also
+// used by the latency-probe workload to build real pointer-chase buffers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <vector>
+
+namespace knl::trace {
+
+using AddressVisitor = std::function<void(std::uint64_t addr)>;
+
+/// `sweeps` sequential line-granular passes over [base, base+bytes).
+void generate_sweep(std::uint64_t base, std::uint64_t bytes, std::uint64_t line_bytes,
+                    int sweeps, const AddressVisitor& visit);
+
+/// Constant-stride walk over [base, base+bytes), repeated `sweeps` times.
+void generate_strided(std::uint64_t base, std::uint64_t bytes, std::uint64_t stride_bytes,
+                      int sweeps, const AddressVisitor& visit);
+
+/// `count` uniform-random addresses within [base, base+bytes).
+void generate_uniform_random(std::uint64_t base, std::uint64_t bytes, std::uint64_t count,
+                             std::uint64_t seed, const AddressVisitor& visit);
+
+/// Build a random-permutation pointer-chase order of `n` slots (each slot
+/// points to the next index in a single Hamiltonian cycle, Sattolo's
+/// algorithm) — the access order a chasing probe would follow.
+[[nodiscard]] std::vector<std::uint32_t> build_chase_permutation(std::uint32_t n,
+                                                                 std::uint64_t seed);
+
+/// Replay `count` steps of the chase over slots of `slot_bytes` at `base`.
+void generate_chase(std::uint64_t base, const std::vector<std::uint32_t>& next,
+                    std::uint64_t slot_bytes, std::uint64_t count,
+                    const AddressVisitor& visit);
+
+}  // namespace knl::trace

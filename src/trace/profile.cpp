@@ -1,0 +1,32 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+
+namespace knl::trace {
+
+AccessProfile& AccessProfile::add(AccessPhase phase) {
+  phase.validate();
+  phases_.push_back(std::move(phase));
+  return *this;
+}
+
+std::uint64_t AccessProfile::resident_bytes() const {
+  if (resident_override_ != 0) return resident_override_;
+  std::uint64_t max_fp = 0;
+  for (const auto& p : phases_) max_fp = std::max(max_fp, p.footprint_bytes);
+  return max_fp;
+}
+
+double AccessProfile::total_flops() const {
+  double f = 0.0;
+  for (const auto& p : phases_) f += p.flops;
+  return f;
+}
+
+double AccessProfile::total_logical_bytes() const {
+  double b = 0.0;
+  for (const auto& p : phases_) b += p.logical_bytes;
+  return b;
+}
+
+}  // namespace knl::trace

@@ -1,0 +1,41 @@
+// AccessProfile: an ordered set of phases plus the resident footprint, i.e.
+// everything the machine model needs to time one workload execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/access_phase.hpp"
+
+namespace knl::trace {
+
+class AccessProfile {
+ public:
+  AccessProfile() = default;
+  explicit AccessProfile(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Add a phase (validated on insertion).
+  AccessProfile& add(AccessPhase phase);
+
+  [[nodiscard]] const std::vector<AccessPhase>& phases() const noexcept { return phases_; }
+  [[nodiscard]] bool empty() const noexcept { return phases_.empty(); }
+
+  /// Peak bytes resident at once. Workloads usually keep all data live, so
+  /// this defaults to the max phase footprint but can be set explicitly when
+  /// distinct phases touch distinct live buffers.
+  [[nodiscard]] std::uint64_t resident_bytes() const;
+  void set_resident_bytes(std::uint64_t bytes) { resident_override_ = bytes; }
+
+  [[nodiscard]] double total_flops() const;
+  [[nodiscard]] double total_logical_bytes() const;
+
+ private:
+  std::string name_;
+  std::vector<AccessPhase> phases_;
+  std::uint64_t resident_override_ = 0;
+};
+
+}  // namespace knl::trace

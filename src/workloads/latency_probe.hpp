@@ -1,0 +1,47 @@
+// TinyMemBench-style dual random read latency probe (paper §IV-A, Fig. 3).
+//
+// Two interleaved, independent pointer chases walk a random single-cycle
+// permutation over a buffer of the probed block size; the reported figure is
+// the mean time per access. Below the local L2 size the chase hits SRAM
+// (~10 ns tier); past it, accesses pay directory + memory latency; past TLB
+// coverage (128 MiB) the page-walk cost climbs in as well — the three tiers
+// of the paper's figure.
+#pragma once
+
+#include <cstdint>
+
+#include "core/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace knl::workloads {
+
+class LatencyProbe final : public Workload {
+ public:
+  /// `block_bytes` = probed buffer size, `chains` = concurrent chases (2 for
+  /// the paper's dual random read).
+  explicit LatencyProbe(std::uint64_t block_bytes, int chains = 2);
+
+  [[nodiscard]] const WorkloadInfo& info() const override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override { return block_bytes_; }
+  [[nodiscard]] trace::AccessProfile profile() const override;
+
+  /// Mean ns per access from a simulated run (accesses are fixed per probe).
+  [[nodiscard]] double metric(const RunResult& result) const override;
+
+  void verify() const override;
+
+  /// The Fig. 3 measurement: blended L2/memory per-access latency for a
+  /// buffer bound to `node`, single-threaded, including paging effects.
+  [[nodiscard]] double measured_latency_ns(const Machine& machine, MemNode node) const;
+
+  /// Idle (unloaded, TLB-warm) main-memory latency of `node` — the paper's
+  /// "154.0 ns HBM / 130.4 ns DRAM" headline numbers.
+  [[nodiscard]] static double idle_latency_ns(const Machine& machine, MemNode node);
+
+ private:
+  std::uint64_t block_bytes_;
+  int chains_;
+  std::uint64_t accesses_;
+};
+
+}  // namespace knl::workloads

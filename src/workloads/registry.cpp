@@ -1,0 +1,80 @@
+#include "workloads/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/types.hpp"
+#include "workloads/dgemm.hpp"
+#include "workloads/graph500.hpp"
+#include "workloads/gups.hpp"
+#include "workloads/latency_probe.hpp"
+#include "workloads/minife.hpp"
+#include "workloads/stream.hpp"
+#include "workloads/xsbench.hpp"
+
+namespace knl::workloads {
+
+namespace {
+
+std::uint64_t round_pow2(std::uint64_t bytes) {
+  std::uint64_t p = 1;
+  while (p * 2 <= bytes) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+const std::vector<RegistryEntry>& registry() {
+  static const std::vector<RegistryEntry> kRegistry = [] {
+    std::vector<RegistryEntry> r;
+    r.push_back({Dgemm(1024).info(), [](std::uint64_t b) -> std::unique_ptr<Workload> {
+                   return std::make_unique<Dgemm>(Dgemm::from_footprint(b));
+                 }});
+    r.push_back({MiniFe(16).info(), [](std::uint64_t b) -> std::unique_ptr<Workload> {
+                   return std::make_unique<MiniFe>(MiniFe::from_footprint(b));
+                 }});
+    r.push_back({Gups(1 << 20).info(), [](std::uint64_t b) -> std::unique_ptr<Workload> {
+                   return std::make_unique<Gups>(round_pow2(b));
+                 }});
+    r.push_back({Graph500(8).info(), [](std::uint64_t b) -> std::unique_ptr<Workload> {
+                   return std::make_unique<Graph500>(Graph500::from_footprint(b));
+                 }});
+    r.push_back({XsBench(100).info(), [](std::uint64_t b) -> std::unique_ptr<Workload> {
+                   return std::make_unique<XsBench>(XsBench::from_footprint(b));
+                 }});
+    r.push_back({StreamTriad(1 << 20).info(), [](std::uint64_t b) -> std::unique_ptr<Workload> {
+                   return std::make_unique<StreamTriad>(b);
+                 }});
+    r.push_back({LatencyProbe(1 << 20).info(), [](std::uint64_t b) -> std::unique_ptr<Workload> {
+                   return std::make_unique<LatencyProbe>(b);
+                 }});
+    return r;
+  }();
+  return kRegistry;
+}
+
+const RegistryEntry& find_workload(const std::string& name) {
+  for (const auto& entry : registry()) {
+    if (entry.info.name == name) return entry;
+  }
+  throw std::invalid_argument("find_workload: unknown workload '" + name + "'");
+}
+
+std::string table1_string() {
+  std::ostringstream os;
+  os << "Table I: List of Evaluated Applications\n";
+  os << "Application  Type            Access Pattern  Max. Scale\n";
+  for (const auto& entry : registry()) {
+    if (entry.info.type == "Micro-benchmark") continue;  // Table I lists apps only
+    os << entry.info.name;
+    for (std::size_t i = entry.info.name.size(); i < 13; ++i) os << ' ';
+    os << entry.info.type;
+    for (std::size_t i = entry.info.type.size(); i < 16; ++i) os << ' ';
+    os << entry.info.access_pattern;
+    for (std::size_t i = entry.info.access_pattern.size(); i < 16; ++i) os << ' ';
+    os << entry.info.max_scale_bytes / 1000000000ull << " GB\n";
+  }
+  return os.str();
+}
+
+}  // namespace knl::workloads

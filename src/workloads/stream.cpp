@@ -1,0 +1,216 @@
+#include "workloads/stream.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace knl::workloads {
+
+std::string to_string(StreamKernel kernel) {
+  switch (kernel) {
+    case StreamKernel::Copy: return "copy";
+    case StreamKernel::Scale: return "scale";
+    case StreamKernel::Add: return "add";
+    case StreamKernel::Triad: return "triad";
+  }
+  return "unknown";
+}
+
+int stream_kernel_arrays(StreamKernel kernel) {
+  switch (kernel) {
+    case StreamKernel::Copy:
+    case StreamKernel::Scale:
+      return 2;
+    case StreamKernel::Add:
+    case StreamKernel::Triad:
+      return 3;
+  }
+  return 3;
+}
+
+double stream_kernel_flops(StreamKernel kernel) {
+  switch (kernel) {
+    case StreamKernel::Copy: return 0.0;
+    case StreamKernel::Scale: return 1.0;
+    case StreamKernel::Add: return 1.0;
+    case StreamKernel::Triad: return 2.0;
+  }
+  return 0.0;
+}
+
+void stream_copy(std::vector<double>& c, const std::vector<double>& a) {
+  if (c.size() != a.size()) throw std::invalid_argument("stream_copy: size mismatch");
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = a[i];
+}
+
+void stream_scale(std::vector<double>& b, const std::vector<double>& c, double scalar) {
+  if (b.size() != c.size()) throw std::invalid_argument("stream_scale: size mismatch");
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = scalar * c[i];
+}
+
+void stream_add(std::vector<double>& c, const std::vector<double>& a,
+                const std::vector<double>& b) {
+  if (c.size() != a.size() || c.size() != b.size()) {
+    throw std::invalid_argument("stream_add: size mismatch");
+  }
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = a[i] + b[i];
+}
+
+StreamTriad::StreamTriad(std::uint64_t total_bytes, int ntimes)
+    : total_bytes_(total_bytes), elements_(total_bytes / (3 * sizeof(double))),
+      ntimes_(ntimes) {
+  if (elements_ == 0) throw std::invalid_argument("StreamTriad: size too small");
+  if (ntimes_ < 1) throw std::invalid_argument("StreamTriad: ntimes must be >= 1");
+}
+
+const WorkloadInfo& StreamTriad::info() const {
+  static const WorkloadInfo kInfo{
+      .name = "STREAM",
+      .type = "Micro-benchmark",
+      .access_pattern = "Sequential",
+      .max_scale_bytes = 40ull * 1000 * 1000 * 1000,
+      .metric_name = "GB/s",
+  };
+  return kInfo;
+}
+
+trace::AccessProfile StreamTriad::profile() const {
+  trace::AccessProfile p("stream-triad");
+  p.set_resident_bytes(total_bytes_);
+
+  trace::AccessPhase triad_phase;
+  triad_phase.name = "triad";
+  triad_phase.pattern = trace::Pattern::Sequential;
+  triad_phase.footprint_bytes = total_bytes_;
+  // Per iteration: read b and c, store a with non-temporal stores (the
+  // paper's Intel-compiled binary) — write_fraction 0 because streaming
+  // stores bypass the write-allocate read.
+  triad_phase.logical_bytes =
+      static_cast<double>(ntimes_) * static_cast<double>(total_bytes_);
+  triad_phase.write_fraction = 0.0;
+  triad_phase.sweeps = static_cast<double>(ntimes_);
+  triad_phase.flops = 2.0 * static_cast<double>(elements_) * ntimes_;
+  p.add(triad_phase);
+  return p;
+}
+
+double StreamTriad::metric(const RunResult& result) const {
+  if (!result.feasible || result.seconds <= 0.0) return 0.0;
+  const double logical =
+      static_cast<double>(ntimes_) * static_cast<double>(total_bytes_);
+  return logical / (result.seconds * 1e9);
+}
+
+void StreamTriad::triad(std::vector<double>& a, const std::vector<double>& b,
+                        const std::vector<double>& c, double scalar) {
+  if (a.size() != b.size() || a.size() != c.size()) {
+    throw std::invalid_argument("StreamTriad::triad: size mismatch");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = b[i] + scalar * c[i];
+  }
+}
+
+StreamBench::StreamBench(StreamKernel kernel, std::uint64_t total_bytes, int ntimes)
+    : kernel_(kernel), total_bytes_(total_bytes),
+      elements_(total_bytes /
+                (static_cast<std::uint64_t>(stream_kernel_arrays(kernel)) *
+                 sizeof(double))),
+      ntimes_(ntimes) {
+  if (elements_ == 0) throw std::invalid_argument("StreamBench: size too small");
+  if (ntimes_ < 1) throw std::invalid_argument("StreamBench: ntimes must be >= 1");
+}
+
+const WorkloadInfo& StreamBench::info() const {
+  info_ = WorkloadInfo{
+      .name = "STREAM-" + to_string(kernel_),
+      .type = "Micro-benchmark",
+      .access_pattern = "Sequential",
+      .max_scale_bytes = 40ull * 1000 * 1000 * 1000,
+      .metric_name = "GB/s",
+  };
+  return info_;
+}
+
+trace::AccessProfile StreamBench::profile() const {
+  trace::AccessProfile p("stream-" + to_string(kernel_));
+  p.set_resident_bytes(total_bytes_);
+
+  trace::AccessPhase phase;
+  phase.name = to_string(kernel_);
+  phase.pattern = trace::Pattern::Sequential;
+  phase.footprint_bytes = total_bytes_;
+  phase.logical_bytes =
+      static_cast<double>(ntimes_) * static_cast<double>(total_bytes_);
+  phase.write_fraction = 0.0;  // streaming stores, as compiled on the testbed
+  phase.sweeps = static_cast<double>(ntimes_);
+  phase.flops = stream_kernel_flops(kernel_) * static_cast<double>(elements_) * ntimes_;
+  p.add(phase);
+  return p;
+}
+
+double StreamBench::metric(const RunResult& result) const {
+  if (!result.feasible || result.seconds <= 0.0) return 0.0;
+  const double logical =
+      static_cast<double>(ntimes_) * static_cast<double>(total_bytes_);
+  return logical / (result.seconds * 1e9);
+}
+
+void StreamBench::verify() const {
+  const std::size_t n = 2048;
+  std::vector<double> a(n), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<double>(i) + 1.0;
+    b[i] = 2.0 * static_cast<double>(i);
+    c[i] = 0.0;
+  }
+  const double scalar = 3.0;
+  switch (kernel_) {
+    case StreamKernel::Copy:
+      stream_copy(c, a);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (c[i] != a[i]) throw std::runtime_error("StreamBench: copy mismatch");
+      }
+      break;
+    case StreamKernel::Scale:
+      stream_scale(b, a, scalar);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (b[i] != scalar * a[i]) throw std::runtime_error("StreamBench: scale mismatch");
+      }
+      break;
+    case StreamKernel::Add:
+      stream_add(c, a, b);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (c[i] != a[i] + b[i]) throw std::runtime_error("StreamBench: add mismatch");
+      }
+      break;
+    case StreamKernel::Triad:
+      StreamTriad::triad(c, a, b, scalar);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (c[i] != a[i] + scalar * b[i]) {
+          throw std::runtime_error("StreamBench: triad mismatch");
+        }
+      }
+      break;
+  }
+}
+
+void StreamTriad::verify() const {
+  // Run the real kernel at a reduced element count and check every element.
+  const std::size_t n = 4096;
+  std::vector<double> a(n, 0.0), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<double>(i);
+    c[i] = 2.0 * static_cast<double>(i) + 1.0;
+  }
+  const double scalar = 3.0;
+  triad(a, b, c, scalar);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double want = b[i] + scalar * c[i];
+    if (std::abs(a[i] - want) > 1e-12) {
+      throw std::runtime_error("StreamTriad::verify: element mismatch at " +
+                               std::to_string(i));
+    }
+  }
+}
+
+}  // namespace knl::workloads

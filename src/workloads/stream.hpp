@@ -1,0 +1,85 @@
+// STREAM triad (McCalpin) — the bandwidth micro-benchmark of paper §IV-A
+// (Fig. 2 and Fig. 5).
+//
+// a[i] = b[i] + scalar * c[i], repeated `ntimes` times over three arrays.
+// The paper compiles STREAM with streaming (non-temporal) stores, so the
+// reported bandwidth counts 3 words per element with no write-allocate
+// traffic — the profile mirrors that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace knl::workloads {
+
+/// The four STREAM kernels. The paper reports triad; the full suite is
+/// provided because copy/scale (2 arrays, no flops) and add/triad
+/// (3 arrays) stress slightly different read/write mixes.
+enum class StreamKernel : int { Copy, Scale, Add, Triad };
+
+[[nodiscard]] std::string to_string(StreamKernel kernel);
+
+/// Number of arrays the kernel touches (2 or 3).
+[[nodiscard]] int stream_kernel_arrays(StreamKernel kernel);
+/// Flops per element (0, 1 or 2).
+[[nodiscard]] double stream_kernel_flops(StreamKernel kernel);
+
+/// The real kernels (c/a/b sized equally; scalar used by Scale/Triad).
+void stream_copy(std::vector<double>& c, const std::vector<double>& a);
+void stream_scale(std::vector<double>& b, const std::vector<double>& c, double scalar);
+void stream_add(std::vector<double>& c, const std::vector<double>& a,
+                const std::vector<double>& b);
+
+class StreamTriad final : public Workload {
+ public:
+  /// `total_bytes` = combined size of the three arrays (the paper's x-axis).
+  explicit StreamTriad(std::uint64_t total_bytes, int ntimes = 10);
+
+  [[nodiscard]] const WorkloadInfo& info() const override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override { return total_bytes_; }
+  [[nodiscard]] trace::AccessProfile profile() const override;
+
+  /// STREAM-reported triad bandwidth in GB/s: best-iteration logical bytes
+  /// over time (we report the mean iteration, matching steady state).
+  [[nodiscard]] double metric(const RunResult& result) const override;
+
+  void verify() const override;
+
+  [[nodiscard]] std::uint64_t elements() const noexcept { return elements_; }
+
+  /// The actual kernel (used by verify() and unit tests).
+  static void triad(std::vector<double>& a, const std::vector<double>& b,
+                    const std::vector<double>& c, double scalar);
+
+ private:
+  std::uint64_t total_bytes_;
+  std::uint64_t elements_;
+  int ntimes_;
+};
+
+/// Generalized STREAM workload for any of the four kernels.
+class StreamBench final : public Workload {
+ public:
+  /// `total_bytes` = combined size of the kernel's arrays.
+  StreamBench(StreamKernel kernel, std::uint64_t total_bytes, int ntimes = 10);
+
+  [[nodiscard]] const WorkloadInfo& info() const override;
+  [[nodiscard]] std::uint64_t footprint_bytes() const override { return total_bytes_; }
+  [[nodiscard]] trace::AccessProfile profile() const override;
+  [[nodiscard]] double metric(const RunResult& result) const override;
+  void verify() const override;
+
+  [[nodiscard]] StreamKernel kernel() const noexcept { return kernel_; }
+  [[nodiscard]] std::uint64_t elements() const noexcept { return elements_; }
+
+ private:
+  StreamKernel kernel_;
+  std::uint64_t total_bytes_;
+  std::uint64_t elements_;
+  int ntimes_;
+  mutable WorkloadInfo info_;
+};
+
+}  // namespace knl::workloads

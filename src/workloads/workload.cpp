@@ -1,0 +1,5 @@
+#include "workloads/workload.hpp"
+
+namespace knl::workloads {
+// Interface anchor.
+}  // namespace knl::workloads

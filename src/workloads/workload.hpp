@@ -1,0 +1,52 @@
+// Workload interface: each of the paper's benchmarks (Table I) implements
+// this. A workload instance is bound to a concrete problem size; it provides
+//  - metadata (type / access pattern / max scale — the Table I row),
+//  - the real algorithm (exercised by `verify()` at laptop scale so the
+//    kernel we characterize is the kernel we implement), and
+//  - the AccessProfile describing one execution's memory behaviour at the
+//    configured scale, plus the metric the paper reports for it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/types.hpp"
+#include "trace/profile.hpp"
+
+namespace knl::workloads {
+
+struct WorkloadInfo {
+  std::string name;
+  std::string type;            ///< "Scientific" or "Data analytics" (Table I).
+  std::string access_pattern;  ///< "Sequential" or "Random" (Table I).
+  std::uint64_t max_scale_bytes = 0;  ///< Largest size the paper runs.
+  std::string metric_name;     ///< e.g. "GFLOPS", "TEPS", "Lookups/s".
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual const WorkloadInfo& info() const = 0;
+
+  /// Problem footprint in bytes at the configured size.
+  [[nodiscard]] virtual std::uint64_t footprint_bytes() const = 0;
+
+  /// Memory-behaviour description of one full execution.
+  [[nodiscard]] virtual trace::AccessProfile profile() const = 0;
+
+  /// The paper's reported metric, derived from a simulated run.
+  [[nodiscard]] virtual double metric(const RunResult& result) const = 0;
+
+  /// Execute the real algorithm at (scaled-down) test size and check its
+  /// output. Throws std::runtime_error with a diagnostic on failure.
+  virtual void verify() const = 0;
+
+ protected:
+  Workload() = default;
+  Workload(const Workload&) = default;
+  Workload& operator=(const Workload&) = default;
+};
+
+}  // namespace knl::workloads

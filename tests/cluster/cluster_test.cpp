@@ -1,0 +1,145 @@
+// Tests for the multi-node cluster model and capacity planner (paper SIV-C).
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/minife.hpp"
+#include "workloads/xsbench.hpp"
+
+namespace knl::cluster {
+namespace {
+
+NodeWorkloadFactory minife_factory() {
+  return [](std::uint64_t bytes) -> std::unique_ptr<workloads::Workload> {
+    return std::make_unique<workloads::MiniFe>(workloads::MiniFe::from_footprint(bytes));
+  };
+}
+
+TEST(Interconnect, AlphaBetaArithmetic) {
+  Interconnect net(InterconnectConfig{.alpha_us = 1.0, .beta_gbs = 10.0,
+                                      .alltoall_efficiency = 0.5});
+  // 10 messages x 1 us + 1 GB / 10 GB/s = 10 us + 0.1 s.
+  EXPECT_NEAR(net.exchange_seconds(1e9, 10), 0.1 + 10e-6, 1e-9);
+  // All-to-all: (n-1) messages and halved effective bandwidth.
+  EXPECT_NEAR(net.alltoall_seconds(1e9, 5), 4e-6 + 1e9 / 5e9, 1e-9);
+  EXPECT_DOUBLE_EQ(net.alltoall_seconds(1e9, 1), 0.0);
+}
+
+TEST(Interconnect, Validation) {
+  EXPECT_THROW(Interconnect(InterconnectConfig{.alpha_us = -1.0}), std::invalid_argument);
+  EXPECT_THROW(Interconnect(InterconnectConfig{.beta_gbs = 0.0}), std::invalid_argument);
+  Interconnect net;
+  EXPECT_THROW((void)net.exchange_seconds(-1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)net.alltoall_seconds(1.0, 0), std::invalid_argument);
+}
+
+TEST(CommModels, Halo3dSurfaceToVolume) {
+  const CommModel comm = comm::halo3d(1);
+  const auto one = comm(64ull << 30, 1);
+  EXPECT_DOUBLE_EQ(one.bytes_per_node, 0.0);  // single node: no comm
+  const auto v8 = comm(64ull << 30, 8);
+  const auto v64 = comm(64ull << 30, 64);
+  EXPECT_GT(v8.bytes_per_node, 0.0);
+  // Per-node halo shrinks as (V/n)^(2/3): n x8 -> surface x(1/4).
+  EXPECT_NEAR(v8.bytes_per_node / v64.bytes_per_node, 4.0, 0.01);
+  EXPECT_FALSE(v8.alltoall);
+}
+
+TEST(CommModels, AlltoallScalesWithFractionAndRounds) {
+  const CommModel comm = comm::alltoall(0.1, 3);
+  const auto v = comm(100ull << 30, 4);
+  EXPECT_NEAR(v.bytes_per_node, (100.0 * GiB / 4) * 0.1 * 3, 1.0);
+  EXPECT_TRUE(v.alltoall);
+  EXPECT_EQ(v.messages, 9);
+  EXPECT_THROW(comm::alltoall(1.5, 1), std::invalid_argument);
+  EXPECT_THROW(comm::alltoall(0.5, 0), std::invalid_argument);
+}
+
+TEST(ClusterMachine, SingleNodeMatchesPlainMachine) {
+  ClusterMachine cluster;
+  const auto total = 8ull * 1000 * 1000 * 1000;
+  const auto point = cluster.run_strong(minife_factory(), total, 1,
+                                        RunConfig{MemConfig::DRAM, 64}, comm::none());
+  ASSERT_TRUE(point.feasible);
+  const auto w = minife_factory()(total);
+  const RunResult direct =
+      cluster.node().run(w->profile(), RunConfig{MemConfig::DRAM, 64});
+  EXPECT_NEAR(point.node_seconds, direct.seconds, direct.seconds * 1e-9);
+  EXPECT_DOUBLE_EQ(point.comm_seconds, 0.0);
+}
+
+TEST(ClusterMachine, HbmInfeasibleUntilDecompositionFits) {
+  ClusterMachine cluster;
+  const auto total = 40ull * 1000 * 1000 * 1000;  // 40 GB MiniFE
+  const auto comm = comm::halo3d(200);
+  // 2 nodes: 20 GB per node > MCDRAM -> HBM infeasible.
+  const auto two = cluster.run_strong(minife_factory(), total, 2,
+                                      RunConfig{MemConfig::HBM, 64}, comm);
+  EXPECT_FALSE(two.feasible);
+  EXPECT_FALSE(two.note.empty());
+  // 4 nodes: 10 GB per node -> feasible.
+  const auto four = cluster.run_strong(minife_factory(), total, 4,
+                                       RunConfig{MemConfig::HBM, 64}, comm);
+  EXPECT_TRUE(four.feasible);
+}
+
+TEST(ClusterMachine, StrongScalingReducesComputeTime) {
+  ClusterMachine cluster;
+  const auto total = 40ull * 1000 * 1000 * 1000;
+  const auto points =
+      cluster.strong_scaling(minife_factory(), total, {1, 2, 4, 8},
+                             RunConfig{MemConfig::DRAM, 64}, comm::halo3d(200));
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    ASSERT_TRUE(points[i].feasible);
+    EXPECT_LT(points[i].node_seconds, points[i - 1].node_seconds * 1.02);
+  }
+}
+
+TEST(ClusterMachine, Validation) {
+  ClusterMachine cluster;
+  EXPECT_THROW((void)cluster.run_strong(minife_factory(), 1000, 0,
+                                        RunConfig{MemConfig::DRAM, 64}, comm::none()),
+               std::invalid_argument);
+  EXPECT_THROW((void)cluster.run_strong(minife_factory(), 0, 1,
+                                        RunConfig{MemConfig::DRAM, 64}, comm::none()),
+               std::invalid_argument);
+}
+
+TEST(CapacityPlanner, PrefersDecompositionFittingMcdram) {
+  // The paper SIV-C rule must emerge: for a bandwidth-bound app, the best
+  // plan binds to MCDRAM with a per-node share within its capacity.
+  ClusterMachine cluster;
+  const CapacityPlanner planner(cluster);
+  const auto total = 96ull * 1000 * 1000 * 1000;
+  const auto plan = planner.plan(minife_factory(), total, {1, 2, 4, 6, 8, 10, 12}, 64,
+                                 comm::halo3d(200));
+  EXPECT_EQ(plan.config, MemConfig::HBM);
+  EXPECT_TRUE(plan.fits_hbm_per_node);
+  EXPECT_GE(plan.nodes, 6);  // 96 GB needs >= 6-7 nodes for <= 16 GiB each
+}
+
+TEST(CapacityPlanner, ReplicatedLatencyBoundAppStaysOnDram) {
+  // XSBench data is replicated (comm::none) and latency-bound: with one
+  // node the best configuration must be DRAM, matching Fig. 4e.
+  ClusterMachine cluster;
+  const CapacityPlanner planner(cluster);
+  const NodeWorkloadFactory factory = [](std::uint64_t bytes) {
+    return std::make_unique<workloads::XsBench>(workloads::XsBench::from_footprint(bytes));
+  };
+  const auto plan =
+      planner.plan(factory, 22ull * 1000 * 1000 * 1000, {1}, 64, comm::none());
+  EXPECT_EQ(plan.config, MemConfig::DRAM);
+}
+
+TEST(CapacityPlanner, ThrowsWhenNothingFits) {
+  ClusterMachine cluster;
+  const CapacityPlanner planner(cluster);
+  // 400 GB on one node exceeds even DDR.
+  EXPECT_THROW((void)planner.plan(minife_factory(), 400ull * 1000 * 1000 * 1000, {1},
+                                  64, comm::none()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace knl::cluster

@@ -1,0 +1,128 @@
+// Tests for the MPI-style collective cost models.
+#include "cluster/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "workloads/minife.hpp"
+
+namespace knl::cluster {
+namespace {
+
+Interconnect simple_net() {
+  return Interconnect(InterconnectConfig{.alpha_us = 1.0, .beta_gbs = 10.0,
+                                         .alltoall_efficiency = 1.0});
+}
+
+TEST(Collectives, BarrierIsLogRounds) {
+  Collectives coll(simple_net());
+  EXPECT_EQ(coll.barrier(1).rounds, 0);
+  EXPECT_EQ(coll.barrier(2).rounds, 1);
+  EXPECT_EQ(coll.barrier(8).rounds, 3);
+  EXPECT_EQ(coll.barrier(9).rounds, 4);  // non-power-of-two rounds up
+  EXPECT_NEAR(coll.barrier(8).seconds, 3e-6, 1e-12);
+}
+
+TEST(Collectives, BroadcastBinomial) {
+  Collectives coll(simple_net());
+  const auto cost = coll.broadcast(16, 1 << 20);
+  EXPECT_EQ(cost.rounds, 4);
+  // 4 rounds x (1 us + 1 MiB / 10 GB/s).
+  EXPECT_NEAR(cost.seconds, 4.0 * (1e-6 + (1 << 20) / 10e9), 1e-12);
+  EXPECT_EQ(cost.algorithm, "binomial");
+}
+
+TEST(Collectives, AllreducePicksRecursiveDoublingForSmallMessages) {
+  Collectives coll(simple_net());
+  const auto small = coll.allreduce(8, 8);  // the CG dot product
+  EXPECT_EQ(small.algorithm, "recursive-doubling");
+  EXPECT_EQ(small.rounds, 3);
+}
+
+TEST(Collectives, AllreducePicksRingForLargeMessages) {
+  Collectives coll(simple_net());
+  const auto large = coll.allreduce(8, 64 << 20);
+  EXPECT_EQ(large.algorithm, "ring");
+  EXPECT_EQ(large.rounds, 14);  // 2(p-1)
+  // Ring must indeed be cheaper than log2(p) full-buffer steps here.
+  const double t_rd = 3.0 * (1e-6 + (64 << 20) / 10e9);
+  EXPECT_LT(large.seconds, t_rd);
+}
+
+TEST(Collectives, AllreduceSingleRankFree) {
+  Collectives coll(simple_net());
+  EXPECT_DOUBLE_EQ(coll.allreduce(1, 1 << 20).seconds, 0.0);
+}
+
+TEST(Collectives, AllgatherRing) {
+  Collectives coll(simple_net());
+  const auto cost = coll.allgather(4, 1000);
+  EXPECT_EQ(cost.rounds, 3);
+  EXPECT_NEAR(cost.wire_bytes_per_rank, 3000.0, 1e-9);
+}
+
+TEST(Collectives, AlltoallPairwise) {
+  Collectives coll(simple_net());
+  const auto cost = coll.alltoall(4, 4000);
+  EXPECT_EQ(cost.rounds, 3);
+  EXPECT_NEAR(cost.wire_bytes_per_rank, 3.0 * 1000.0, 1e-9);  // chunks of n/p
+}
+
+TEST(Collectives, CostsGrowWithRanks) {
+  Collectives coll(simple_net());
+  for (auto fn : {&Collectives::barrier}) {
+    double prev = -1.0;
+    for (const int ranks : {2, 4, 8, 16, 32}) {
+      const double t = (coll.*fn)(ranks).seconds;
+      EXPECT_GE(t, prev);
+      prev = t;
+    }
+  }
+  double prev = -1.0;
+  for (const int ranks : {2, 4, 8, 16}) {
+    const double t = coll.allreduce(ranks, 1 << 10).seconds;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Collectives, InvalidRanksThrow) {
+  Collectives coll;
+  EXPECT_THROW((void)coll.barrier(0), std::invalid_argument);
+}
+
+TEST(MinifeCgCommModel, AddsAllreducesToHalo) {
+  const CommModel model = comm::minife_cg(200);
+  const auto single = model(10ull << 30, 1);
+  EXPECT_EQ(single.allreduce_count, 0);
+  const auto multi = model(10ull << 30, 4);
+  EXPECT_EQ(multi.allreduce_count, 400);
+  EXPECT_EQ(multi.allreduce_bytes, 8u);
+  EXPECT_GT(multi.bytes_per_node, 0.0);  // halo still present
+}
+
+TEST(MinifeCgCommModel, AllreduceLatencyShowsUpInScaling) {
+  // The same decomposition must cost strictly more with the CG allreduces
+  // than with the bare halo — and the delta must match the collectives
+  // price (2 * iters * allreduce(p, 8B)).
+  ClusterMachine machine;
+  const NodeWorkloadFactory factory = [](std::uint64_t bytes) {
+    return std::make_unique<workloads::MiniFe>(workloads::MiniFe::from_footprint(bytes));
+  };
+  const auto total = 20ull * 1000 * 1000 * 1000;
+  const auto bare = machine.run_strong(factory, total, 8,
+                                       RunConfig{MemConfig::DRAM, 64},
+                                       comm::halo3d(200));
+  const auto full = machine.run_strong(factory, total, 8,
+                                       RunConfig{MemConfig::DRAM, 64},
+                                       comm::minife_cg(200));
+  ASSERT_TRUE(bare.feasible && full.feasible);
+  EXPECT_GT(full.comm_seconds, bare.comm_seconds);
+  const Collectives coll{Interconnect{}};
+  const double expected_delta = 400.0 * coll.allreduce(8, 8).seconds;
+  EXPECT_NEAR(full.comm_seconds - bare.comm_seconds, expected_delta,
+              expected_delta * 0.01);
+}
+
+}  // namespace
+}  // namespace knl::cluster

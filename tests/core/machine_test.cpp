@@ -1,0 +1,166 @@
+// Tests for the Machine facade: feasibility rules, run orchestration, the
+// alternative placements and hybrid mode.
+#include "core/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/gups.hpp"
+#include "workloads/minife.hpp"
+#include "workloads/stream.hpp"
+
+namespace knl {
+namespace {
+
+trace::AccessProfile profile_of_bytes(std::uint64_t bytes) {
+  trace::AccessProfile p("test");
+  trace::AccessPhase phase;
+  phase.name = "sweep";
+  phase.pattern = trace::Pattern::Sequential;
+  phase.footprint_bytes = bytes;
+  phase.logical_bytes = static_cast<double>(bytes);
+  p.add(phase);
+  return p;
+}
+
+TEST(Machine, HbmRunInfeasibleBeyondCapacity) {
+  Machine machine;
+  // Paper: "No measurements for HBM in flat mode when the problem size
+  // exceeds its capacity" — 17 GiB > 16 GiB must be rejected.
+  const auto r = machine.run(profile_of_bytes(17 * GiB), RunConfig{MemConfig::HBM, 64});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.infeasible_reason.find("membind"), std::string::npos);
+  // 15 GiB fits.
+  EXPECT_TRUE(
+      machine.run(profile_of_bytes(15 * GiB), RunConfig{MemConfig::HBM, 64}).feasible);
+}
+
+TEST(Machine, DramRunInfeasibleBeyond96GiB) {
+  Machine machine;
+  EXPECT_FALSE(
+      machine.run(profile_of_bytes(97 * GiB), RunConfig{MemConfig::DRAM, 64}).feasible);
+  // XSBench's 90 GB must fit (Table I's largest problem).
+  EXPECT_TRUE(machine
+                  .run(profile_of_bytes(static_cast<std::uint64_t>(90e9)),
+                       RunConfig{MemConfig::DRAM, 64})
+                  .feasible);
+}
+
+TEST(Machine, CacheModeCapacityIsDdr) {
+  Machine machine;
+  EXPECT_TRUE(machine.run(profile_of_bytes(30 * GiB), RunConfig{MemConfig::CacheMode, 64})
+                  .feasible);
+  EXPECT_FALSE(
+      machine.run(profile_of_bytes(97 * GiB), RunConfig{MemConfig::CacheMode, 64})
+          .feasible);
+}
+
+TEST(Machine, RunAccumulatesAcrossPhases) {
+  Machine machine;
+  trace::AccessProfile p("two-phase");
+  trace::AccessPhase a;
+  a.name = "a";
+  a.pattern = trace::Pattern::Sequential;
+  a.footprint_bytes = 2 * GiB;
+  a.logical_bytes = 2e9;
+  trace::AccessPhase b = a;
+  b.name = "b";
+  p.add(a).add(b);
+
+  const auto detailed = machine.run_detailed(p, RunConfig{MemConfig::DRAM, 64});
+  ASSERT_EQ(detailed.phases.size(), 2u);
+  EXPECT_NEAR(detailed.summary.seconds,
+              detailed.phases[0].timing.seconds + detailed.phases[1].timing.seconds,
+              1e-12);
+  EXPECT_GT(detailed.summary.achieved_bw_gbs, 0.0);
+}
+
+TEST(Machine, TopologyFollowsMemConfig) {
+  Machine machine;
+  EXPECT_EQ(machine.topology(MemConfig::DRAM).num_nodes(), 2);
+  EXPECT_EQ(machine.topology(MemConfig::HBM).num_nodes(), 2);
+  EXPECT_EQ(machine.topology(MemConfig::CacheMode).num_nodes(), 1);
+}
+
+TEST(Machine, FlatPlacementInterleaveFeasibleBeyondEitherNode) {
+  Machine machine;
+  // 100 GiB exceeds DDR alone but fits DDR+MCDRAM interleaved — the paper's
+  // SIV-C point about running problems larger than either memory.
+  const auto p = profile_of_bytes(100 * GiB);
+  EXPECT_FALSE(machine.run(p, RunConfig{MemConfig::DRAM, 64}).feasible);
+  EXPECT_TRUE(machine.run_flat_placement(p, 64, Placement::Interleave).feasible);
+}
+
+TEST(Machine, FlatPlacementPreferredMatchesSpillFraction) {
+  Machine machine;
+  const auto p = profile_of_bytes(32 * GiB);
+  const auto r = machine.run_flat_placement(p, 64, Placement::Preferred);
+  EXPECT_TRUE(r.feasible);
+  const auto strict = machine.run_flat_placement(p, 64, Placement::HBM);
+  EXPECT_FALSE(strict.feasible);
+}
+
+TEST(Machine, HybridFullCacheEqualsCacheMode) {
+  Machine machine;
+  const auto minife = workloads::MiniFe::from_footprint(20 * GiB);
+  const auto p = minife.profile();
+  const auto hybrid = machine.run_hybrid(p, 64, /*cache_fraction=*/1.0,
+                                         /*flat_hbm_bytes=*/0);
+  const auto cache = machine.run(p, RunConfig{MemConfig::CacheMode, 64});
+  ASSERT_TRUE(hybrid.feasible);
+  EXPECT_NEAR(hybrid.seconds, cache.seconds, cache.seconds * 0.01);
+}
+
+TEST(Machine, HybridRejectsOversizedFlatRequest) {
+  Machine machine;
+  const auto p = profile_of_bytes(20 * GiB);
+  const auto r = machine.run_hybrid(p, 64, 0.5, 12 * GiB);  // flat part only 8 GiB
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Machine, HybridValidatesFraction) {
+  Machine machine;
+  const auto p = profile_of_bytes(1 * GiB);
+  EXPECT_THROW((void)machine.run_hybrid(p, 64, -0.1, 0), std::invalid_argument);
+  EXPECT_THROW((void)machine.run_hybrid(p, 64, 1.5, 0), std::invalid_argument);
+}
+
+TEST(Machine, HybridBeatsAllDramWhenHotDataFitsFlat) {
+  Machine machine;
+  const auto minife = workloads::MiniFe::from_footprint(24 * GiB);
+  const auto p = minife.profile();
+  const auto dram = machine.run(p, RunConfig{MemConfig::DRAM, 64});
+  const auto hybrid = machine.run_hybrid(p, 64, 0.25, 8 * GiB);
+  ASSERT_TRUE(dram.feasible && hybrid.feasible);
+  EXPECT_LT(hybrid.seconds, dram.seconds);
+}
+
+TEST(Machine, InvalidRunConfigThrows) {
+  Machine machine;
+  EXPECT_THROW((void)machine.run(profile_of_bytes(GiB), RunConfig{MemConfig::DRAM, 0}),
+               std::invalid_argument);
+}
+
+TEST(Machine, ConfigValidationRejectsInconsistentViews) {
+  MachineConfig cfg;
+  cfg.timing.hbm.capacity_bytes = 8 * GiB;  // physical view still 16 GiB
+  EXPECT_THROW(Machine{cfg}, std::invalid_argument);
+}
+
+TEST(Machine, DdrOnlyMachineRejectsHbmRuns) {
+  Machine machine(MachineConfig::ddr_only());
+  const auto r = machine.run(profile_of_bytes(GiB), RunConfig{MemConfig::HBM, 64});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Machine, EqualLatencyMachineRemovesRandomAccessPenalty) {
+  Machine real;
+  Machine equal(MachineConfig::knl7210_equal_latency());
+  const workloads::Gups gups(4 * GiB);
+  const auto p = gups.profile();
+  const auto dram = real.run(p, RunConfig{MemConfig::DRAM, 64});
+  const auto hbm_equal = equal.run(p, RunConfig{MemConfig::HBM, 64});
+  EXPECT_NEAR(hbm_equal.seconds, dram.seconds, dram.seconds * 0.02);
+}
+
+}  // namespace
+}  // namespace knl

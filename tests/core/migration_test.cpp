@@ -1,0 +1,86 @@
+// Tests for the hot-page migration runtime model.
+#include "core/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/minife.hpp"
+#include "workloads/gups.hpp"
+
+namespace knl {
+namespace {
+
+struct MigrationFixture : ::testing::Test {
+  Machine machine;
+  MigrationRuntime runtime{machine};
+};
+
+TEST_F(MigrationFixture, ApproachesStaticPlanFromBelow) {
+  const auto minife = workloads::MiniFe::from_footprint(24ull * 1000 * 1000 * 1000);
+  const auto profile = minife.profile();
+  const MigrationOutcome outcome = runtime.run(profile, 64);
+  ASSERT_TRUE(outcome.result.feasible);
+  // Migration carries overheads, so it can never beat the static plan...
+  EXPECT_GE(outcome.result.seconds, outcome.static_plan_seconds);
+  // ...but with mild lag/churn it must capture most of the benefit.
+  EXPECT_GT(outcome.speedup_vs_all_ddr, 1.8);
+  EXPECT_GT(outcome.hot_bytes, 0u);
+}
+
+TEST_F(MigrationFixture, OracleDaemonMatchesStaticPlanExactly) {
+  const auto minife = workloads::MiniFe::from_footprint(10ull * 1000 * 1000 * 1000);
+  MigrationConfig oracle;
+  oracle.detection_lag = 0.0;
+  oracle.churn_fraction = 0.0;
+  oracle.copy_bw_gbs = 1e9;  // free copies
+  const MigrationOutcome outcome = runtime.run(minife.profile(), 64, oracle);
+  EXPECT_NEAR(outcome.result.seconds, outcome.static_plan_seconds,
+              outcome.static_plan_seconds * 1e-6);
+}
+
+TEST_F(MigrationFixture, WorseLagWorsePerformance) {
+  const auto minife = workloads::MiniFe::from_footprint(20ull * 1000 * 1000 * 1000);
+  const auto profile = minife.profile();
+  double prev = 0.0;
+  for (const double lag : {0.0, 0.2, 0.5, 0.9}) {
+    MigrationConfig cfg;
+    cfg.detection_lag = lag;
+    const MigrationOutcome outcome = runtime.run(profile, 64, cfg);
+    EXPECT_GE(outcome.result.seconds, prev);
+    prev = outcome.result.seconds;
+  }
+}
+
+TEST_F(MigrationFixture, LatencyBoundWorkloadGainsNothingButLosesLittle) {
+  // GUPS: the optimizer promotes nothing, so migration must be a no-op —
+  // no hot bytes, no migration traffic, speedup 1.0.
+  const workloads::Gups gups(8ull << 30);
+  const MigrationOutcome outcome = runtime.run(gups.profile(), 64);
+  EXPECT_EQ(outcome.hot_bytes, 0u);
+  EXPECT_DOUBLE_EQ(outcome.migration_seconds, 0.0);
+  EXPECT_NEAR(outcome.speedup_vs_all_ddr, 1.0, 1e-9);
+}
+
+TEST_F(MigrationFixture, ChurnCostScalesWithRunLength) {
+  const auto minife = workloads::MiniFe::from_footprint(20ull * 1000 * 1000 * 1000);
+  MigrationConfig low;
+  low.churn_fraction = 0.0;
+  MigrationConfig high;
+  high.churn_fraction = 0.5;
+  const auto quiet = runtime.run(minife.profile(), 64, low);
+  const auto churny = runtime.run(minife.profile(), 64, high);
+  EXPECT_GT(churny.migration_seconds, quiet.migration_seconds);
+  EXPECT_GT(churny.result.seconds, quiet.result.seconds);
+}
+
+TEST_F(MigrationFixture, Validation) {
+  const auto minife = workloads::MiniFe::from_footprint(1ull << 30);
+  MigrationConfig bad;
+  bad.interval_seconds = 0.0;
+  EXPECT_THROW((void)runtime.run(minife.profile(), 64, bad), std::invalid_argument);
+  MigrationConfig bad2;
+  bad2.detection_lag = 1.5;
+  EXPECT_THROW((void)runtime.run(minife.profile(), 64, bad2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knl

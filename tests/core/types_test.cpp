@@ -1,0 +1,49 @@
+// Tests for the core vocabulary types.
+#include "core/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace knl {
+namespace {
+
+TEST(Types, ToStringCoversAllEnumerators) {
+  EXPECT_EQ(to_string(MemoryMode::Flat), "flat");
+  EXPECT_EQ(to_string(MemoryMode::Cache), "cache");
+  EXPECT_EQ(to_string(MemoryMode::Hybrid), "hybrid");
+  EXPECT_EQ(to_string(MemNode::DDR), "DDR");
+  EXPECT_EQ(to_string(MemNode::HBM), "HBM");
+  EXPECT_EQ(to_string(MemConfig::DRAM), "DRAM");
+  EXPECT_EQ(to_string(MemConfig::HBM), "HBM");
+  EXPECT_EQ(to_string(MemConfig::CacheMode), "Cache Mode");
+}
+
+TEST(Types, StreamInsertion) {
+  std::ostringstream os;
+  os << MemoryMode::Flat << '/' << MemNode::HBM << '/' << MemConfig::CacheMode << '/'
+     << Placement::Preferred;
+  EXPECT_EQ(os.str(), "flat/HBM/Cache Mode/preferred=1");
+}
+
+TEST(Types, RunConfigValidity) {
+  EXPECT_TRUE((RunConfig{MemConfig::DRAM, 64, 0.0}).valid());
+  EXPECT_FALSE((RunConfig{MemConfig::DRAM, 0, 0.0}).valid());
+  EXPECT_FALSE((RunConfig{MemConfig::DRAM, -3, 0.0}).valid());
+}
+
+TEST(Types, ByteUnitConstants) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+  EXPECT_DOUBLE_EQ(GB, 1e9);
+}
+
+TEST(Types, NodeNumberingMatchesTestbed) {
+  // Table II: node 0 = DDR, node 1 = MCDRAM.
+  EXPECT_EQ(static_cast<int>(MemNode::DDR), 0);
+  EXPECT_EQ(static_cast<int>(MemNode::HBM), 1);
+}
+
+}  // namespace
+}  // namespace knl

@@ -1,0 +1,91 @@
+// Tests for the hbwmalloc-compatible shim.
+#include "mem/hbwmalloc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knl::mem {
+namespace {
+
+struct HbwFixture : ::testing::Test {
+  HbwFixture() : phys(make_config()), alloc(phys), hbw(alloc) {}
+
+  static sim::PhysicalMemoryConfig make_config() {
+    sim::PhysicalMemoryConfig cfg;
+    cfg.page_bytes = 4096;
+    cfg.ddr.capacity_bytes = 64 * 4096;
+    cfg.hbm.capacity_bytes = 8 * 4096;
+    cfg.fragmentation = 0.0;
+    return cfg;
+  }
+
+  sim::PhysicalMemory phys;
+  MemKindAllocator alloc;
+  HbwMalloc hbw;
+};
+
+TEST_F(HbwFixture, CheckAvailableReflectsMcdram) {
+  EXPECT_EQ(hbw.check_available(), 0);
+  const std::uint64_t p = hbw.malloc(8 * 4096);  // exhaust MCDRAM
+  ASSERT_NE(p, 0u);
+  EXPECT_NE(hbw.check_available(), 0);
+  hbw.free(p);
+  EXPECT_EQ(hbw.check_available(), 0);
+}
+
+TEST_F(HbwFixture, BindPolicyFailsWhenFull) {
+  EXPECT_EQ(hbw.get_policy(), HbwPolicy::Bind);
+  const std::uint64_t a = hbw.malloc(8 * 4096);
+  ASSERT_NE(a, 0u);
+  EXPECT_TRUE(hbw.verify_hbw(a));
+  EXPECT_EQ(hbw.malloc(4096), 0u);  // MCDRAM full, bind fails
+}
+
+TEST_F(HbwFixture, PreferredPolicySpills) {
+  ASSERT_EQ(hbw.set_policy(HbwPolicy::Preferred), 0);
+  const std::uint64_t a = hbw.malloc(12 * 4096);  // > 8-page MCDRAM
+  ASSERT_NE(a, 0u);
+  EXPECT_FALSE(hbw.verify_hbw(a));  // partially spilled to DDR
+}
+
+TEST_F(HbwFixture, PolicyLatchedByFirstAllocation) {
+  const std::uint64_t a = hbw.malloc(4096);
+  ASSERT_NE(a, 0u);
+  EXPECT_NE(hbw.set_policy(HbwPolicy::Interleave), 0);  // too late
+  EXPECT_EQ(hbw.get_policy(), HbwPolicy::Bind);
+}
+
+TEST_F(HbwFixture, CallocOverflowAndZero) {
+  EXPECT_EQ(hbw.malloc(0), 0u);
+  EXPECT_EQ(hbw.calloc(UINT64_MAX, 16), 0u);  // overflow detected
+  const std::uint64_t a = hbw.calloc(4, 1024);
+  EXPECT_NE(a, 0u);
+}
+
+TEST_F(HbwFixture, PosixMemalignContract) {
+  std::uint64_t out = 0;
+  EXPECT_EQ(hbw.posix_memalign(&out, 64, 4096), 0);
+  EXPECT_NE(out, 0u);
+  EXPECT_EQ(out % 64, 0u);
+  EXPECT_NE(hbw.posix_memalign(&out, 48, 4096), 0);  // not a power of two
+  EXPECT_NE(hbw.posix_memalign(&out, 4, 4096), 0);   // below minimum
+  EXPECT_NE(hbw.posix_memalign(nullptr, 64, 4096), 0);
+  // ENOMEM path: MCDRAM exhausted under bind policy.
+  std::uint64_t big = 0;
+  EXPECT_NE(hbw.posix_memalign(&big, 64, 100 * 4096), 0);
+  EXPECT_EQ(big, 0u);
+}
+
+TEST_F(HbwFixture, FreeSemantics) {
+  hbw.free(0);  // free(NULL): no-op
+  const std::uint64_t a = hbw.malloc(4096);
+  hbw.free(a);
+  EXPECT_THROW(hbw.free(a), std::logic_error);  // double free detected
+  EXPECT_EQ(hbw.live_allocations(), 0u);
+}
+
+TEST_F(HbwFixture, VerifyHbwUnknownAddressFalse) {
+  EXPECT_FALSE(hbw.verify_hbw(424242));
+}
+
+}  // namespace
+}  // namespace knl::mem

@@ -1,0 +1,128 @@
+// Tests for the memkind-style allocator.
+#include "mem/memkind.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knl::mem {
+namespace {
+
+struct MemKindFixture : ::testing::Test {
+  MemKindFixture() : phys(make_config()), alloc(phys) {}
+
+  static sim::PhysicalMemoryConfig make_config() {
+    sim::PhysicalMemoryConfig cfg;
+    cfg.page_bytes = 4096;
+    cfg.ddr.capacity_bytes = 96 * 4096;
+    cfg.hbm.capacity_bytes = 16 * 4096;
+    cfg.fragmentation = 0.0;
+    return cfg;
+  }
+
+  sim::PhysicalMemory phys;
+  MemKindAllocator alloc;
+};
+
+TEST_F(MemKindFixture, DefaultKindLandsOnDdr) {
+  const auto a = alloc.allocate(MemKind::Default, 10 * 4096);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->hbm_fraction, 0.0);
+  const auto split = alloc.node_split(*a);
+  EXPECT_EQ(split.ddr_pages, 10u);
+  EXPECT_EQ(split.hbm_pages, 0u);
+}
+
+TEST_F(MemKindFixture, HbwKindLandsOnMcdram) {
+  const auto a = alloc.allocate(MemKind::Hbw, 4 * 4096);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->hbm_fraction, 1.0);
+}
+
+TEST_F(MemKindFixture, HbwFailsWhenMcdramFull) {
+  ASSERT_TRUE(alloc.allocate(MemKind::Hbw, 16 * 4096).has_value());
+  EXPECT_FALSE(alloc.allocate(MemKind::Hbw, 4096).has_value());
+  EXPECT_EQ(alloc.stats().failed_allocations, 1u);
+}
+
+TEST_F(MemKindFixture, HbwPreferredSpills) {
+  const auto a = alloc.allocate(MemKind::HbwPreferred, 20 * 4096);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_NEAR(a->hbm_fraction, 16.0 / 20.0, 1e-9);
+}
+
+TEST_F(MemKindFixture, HbwInterleaveAlternates) {
+  const auto a = alloc.allocate(MemKind::HbwInterleave, 8 * 4096);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_NEAR(a->hbm_fraction, 0.5, 1e-9);
+}
+
+TEST_F(MemKindFixture, StatsTrackLiveness) {
+  const auto a = alloc.allocate(MemKind::Default, 4096);
+  const auto b = alloc.allocate(MemKind::Hbw, 4096);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(alloc.stats().live_allocations, 2u);
+  EXPECT_EQ(alloc.stats().live_bytes, 2u * 4096);
+  alloc.free(*a);
+  EXPECT_EQ(alloc.stats().live_allocations, 1u);
+  EXPECT_EQ(alloc.stats().live_bytes, 4096u);
+  EXPECT_EQ(alloc.stats().total_allocations, 2u);
+}
+
+TEST_F(MemKindFixture, DoubleFreeThrows) {
+  const auto a = alloc.allocate(MemKind::Default, 4096);
+  ASSERT_TRUE(a);
+  alloc.free(*a);
+  EXPECT_THROW((void)alloc.free(*a), std::logic_error);
+}
+
+TEST_F(MemKindFixture, FreeUnknownThrows) {
+  KindAllocation bogus{.vaddr = 12345, .bytes = 4096, .kind = MemKind::Default};
+  EXPECT_THROW((void)alloc.free(bogus), std::logic_error);
+}
+
+TEST_F(MemKindFixture, FreeReturnsCapacity) {
+  const auto a = alloc.allocate(MemKind::Hbw, 16 * 4096);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(alloc.available_bytes(MemKind::Hbw), 0u);
+  alloc.free(*a);
+  EXPECT_EQ(alloc.available_bytes(MemKind::Hbw), 16u * 4096);
+  EXPECT_TRUE(alloc.allocate(MemKind::Hbw, 16 * 4096).has_value());
+}
+
+TEST_F(MemKindFixture, SubPageAllocationRoundsUpToAPage) {
+  const auto a = alloc.allocate(MemKind::Default, 100);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(alloc.node_split(*a).total(), 1u);
+  alloc.free(*a);
+}
+
+TEST_F(MemKindFixture, ZeroByteAllocationFails) {
+  EXPECT_FALSE(alloc.allocate(MemKind::Default, 0).has_value());
+}
+
+TEST_F(MemKindFixture, ManyAllocFreeCyclesDoNotLeak) {
+  for (int i = 0; i < 200; ++i) {
+    const auto a = alloc.allocate(MemKind::HbwPreferred, 3 * 4096);
+    ASSERT_TRUE(a) << "cycle " << i;
+    alloc.free(*a);
+  }
+  EXPECT_EQ(alloc.stats().live_bytes, 0u);
+  EXPECT_EQ(phys.free_frames(MemNode::HBM), 16u);
+  EXPECT_EQ(phys.free_frames(MemNode::DDR), 96u);
+}
+
+TEST_F(MemKindFixture, DistinctAllocationsGetDisjointVirtualRanges) {
+  const auto a = alloc.allocate(MemKind::Default, 2 * 4096);
+  const auto b = alloc.allocate(MemKind::Default, 2 * 4096);
+  ASSERT_TRUE(a && b);
+  EXPECT_GE(b->vaddr, a->vaddr + a->bytes);
+}
+
+TEST(MemKindNames, ToStringMatchesLibraryConstants) {
+  EXPECT_EQ(to_string(MemKind::Default), "MEMKIND_DEFAULT");
+  EXPECT_EQ(to_string(MemKind::Hbw), "MEMKIND_HBW");
+  EXPECT_EQ(to_string(MemKind::HbwPreferred), "MEMKIND_HBW_PREFERRED");
+  EXPECT_EQ(to_string(MemKind::HbwInterleave), "MEMKIND_HBW_INTERLEAVE");
+}
+
+}  // namespace
+}  // namespace knl::mem

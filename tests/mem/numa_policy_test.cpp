@@ -1,0 +1,101 @@
+// Tests for the numactl-style placement policies.
+#include "mem/numa_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knl::mem {
+namespace {
+
+struct PolicyFixture : ::testing::Test {
+  PolicyFixture() : phys(make_config()), pt(phys.page_bytes()) {}
+
+  static sim::PhysicalMemoryConfig make_config() {
+    sim::PhysicalMemoryConfig cfg;
+    cfg.page_bytes = 4096;
+    cfg.ddr.capacity_bytes = 96 * 4096;
+    cfg.hbm.capacity_bytes = 16 * 4096;
+    cfg.fragmentation = 0.0;
+    return cfg;
+  }
+
+  sim::PhysicalMemory phys;
+  sim::PageTable pt;
+};
+
+TEST_F(PolicyFixture, MembindDdrPlacesEverythingOnNodeZero) {
+  const auto r = NumaPolicy::membind(MemNode::DDR).place(4096, 10 * 4096, phys, pt);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.pages, 10u);
+  EXPECT_EQ(r.hbm_pages, 0u);
+  EXPECT_DOUBLE_EQ(r.hbm_fraction(), 0.0);
+}
+
+TEST_F(PolicyFixture, MembindHbmIsStrict) {
+  // Fits: ok.
+  const auto ok = NumaPolicy::membind(MemNode::HBM).place(4096, 16 * 4096, phys, pt);
+  ASSERT_TRUE(ok.ok);
+  EXPECT_DOUBLE_EQ(ok.hbm_fraction(), 1.0);
+  // A second strict bind must fail (node full) and change nothing.
+  const auto fail =
+      NumaPolicy::membind(MemNode::HBM).place(100 * 4096, 4096, phys, pt);
+  EXPECT_FALSE(fail.ok);
+  EXPECT_FALSE(fail.error.empty());
+  EXPECT_EQ(phys.free_frames(MemNode::HBM), 0u);
+  EXPECT_EQ(phys.free_frames(MemNode::DDR), 96u);  // no fallback happened
+}
+
+TEST_F(PolicyFixture, PreferredSpillsToDdr) {
+  const auto r = NumaPolicy::preferred(MemNode::HBM).place(4096, 20 * 4096, phys, pt);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.hbm_pages, 16u);
+  EXPECT_EQ(r.pages, 20u);
+  EXPECT_NEAR(r.hbm_fraction(), 0.8, 1e-9);
+}
+
+TEST_F(PolicyFixture, InterleaveBalancesPages) {
+  const auto r = NumaPolicy::interleave().place(4096, 20 * 4096, phys, pt);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.hbm_pages, 10u);
+  EXPECT_NEAR(r.hbm_fraction(), 0.5, 1e-9);
+}
+
+TEST_F(PolicyFixture, InterleaveFallsBackWhenOneNodeFills) {
+  // 40 pages: HBM holds only 16, so round-robin gives 16 HBM + 24 DDR.
+  const auto r = NumaPolicy::interleave().place(4096, 40 * 4096, phys, pt);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.hbm_pages, 16u);
+  EXPECT_EQ(r.pages - r.hbm_pages, 24u);
+}
+
+TEST_F(PolicyFixture, InterleaveFailsWhenBothFull) {
+  const auto r = NumaPolicy::interleave().place(4096, 200 * 4096, phys, pt);
+  EXPECT_FALSE(r.ok);
+  // All-or-nothing: frames must have been returned.
+  EXPECT_EQ(phys.free_frames(MemNode::DDR), 96u);
+  EXPECT_EQ(phys.free_frames(MemNode::HBM), 16u);
+}
+
+TEST_F(PolicyFixture, ZeroBytesIsTrivialSuccess) {
+  const auto r = NumaPolicy::local().place(4096, 0, phys, pt);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.pages, 0u);
+}
+
+TEST_F(PolicyFixture, PlacementInstallsTranslations) {
+  ASSERT_TRUE(NumaPolicy::membind(MemNode::HBM).place(8 * 4096, 2 * 4096, phys, pt).ok);
+  const auto frame = pt.translate(8 * 4096);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->node, MemNode::HBM);
+}
+
+TEST(NumaPolicyMeta, PlacementTagsMatchNumactlSpelling) {
+  EXPECT_EQ(NumaPolicy::membind(MemNode::DDR).placement(), Placement::DDR);
+  EXPECT_EQ(NumaPolicy::membind(MemNode::HBM).placement(), Placement::HBM);
+  EXPECT_EQ(NumaPolicy::preferred(MemNode::HBM).placement(), Placement::Preferred);
+  EXPECT_EQ(NumaPolicy::interleave().placement(), Placement::Interleave);
+  EXPECT_EQ(to_string(Placement::HBM), "membind=1");
+  EXPECT_EQ(to_string(Placement::Interleave), "interleave=0,1");
+}
+
+}  // namespace
+}  // namespace knl::mem

@@ -1,0 +1,65 @@
+// Tests for the NUMA topology exposure (paper Table II).
+#include "mem/numa_topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knl::mem {
+namespace {
+
+TEST(NumaTopology, FlatModeShowsTwoNodes) {
+  NumaTopology topo(MemoryMode::Flat);
+  ASSERT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.nodes()[0].size_bytes, 96 * GiB);
+  EXPECT_FALSE(topo.nodes()[0].is_hbm);
+  EXPECT_EQ(topo.nodes()[1].size_bytes, 16 * GiB);
+  EXPECT_TRUE(topo.nodes()[1].is_hbm);
+}
+
+TEST(NumaTopology, CacheModeShowsOneNode) {
+  NumaTopology topo(MemoryMode::Cache);
+  ASSERT_EQ(topo.num_nodes(), 1);
+  EXPECT_EQ(topo.nodes()[0].size_bytes, 96 * GiB);
+}
+
+TEST(NumaTopology, DistancesMatchTableII) {
+  NumaTopology topo(MemoryMode::Flat);
+  EXPECT_EQ(topo.distance(0, 0), 10);
+  EXPECT_EQ(topo.distance(1, 1), 10);
+  EXPECT_EQ(topo.distance(0, 1), 31);
+  EXPECT_EQ(topo.distance(1, 0), 31);
+}
+
+TEST(NumaTopology, DistanceOutOfRangeThrows) {
+  NumaTopology topo(MemoryMode::Cache);
+  EXPECT_THROW((void)topo.distance(0, 1), std::out_of_range);
+  EXPECT_THROW((void)topo.distance(-1, 0), std::out_of_range);
+}
+
+TEST(NumaTopology, HybridModeShrinksNodeOne) {
+  NumaTopology topo(MemoryMode::Hybrid, 0.75);
+  ASSERT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.nodes()[1].size_bytes, 4 * GiB);  // 25% of 16 GiB flat
+}
+
+TEST(NumaTopology, HybridAllCacheCollapsesToOneNode) {
+  NumaTopology topo(MemoryMode::Hybrid, 1.0);
+  EXPECT_EQ(topo.num_nodes(), 1);
+}
+
+TEST(NumaTopology, HardwareStringContainsDistances) {
+  NumaTopology topo(MemoryMode::Flat);
+  const std::string s = topo.hardware_string();
+  EXPECT_NE(s.find("10"), std::string::npos);
+  EXPECT_NE(s.find("31"), std::string::npos);
+  EXPECT_NE(s.find("96 GB"), std::string::npos);
+  EXPECT_NE(s.find("16 GB"), std::string::npos);
+  EXPECT_NE(s.find("MCDRAM"), std::string::npos);
+}
+
+TEST(NumaTopology, InvalidHybridFractionThrows) {
+  EXPECT_THROW((void)NumaTopology(MemoryMode::Hybrid, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)NumaTopology(MemoryMode::Hybrid, 1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knl::mem

@@ -1,0 +1,81 @@
+// Tests for SNC-4 sub-NUMA clustering support.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "mem/numa_topology.hpp"
+#include "workloads/gups.hpp"
+
+namespace knl::mem {
+namespace {
+
+TEST(Snc4Topology, FlatModeExposesEightNodes) {
+  const auto topo = NumaTopology::snc4(MemoryMode::Flat);
+  ASSERT_EQ(topo.num_nodes(), 8);
+  EXPECT_TRUE(topo.is_snc4());
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_EQ(topo.nodes()[static_cast<std::size_t>(q)].size_bytes, 24 * GiB);
+    EXPECT_FALSE(topo.nodes()[static_cast<std::size_t>(q)].is_hbm);
+    EXPECT_EQ(topo.nodes()[static_cast<std::size_t>(4 + q)].size_bytes, 4 * GiB);
+    EXPECT_TRUE(topo.nodes()[static_cast<std::size_t>(4 + q)].is_hbm);
+  }
+}
+
+TEST(Snc4Topology, CacheModeExposesFourDdrQuadrants) {
+  const auto topo = NumaTopology::snc4(MemoryMode::Cache);
+  ASSERT_EQ(topo.num_nodes(), 4);
+  for (const auto& node : topo.nodes()) EXPECT_FALSE(node.is_hbm);
+}
+
+TEST(Snc4Topology, DistanceTiers) {
+  const auto topo = NumaTopology::snc4(MemoryMode::Flat);
+  EXPECT_EQ(topo.distance(0, 0), 10);   // local
+  EXPECT_EQ(topo.distance(0, 1), 21);   // DDR, other quadrant
+  EXPECT_EQ(topo.distance(4, 5), 21);   // MCDRAM, other quadrant
+  EXPECT_EQ(topo.distance(0, 4), 31);   // own quadrant's MCDRAM
+  EXPECT_EQ(topo.distance(0, 5), 41);   // other quadrant's MCDRAM
+  EXPECT_EQ(topo.distance(5, 0), 41);   // symmetric
+}
+
+TEST(Snc4Topology, HybridRejected) {
+  EXPECT_THROW((void)NumaTopology::snc4(MemoryMode::Hybrid), std::invalid_argument);
+}
+
+TEST(Snc4Topology, HardwareStringListsAllNodes) {
+  const auto topo = NumaTopology::snc4(MemoryMode::Flat);
+  const std::string s = topo.hardware_string();
+  EXPECT_NE(s.find("24 GB"), std::string::npos);
+  EXPECT_NE(s.find("4 GB"), std::string::npos);
+  EXPECT_NE(s.find("41"), std::string::npos);
+}
+
+TEST(Snc4Machine, ShorterDirectoryWalkHelpsRandomAccess) {
+  // SNC-4's confined directory makes latency-bound codes slightly faster —
+  // the reason tuned deployments consider it despite the 8-node topology.
+  Machine quadrant;
+  Machine snc4(MachineConfig::knl7210_snc4());
+  const workloads::Gups gups(4ull << 30);
+  const auto profile = gups.profile();
+  const double q = gups.metric(quadrant.run(profile, {MemConfig::DRAM, 64}));
+  const double s = gups.metric(snc4.run(profile, {MemConfig::DRAM, 64}));
+  EXPECT_GT(s, q);
+  EXPECT_LT(s, q * 1.1);  // a few percent, not a regime change
+}
+
+TEST(Snc4Machine, StreamingUnaffected) {
+  // Bandwidth-bound work doesn't care about the directory walk.
+  Machine quadrant;
+  Machine snc4(MachineConfig::knl7210_snc4());
+  trace::AccessProfile p("s");
+  trace::AccessPhase phase;
+  phase.name = "sweep";
+  phase.pattern = trace::Pattern::Sequential;
+  phase.footprint_bytes = 4 * GiB;
+  phase.logical_bytes = 40e9;
+  p.add(phase);
+  const auto rq = quadrant.run(p, {MemConfig::DRAM, 64});
+  const auto rs = snc4.run(p, {MemConfig::DRAM, 64});
+  EXPECT_NEAR(rq.seconds, rs.seconds, rq.seconds * 0.001);
+}
+
+}  // namespace
+}  // namespace knl::mem

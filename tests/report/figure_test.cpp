@@ -1,0 +1,68 @@
+// Tests for the Figure container and renderers.
+#include "report/figure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knl::report {
+namespace {
+
+Figure sample() {
+  Figure f("Title", "X", "Y");
+  f.add("a", 1.0, 10.0);
+  f.add("a", 2.0, 20.0);
+  f.add("b", 1.0, 5.0);
+  return f;
+}
+
+TEST(Figure, SeriesOrderPreserved) {
+  const Figure f = sample();
+  ASSERT_EQ(f.series().size(), 2u);
+  EXPECT_EQ(f.series()[0].name, "a");
+  EXPECT_EQ(f.series()[1].name, "b");
+  EXPECT_EQ(f.series()[0].points.size(), 2u);
+}
+
+TEST(Figure, FindAndValueAt) {
+  const Figure f = sample();
+  EXPECT_NE(f.find("a"), nullptr);
+  EXPECT_EQ(f.find("missing"), nullptr);
+  EXPECT_EQ(f.value_at("a", 2.0), 20.0);
+  EXPECT_FALSE(f.value_at("a", 3.0).has_value());
+  EXPECT_FALSE(f.value_at("zzz", 1.0).has_value());
+}
+
+TEST(Figure, TableMarksMissingPoints) {
+  const Figure f = sample();
+  const std::string t = f.to_table();
+  EXPECT_NE(t.find("Title"), std::string::npos);
+  // Series b has no point at x=2 -> a "-" placeholder must appear.
+  EXPECT_NE(t.find('-'), std::string::npos);
+  EXPECT_NE(t.find("10.000"), std::string::npos);
+}
+
+TEST(Figure, CsvLayout) {
+  const Figure f = sample();
+  const std::string csv = f.to_csv();
+  EXPECT_EQ(csv.substr(0, 5), "X,a,b");
+  // Row for x=1 has both values; row for x=2 has empty b cell.
+  EXPECT_NE(csv.find("1.000,10.000,5.000"), std::string::npos);
+  EXPECT_NE(csv.find("2.000,20.000,\n"), std::string::npos);
+}
+
+TEST(Figure, ScientificFormattingForExtremes) {
+  Figure f("t", "x", "y");
+  f.add("s", 1.0, 2.5e8);
+  f.add("s", 2.0, 1e-6);
+  const std::string t = f.to_table();
+  EXPECT_NE(t.find("2.500e+08"), std::string::npos);
+  EXPECT_NE(t.find("1.000e-06"), std::string::npos);
+}
+
+TEST(Figure, EmptyFigureRendersHeaderOnly) {
+  Figure f("empty", "x", "y");
+  EXPECT_NO_THROW(f.to_table());
+  EXPECT_NO_THROW(f.to_csv());
+}
+
+}  // namespace
+}  // namespace knl::report

@@ -1,0 +1,92 @@
+// Tests for the roofline analysis.
+#include "report/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/dgemm.hpp"
+#include "workloads/gups.hpp"
+#include "workloads/minife.hpp"
+#include "workloads/stream.hpp"
+
+namespace knl::report {
+namespace {
+
+struct RooflineFixture : ::testing::Test {
+  Machine machine;
+};
+
+TEST_F(RooflineFixture, SlopesMatchStreamAnchors) {
+  const Roofline ddr(machine, MemConfig::DRAM, 64);
+  const Roofline hbm(machine, MemConfig::HBM, 64);
+  EXPECT_NEAR(ddr.stream_bw_gbs(), 77.0, 1.5);
+  EXPECT_NEAR(hbm.stream_bw_gbs(), 330.0, 6.0);
+  EXPECT_DOUBLE_EQ(ddr.peak_gflops(), hbm.peak_gflops());
+}
+
+TEST_F(RooflineFixture, RidgeMovesLeftWithHbm) {
+  // 4x bandwidth -> ridge intensity 4x lower: more codes become
+  // compute-bound — the reason DGEMM flips from memory- to compute-bound.
+  const Roofline ddr(machine, MemConfig::DRAM, 64);
+  const Roofline hbm(machine, MemConfig::HBM, 64);
+  EXPECT_NEAR(ddr.ridge_intensity() / hbm.ridge_intensity(),
+              hbm.stream_bw_gbs() / ddr.stream_bw_gbs(), 1e-9);
+}
+
+TEST_F(RooflineFixture, AttainableIsMinOfRoofAndSlope) {
+  const Roofline roof(machine, MemConfig::DRAM, 64);
+  const double low = roof.attainable_gflops(0.01);
+  EXPECT_NEAR(low, 0.01 * roof.stream_bw_gbs(), 1e-9);
+  const double high = roof.attainable_gflops(1e6);
+  EXPECT_DOUBLE_EQ(high, roof.peak_gflops());
+  EXPECT_THROW((void)roof.attainable_gflops(-1.0), std::invalid_argument);
+}
+
+TEST_F(RooflineFixture, DgemmFlipsFromMemoryToComputeBound) {
+  // The Fig. 4a story in roofline terms: the same DGEMM is memory-bound on
+  // DDR and compute-bound (or nearly) on MCDRAM.
+  const auto dgemm = workloads::Dgemm::from_footprint(6ull * 1000 * 1000 * 1000);
+  const Roofline ddr(machine, MemConfig::DRAM, 64);
+  const Roofline hbm(machine, MemConfig::HBM, 64);
+  const auto on_ddr = ddr.classify(dgemm);
+  const auto on_hbm = hbm.classify(dgemm);
+  EXPECT_FALSE(on_ddr.compute_bound);
+  EXPECT_TRUE(on_hbm.compute_bound);
+  EXPECT_GT(on_hbm.attainable_gflops, on_ddr.attainable_gflops);
+}
+
+TEST_F(RooflineFixture, StreamAndGupsAreMemoryBoundEverywhere) {
+  const workloads::StreamTriad stream(4ull << 30);
+  const workloads::Gups gups(4ull << 30);
+  for (const MemConfig config : {MemConfig::DRAM, MemConfig::HBM}) {
+    const Roofline roof(machine, config, 64);
+    EXPECT_FALSE(roof.classify(stream).compute_bound) << to_string(config);
+    EXPECT_FALSE(roof.classify(gups).compute_bound) << to_string(config);
+  }
+}
+
+TEST_F(RooflineFixture, CurveMonotoneNonDecreasing) {
+  const Roofline roof(machine, MemConfig::HBM, 128);
+  const auto curve = roof.curve(0.01, 100.0, 30);
+  ASSERT_EQ(curve.size(), 30u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+    EXPECT_GT(curve[i].first, curve[i - 1].first);
+  }
+  EXPECT_THROW((void)roof.curve(0.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW((void)roof.curve(1.0, 1.0, 10), std::invalid_argument);
+}
+
+TEST_F(RooflineFixture, ChartContainsRoofsAndMarkers) {
+  const auto minife = workloads::MiniFe::from_footprint(4ull << 30);
+  const Figure figure = Roofline::chart(machine, 64, {&minife});
+  EXPECT_NE(figure.find("DRAM roof"), nullptr);
+  EXPECT_NE(figure.find("HBM roof"), nullptr);
+  EXPECT_NE(figure.find("MiniFE"), nullptr);
+}
+
+TEST_F(RooflineFixture, Validation) {
+  EXPECT_THROW(Roofline(machine, MemConfig::DRAM, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knl::report

@@ -1,0 +1,60 @@
+// Tests for the statistics helpers.
+#include "report/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace knl::report {
+namespace {
+
+TEST(Stats, KnownValues) {
+  const std::array<double, 4> xs{1.0, 2.0, 4.0, 8.0};
+  EXPECT_DOUBLE_EQ(arithmetic_mean(xs), 3.75);
+  EXPECT_DOUBLE_EQ(harmonic_mean(xs), 4.0 / (1.0 + 0.5 + 0.25 + 0.125));
+  EXPECT_NEAR(geometric_mean(xs), std::pow(64.0, 0.25), 1e-12);  // product = 64
+  EXPECT_DOUBLE_EQ(minimum(xs), 1.0);
+  EXPECT_DOUBLE_EQ(maximum(xs), 8.0);
+}
+
+TEST(Stats, GeometricMeanOfEqualValuesIsValue) {
+  const std::array<double, 3> xs{5.0, 5.0, 5.0};
+  EXPECT_NEAR(geometric_mean(xs), 5.0, 1e-12);
+  EXPECT_NEAR(harmonic_mean(xs), 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, MeanInequalityHolds) {
+  // HM <= GM <= AM for positive values — the reason Graph500 reports
+  // harmonic-mean TEPS (it cannot be inflated by one lucky search).
+  const std::vector<double> xs{1.5, 2.0, 9.0, 4.2, 7.7};
+  EXPECT_LE(harmonic_mean(xs), geometric_mean(xs) + 1e-12);
+  EXPECT_LE(geometric_mean(xs), arithmetic_mean(xs) + 1e-12);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::array<double, 2> xs{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 1.0);
+}
+
+TEST(Stats, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)arithmetic_mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)harmonic_mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)geometric_mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)minimum(empty), std::invalid_argument);
+  EXPECT_THROW((void)maximum(empty), std::invalid_argument);
+  EXPECT_THROW((void)stddev(empty), std::invalid_argument);
+}
+
+TEST(Stats, NonPositiveRejectedWhereUndefined) {
+  const std::array<double, 2> with_zero{0.0, 1.0};
+  EXPECT_THROW((void)harmonic_mean(with_zero), std::invalid_argument);
+  EXPECT_THROW((void)geometric_mean(with_zero), std::invalid_argument);
+  EXPECT_NO_THROW((void)arithmetic_mean(with_zero));
+}
+
+}  // namespace
+}  // namespace knl::report

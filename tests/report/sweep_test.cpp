@@ -1,0 +1,79 @@
+// Tests for the sweep runner.
+#include "report/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/stream.hpp"
+
+namespace knl::report {
+namespace {
+
+WorkloadFactory stream_factory() {
+  return [](std::uint64_t bytes) -> std::unique_ptr<workloads::Workload> {
+    return std::make_unique<workloads::StreamTriad>(bytes);
+  };
+}
+
+TEST(Sweep, SizesProduceOnePointPerFeasibleConfig) {
+  Machine machine;
+  const auto figure =
+      sweep_sizes(machine, stream_factory(), {2ull << 30, 4ull << 30}, 64, kAllConfigs,
+                  Figure("t", "x", "y"));
+  ASSERT_EQ(figure.series().size(), 3u);
+  for (const auto& s : figure.series()) EXPECT_EQ(s.points.size(), 2u);
+}
+
+TEST(Sweep, InfeasibleHbmPointsOmitted) {
+  // 20 GB exceeds MCDRAM: the HBM series must simply miss that size,
+  // exactly like the paper's missing red bars.
+  Machine machine;
+  const auto figure = sweep_sizes(machine, stream_factory(),
+                                  {8ull << 30, 20ull << 30}, 64, kAllConfigs,
+                                  Figure("t", "x", "y"));
+  const Series* hbm = figure.find("HBM");
+  ASSERT_NE(hbm, nullptr);
+  EXPECT_EQ(hbm->points.size(), 1u);
+  const Series* dram = figure.find("DRAM");
+  ASSERT_NE(dram, nullptr);
+  EXPECT_EQ(dram->points.size(), 2u);
+}
+
+TEST(Sweep, ThreadsSweepUsesFixedWorkload) {
+  Machine machine;
+  const workloads::StreamTriad stream(4ull << 30);
+  const auto figure = sweep_threads(machine, stream, {64, 128}, {MemConfig::HBM},
+                                    Figure("t", "x", "y"));
+  const Series* hbm = figure.find("HBM");
+  ASSERT_NE(hbm, nullptr);
+  ASSERT_EQ(hbm->points.size(), 2u);
+  EXPECT_GT(hbm->points[1].second, hbm->points[0].second);  // SMT helps HBM
+}
+
+TEST(Sweep, SelfSpeedupNormalizesToFirstPoint) {
+  Figure f("t", "x", "y");
+  f.add("s", 1.0, 10.0);
+  f.add("s", 2.0, 15.0);
+  add_self_speedup_series(f);
+  EXPECT_DOUBLE_EQ(*f.value_at("s speedup", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(*f.value_at("s speedup", 2.0), 1.5);
+}
+
+TEST(Sweep, RatioSeriesOnlyWhereBothExist) {
+  Figure f("t", "x", "y");
+  f.add("num", 1.0, 30.0);
+  f.add("num", 2.0, 40.0);
+  f.add("den", 1.0, 10.0);
+  add_ratio_series(f, "num", "den", "ratio");
+  EXPECT_DOUBLE_EQ(*f.value_at("ratio", 1.0), 3.0);
+  EXPECT_FALSE(f.value_at("ratio", 2.0).has_value());
+}
+
+TEST(Sweep, RatioSeriesMissingInputsIsNoop) {
+  Figure f("t", "x", "y");
+  f.add("num", 1.0, 30.0);
+  add_ratio_series(f, "num", "absent", "ratio");
+  EXPECT_EQ(f.find("ratio"), nullptr);
+}
+
+}  // namespace
+}  // namespace knl::report

@@ -1,0 +1,228 @@
+// Reproduction shape tests: every qualitative claim of the paper's
+// evaluation, asserted against the model so regressions in any module are
+// caught by ctest. Each test names the paper section/figure it encodes.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "workloads/dgemm.hpp"
+#include "workloads/graph500.hpp"
+#include "workloads/gups.hpp"
+#include "workloads/latency_probe.hpp"
+#include "workloads/minife.hpp"
+#include "workloads/stream.hpp"
+#include "workloads/xsbench.hpp"
+
+namespace knl {
+namespace {
+
+using workloads::Dgemm;
+using workloads::Graph500;
+using workloads::Gups;
+using workloads::LatencyProbe;
+using workloads::MiniFe;
+using workloads::StreamTriad;
+using workloads::XsBench;
+
+std::uint64_t gb(double x) { return static_cast<std::uint64_t>(x * 1e9); }
+
+struct ShapeFixture : ::testing::Test {
+  Machine machine;
+
+  double run_metric(const workloads::Workload& w, MemConfig config, int threads = 64) {
+    return w.metric(machine.run(w.profile(), RunConfig{config, threads}));
+  }
+};
+
+// ---- Fig. 2 ---------------------------------------------------------------
+
+TEST_F(ShapeFixture, Fig2_HbmIsAboutFourTimesDram) {
+  const StreamTriad stream(gb(6));
+  const double d = run_metric(stream, MemConfig::DRAM);
+  const double h = run_metric(stream, MemConfig::HBM);
+  EXPECT_NEAR(h / d, 4.3, 0.5);  // 330/77
+}
+
+TEST_F(ShapeFixture, Fig2_CacheModeTracksHbmWhileFitting) {
+  const StreamTriad stream(gb(6));
+  const double h = run_metric(stream, MemConfig::HBM);
+  const double c = run_metric(stream, MemConfig::CacheMode);
+  EXPECT_GT(c / h, 0.9);
+}
+
+TEST_F(ShapeFixture, Fig2_CacheModeCliffAndCrossoverWindow) {
+  // Paper: ~260 GB/s at 8 GB, ~125 GB/s at 11.4 GB, below DRAM past ~23 GB.
+  const double at8 = run_metric(StreamTriad(gb(8)), MemConfig::CacheMode);
+  const double at12 = run_metric(StreamTriad(gb(11.4)), MemConfig::CacheMode);
+  const double at24 = run_metric(StreamTriad(gb(24)), MemConfig::CacheMode);
+  const double dram = run_metric(StreamTriad(gb(24)), MemConfig::DRAM);
+  EXPECT_NEAR(at8, 260.0, 45.0);
+  EXPECT_NEAR(at12, 125.0, 25.0);
+  EXPECT_LT(at24, dram);  // "even becomes lower than DRAM"
+}
+
+TEST_F(ShapeFixture, Fig2_HbmInfeasibleBeyondCapacity) {
+  const StreamTriad stream(gb(18));
+  EXPECT_FALSE(machine.run(stream.profile(), RunConfig{MemConfig::HBM, 64}).feasible);
+}
+
+// ---- Fig. 3 / SIV-A latency ------------------------------------------------
+
+TEST_F(ShapeFixture, Fig3_ThreeLatencyTiers) {
+  const double l2_tier = LatencyProbe(512 * KiB).measured_latency_ns(machine, MemNode::DDR);
+  const double mem_tier = LatencyProbe(32 * MiB).measured_latency_ns(machine, MemNode::DDR);
+  const double tlb_tier = LatencyProbe(1 * GiB).measured_latency_ns(machine, MemNode::DDR);
+  EXPECT_LT(l2_tier, 15.0);
+  EXPECT_GT(mem_tier, 8.0 * l2_tier);
+  EXPECT_GT(tlb_tier, 1.5 * mem_tier);
+}
+
+TEST_F(ShapeFixture, Fig3_DramFasterByFifteenToTwentyPercent) {
+  for (const std::uint64_t block : {4 * MiB, 64 * MiB, 512 * MiB}) {
+    const LatencyProbe probe(block);
+    const double gap = probe.measured_latency_ns(machine, MemNode::HBM) /
+                           probe.measured_latency_ns(machine, MemNode::DDR) -
+                       1.0;
+    EXPECT_GT(gap, 0.10) << block;
+    EXPECT_LT(gap, 0.25) << block;
+  }
+}
+
+TEST_F(ShapeFixture, SIVA_IdleLatencyAnchors) {
+  EXPECT_DOUBLE_EQ(LatencyProbe::idle_latency_ns(machine, MemNode::DDR), 130.4);
+  EXPECT_DOUBLE_EQ(LatencyProbe::idle_latency_ns(machine, MemNode::HBM), 154.0);
+}
+
+// ---- Fig. 4 top: regular applications ---------------------------------------
+
+TEST_F(ShapeFixture, Fig4a_DgemmHbmImprovementBand) {
+  // Paper improvement axis: ~1.4x at 0.1 GB growing to ~2.2x at 6 GB.
+  const Dgemm small = Dgemm::from_footprint(gb(0.1));
+  const Dgemm large = Dgemm::from_footprint(gb(6));
+  const double imp_small =
+      run_metric(small, MemConfig::HBM) / run_metric(small, MemConfig::DRAM);
+  const double imp_large =
+      run_metric(large, MemConfig::HBM) / run_metric(large, MemConfig::DRAM);
+  EXPECT_GT(imp_small, 1.2);
+  EXPECT_LT(imp_small, 1.9);
+  EXPECT_GT(imp_large, 1.9);
+  EXPECT_LT(imp_large, 2.8);
+  EXPECT_GT(imp_large, imp_small);  // improvement grows with size
+}
+
+TEST_F(ShapeFixture, Fig4b_MiniFeHbmAboutThreeTimes) {
+  const MiniFe minife = MiniFe::from_footprint(gb(7.2));
+  const double imp =
+      run_metric(minife, MemConfig::HBM) / run_metric(minife, MemConfig::DRAM);
+  EXPECT_GT(imp, 2.5);
+  EXPECT_LT(imp, 4.0);
+}
+
+TEST_F(ShapeFixture, Fig4b_CacheSpeedupDecaysWithSize) {
+  // Paper: cache-mode improvement ~ matches HBM while fitting, drops to
+  // ~1.05x at nearly twice MCDRAM capacity.
+  auto cache_speedup = [&](double size_gb) {
+    const MiniFe m = MiniFe::from_footprint(gb(size_gb));
+    return run_metric(m, MemConfig::CacheMode) / run_metric(m, MemConfig::DRAM);
+  };
+  const double fits = cache_speedup(7.2);
+  const double twice = cache_speedup(28.8);
+  EXPECT_GT(fits, 2.5);
+  EXPECT_LT(twice, 1.4);
+  EXPECT_GT(twice, 0.9);
+}
+
+// ---- Fig. 4 bottom: random applications -------------------------------------
+
+TEST_F(ShapeFixture, Fig4c_GupsPrefersDramEverywhere) {
+  for (const std::uint64_t size : {2 * GiB, 8 * GiB}) {
+    const Gups gups(size);
+    EXPECT_GT(run_metric(gups, MemConfig::DRAM), run_metric(gups, MemConfig::HBM))
+        << size;
+    EXPECT_GE(run_metric(gups, MemConfig::DRAM), run_metric(gups, MemConfig::CacheMode))
+        << size;
+  }
+}
+
+TEST_F(ShapeFixture, Fig4d_Graph500DramBestAndGapGrows) {
+  const Graph500 small = Graph500::from_footprint(gb(2.2));
+  const Graph500 large = Graph500::from_footprint(gb(35));
+  const double gap_small =
+      run_metric(small, MemConfig::DRAM) / run_metric(small, MemConfig::CacheMode);
+  const double gap_large =
+      run_metric(large, MemConfig::DRAM) / run_metric(large, MemConfig::CacheMode);
+  EXPECT_GT(gap_small, 1.0);
+  EXPECT_GE(gap_large, gap_small - 0.01);
+  EXPECT_GT(gap_large, 1.1);  // paper: 1.3x at 35 GB
+  EXPECT_LT(gap_large, 1.5);
+}
+
+TEST_F(ShapeFixture, Fig4e_XsBenchDramBestAtOneThreadPerCore) {
+  const XsBench xs = XsBench::from_footprint(gb(5.6));
+  const double dram = run_metric(xs, MemConfig::DRAM);
+  EXPECT_GT(dram, run_metric(xs, MemConfig::HBM));
+  EXPECT_GT(dram, run_metric(xs, MemConfig::CacheMode));
+  // Order of magnitude of the paper's reported lookups/s (~2.5e6).
+  EXPECT_GT(dram, 5e5);
+  EXPECT_LT(dram, 2e7);
+}
+
+// ---- Fig. 5 -----------------------------------------------------------------
+
+TEST_F(ShapeFixture, Fig5_SmtRaisesHbmBandwidthNotDram) {
+  const StreamTriad stream(gb(4));
+  const double h1 = run_metric(stream, MemConfig::HBM, 64);
+  const double h2 = run_metric(stream, MemConfig::HBM, 128);
+  EXPECT_NEAR(h2 / h1, 1.27, 0.03);  // paper: exactly this ratio
+  const double d1 = run_metric(stream, MemConfig::DRAM, 64);
+  const double d4 = run_metric(stream, MemConfig::DRAM, 256);
+  EXPECT_NEAR(d4 / d1, 1.0, 0.01);  // overlapping red lines
+}
+
+// ---- Fig. 6 -----------------------------------------------------------------
+
+TEST_F(ShapeFixture, Fig6a_DgemmGainsFromSmtOnHbmOnly) {
+  const Dgemm dgemm = Dgemm::from_footprint(gb(6));
+  const double h = run_metric(dgemm, MemConfig::HBM, 192) /
+                   run_metric(dgemm, MemConfig::HBM, 64);
+  const double d = run_metric(dgemm, MemConfig::DRAM, 192) /
+                   run_metric(dgemm, MemConfig::DRAM, 64);
+  EXPECT_NEAR(h, 1.7, 0.2);  // paper: "1.7x ... from 64 to 192"
+  EXPECT_NEAR(d, 1.0, 0.05);
+}
+
+TEST_F(ShapeFixture, Fig6b_MiniFeGainsFromSmtOnHbm) {
+  const MiniFe minife = MiniFe::from_footprint(gb(7.2));
+  const double h = run_metric(minife, MemConfig::HBM, 192) /
+                   run_metric(minife, MemConfig::HBM, 64);
+  EXPECT_GT(h, 1.5);
+  EXPECT_LT(h, 2.0);
+}
+
+TEST_F(ShapeFixture, Fig6c_Graph500DramStaysBestUnderSmt) {
+  const Graph500 graph = Graph500::from_footprint(gb(8.8));
+  for (const int threads : {64, 128, 192, 256}) {
+    EXPECT_GT(run_metric(graph, MemConfig::DRAM, threads),
+              run_metric(graph, MemConfig::HBM, threads))
+        << threads;
+  }
+  const double self = run_metric(graph, MemConfig::DRAM, 128) /
+                      run_metric(graph, MemConfig::DRAM, 64);
+  EXPECT_NEAR(self, 1.5, 0.25);  // paper: ~1.5x at 128 threads
+}
+
+TEST_F(ShapeFixture, Fig6d_XsBenchCrossoverAt256Threads) {
+  // The paper's flagship threading result: HBM/cache overtake DRAM at 256
+  // threads even though DRAM wins at 64.
+  const XsBench xs = XsBench::from_footprint(gb(5.6));
+  EXPECT_GT(run_metric(xs, MemConfig::DRAM, 64), run_metric(xs, MemConfig::HBM, 64));
+  EXPECT_GT(run_metric(xs, MemConfig::HBM, 256), run_metric(xs, MemConfig::DRAM, 256));
+  const double h_self = run_metric(xs, MemConfig::HBM, 256) /
+                        run_metric(xs, MemConfig::HBM, 64);
+  EXPECT_NEAR(h_self, 2.5, 0.5);  // paper: "the highest performance (2.5x)"
+  const double d_self = run_metric(xs, MemConfig::DRAM, 256) /
+                        run_metric(xs, MemConfig::DRAM, 64);
+  EXPECT_LT(d_self, h_self);  // DRAM saturates first
+}
+
+}  // namespace
+}  // namespace knl

@@ -1,0 +1,109 @@
+// Tests for the analytic L1/L2/mesh hierarchy model, cross-validated
+// against the exact CacheSim where the closed forms make exact claims.
+#include "sim/cache_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+#include "trace/generators.hpp"
+
+namespace knl::sim {
+namespace {
+
+TEST(CacheHierarchy, AggregateL2MatchesTestbed) {
+  CacheHierarchy h;
+  EXPECT_EQ(h.aggregate_l2_bytes(), 32 * MiB);  // 32 tiles x 1 MiB (paper SII)
+}
+
+TEST(CacheHierarchy, SweepHitHighWhenResident) {
+  CacheHierarchy h;
+  EXPECT_GT(h.sweep_l2_hit(4 * MiB), 0.95);
+  EXPECT_LT(h.sweep_l2_hit(512 * MiB), 0.05);
+}
+
+TEST(CacheHierarchy, SweepHitMonotoneDecreasing) {
+  CacheHierarchy h;
+  double prev = 1.0;
+  for (std::uint64_t fp = 1 * MiB; fp <= 1 * GiB; fp *= 2) {
+    const double hit = h.sweep_l2_hit(fp);
+    EXPECT_LE(hit, prev);
+    EXPECT_GE(hit, 0.0);
+    prev = hit;
+  }
+}
+
+TEST(CacheHierarchy, RandomHitIsResidencyBound) {
+  CacheHierarchy h;
+  // 64 threads warm all 32 tiles: hit = effectiveness*32MiB / footprint.
+  const double hit = h.random_l2_hit(256 * MiB, 64);
+  EXPECT_NEAR(hit, 0.85 * 32.0 / 256.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.random_l2_hit(1 * MiB, 64), 1.0);
+}
+
+TEST(CacheHierarchy, FewThreadsWarmFewerTiles) {
+  CacheHierarchy h;
+  EXPECT_LT(h.random_l2_hit(64 * MiB, 2), h.random_l2_hit(64 * MiB, 64));
+  // 2 threads share one tile.
+  EXPECT_NEAR(h.random_l2_hit(64 * MiB, 2), 0.85 * 1.0 / 64.0, 1e-9);
+}
+
+TEST(CacheHierarchy, SingleThreadLocalHitUsesOneTile) {
+  CacheHierarchy h;
+  EXPECT_NEAR(h.random_local_l2_hit(2 * MiB), 0.85 / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.random_local_l2_hit(512 * KiB), 1.0);
+  EXPECT_DOUBLE_EQ(h.random_local_l2_hit(0), 1.0);
+}
+
+TEST(CacheHierarchy, RemoteServiceSlowerThanLocal) {
+  CacheHierarchy h;
+  // Many threads -> most L2 hits are remote forwards.
+  const double many = h.random_l2_service_ns(16 * MiB, 64);
+  EXPECT_GT(many, h.config().l2_latency_ns);
+  // Single tile -> pure local latency.
+  const double single = h.random_l2_service_ns(512 * KiB, 1);
+  EXPECT_DOUBLE_EQ(single, h.config().l2_latency_ns);
+}
+
+TEST(CacheHierarchy, DirectoryOverheadPositive) {
+  CacheHierarchy h;
+  EXPECT_GT(h.directory_overhead_ns(), 0.0);
+  EXPECT_LT(h.directory_overhead_ns(), 60.0);  // well under a memory trip
+}
+
+TEST(CacheHierarchy, InvalidConfigThrows) {
+  HierarchyConfig bad;
+  bad.tiles = 0;
+  EXPECT_THROW(CacheHierarchy{bad}, std::invalid_argument);
+  HierarchyConfig bad2;
+  bad2.l2_effectiveness = 0.0;
+  EXPECT_THROW(CacheHierarchy{bad2}, std::invalid_argument);
+  HierarchyConfig bad3;
+  bad3.l2_effectiveness = 1.5;
+  EXPECT_THROW(CacheHierarchy{bad3}, std::invalid_argument);
+  CacheHierarchy good;
+  EXPECT_THROW((void)good.random_l2_hit(1024, 0), std::invalid_argument);
+}
+
+// Cross-validation: the residency closed form vs an exact LRU cache fed a
+// uniform-random stream, at a test-scale geometry.
+class RandomResidencyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomResidencyProperty, ClosedFormTracksExactSim) {
+  const std::uint64_t footprint = GetParam();
+  const std::uint64_t cache_bytes = 256 * KiB;
+  CacheSim cache(CacheConfig{.capacity_bytes = cache_bytes, .line_bytes = 64,
+                             .ways = 16, .sample_every = 1});
+  trace::generate_uniform_random(0, footprint, 400000, 3,
+                                 [&](std::uint64_t a) { cache.access(a); });
+  const double expected =
+      std::min(1.0, static_cast<double>(cache_bytes) / static_cast<double>(footprint));
+  // The analytic model uses an effectiveness haircut; the exact sim with a
+  // uniform stream should land between the haircut value and the ideal.
+  EXPECT_NEAR(cache.stats().hit_rate(), expected, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Footprints, RandomResidencyProperty,
+                         ::testing::Values(512 * KiB, 1 * MiB, 4 * MiB, 16 * MiB));
+
+}  // namespace
+}  // namespace knl::sim

@@ -1,0 +1,145 @@
+// Unit + property tests for the exact set-associative cache simulator.
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "trace/generators.hpp"
+
+namespace knl::sim {
+namespace {
+
+CacheConfig small_cache(int ways = 2) {
+  return CacheConfig{.capacity_bytes = 4096, .line_bytes = 64, .ways = ways,
+                     .sample_every = 1};
+}
+
+TEST(CacheSim, ColdMissThenHit) {
+  CacheSim cache(small_cache());
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(63));   // same line
+  EXPECT_FALSE(cache.access(64));  // next line
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CacheSim, LruEvictsOldestWay) {
+  // 2-way cache, 32 sets: three lines mapping to set 0 evict in LRU order.
+  CacheSim cache(small_cache(2));
+  const std::uint64_t set_stride = cache.config().num_sets() * 64;
+  EXPECT_FALSE(cache.access(0 * set_stride));
+  EXPECT_FALSE(cache.access(1 * set_stride));
+  EXPECT_TRUE(cache.access(0 * set_stride));   // refresh line 0
+  EXPECT_FALSE(cache.access(2 * set_stride));  // evicts line 1 (LRU)
+  EXPECT_TRUE(cache.access(0 * set_stride));
+  EXPECT_FALSE(cache.access(1 * set_stride));  // line 1 was evicted
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(CacheSim, DirectMappedConflicts) {
+  CacheSim cache(CacheConfig{.capacity_bytes = 4096, .line_bytes = 64, .ways = 1,
+                             .sample_every = 1});
+  const std::uint64_t stride = 4096;  // same set every time
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(cache.access(static_cast<std::uint64_t>(i % 2) * stride));
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(CacheSim, FullyResidentSweepHitsAfterWarmup) {
+  CacheSim cache(small_cache(4));
+  trace::generate_sweep(0, 4096, 64, 1, [&](std::uint64_t a) { cache.access(a); });
+  cache.reset_stats();
+  trace::generate_sweep(0, 4096, 64, 3, [&](std::uint64_t a) { cache.access(a); });
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 1.0);
+}
+
+TEST(CacheSim, CyclicSweepBeyondCapacityNeverHitsUnderLru) {
+  // Classic LRU pathology the MCDRAM sweep model encodes: a cyclic sweep of
+  // 2x capacity evicts every line before its reuse.
+  CacheSim cache(CacheConfig{.capacity_bytes = 4096, .line_bytes = 64, .ways = 64,
+                             .sample_every = 1});  // fully associative
+  trace::generate_sweep(0, 8192, 64, 4, [&](std::uint64_t a) { cache.access(a); });
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(CacheSim, AccessRangeCountsLineMisses) {
+  CacheSim cache(small_cache());
+  EXPECT_EQ(cache.access_range(0, 256), 4u);   // 4 cold lines
+  EXPECT_EQ(cache.access_range(0, 256), 0u);   // resident
+  EXPECT_EQ(cache.access_range(0, 0), 0u);     // empty range
+  EXPECT_EQ(cache.access_range(32, 64), 0u);   // straddles lines 0-1, resident
+}
+
+TEST(CacheSim, FlushDropsResidency) {
+  CacheSim cache(small_cache());
+  cache.access(0);
+  EXPECT_EQ(cache.resident_lines(), 1u);
+  cache.flush();
+  EXPECT_EQ(cache.resident_lines(), 0u);
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(CacheSim, SamplingOnlyRecordsSampledSets) {
+  CacheSim cache(CacheConfig{.capacity_bytes = 1 << 20, .line_bytes = 64, .ways = 1,
+                             .sample_every = 16});
+  trace::generate_sweep(0, 1 << 20, 64, 1, [&](std::uint64_t a) { cache.access(a); });
+  const auto sets = cache.config().num_sets();
+  EXPECT_EQ(cache.stats().accesses, sets / 16);
+}
+
+TEST(CacheSim, SampledHitRateMatchesExactForUniformRandom) {
+  // Set sampling must be unbiased for uniform streams.
+  const CacheConfig exact_cfg{.capacity_bytes = 1 << 18, .line_bytes = 64, .ways = 1,
+                              .sample_every = 1};
+  CacheConfig sampled_cfg = exact_cfg;
+  sampled_cfg.sample_every = 8;
+  CacheSim exact(exact_cfg), sampled(sampled_cfg);
+  trace::generate_uniform_random(0, 1 << 20, 200000, 42, [&](std::uint64_t a) {
+    exact.access(a);
+    sampled.access(a);
+  });
+  EXPECT_NEAR(exact.stats().hit_rate(), sampled.stats().hit_rate(), 0.02);
+}
+
+TEST(CacheSim, InvalidConfigThrows) {
+  EXPECT_THROW((void)CacheSim(CacheConfig{.capacity_bytes = 0, .line_bytes = 64, .ways = 1,
+                                    .sample_every = 1}), std::invalid_argument);
+  EXPECT_THROW((void)CacheSim(CacheConfig{.capacity_bytes = 4096, .line_bytes = 0, .ways = 1,
+                                    .sample_every = 1}), std::invalid_argument);
+  EXPECT_THROW((void)CacheSim(CacheConfig{.capacity_bytes = 4096, .line_bytes = 64, .ways = 0,
+                                    .sample_every = 1}), std::invalid_argument);
+  EXPECT_THROW((void)CacheSim(CacheConfig{.capacity_bytes = 4096, .line_bytes = 64, .ways = 1,
+                                    .sample_every = 0}), std::invalid_argument);
+  EXPECT_THROW((void)CacheSim(CacheConfig{.capacity_bytes = 64, .line_bytes = 64, .ways = 4,
+                                    .sample_every = 1}), std::invalid_argument);  // smaller than one set
+}
+
+// Property: for a fixed random workload, hit rate is non-decreasing in
+// capacity (inclusion-ish property for LRU with fixed associativity shape).
+class CacheCapacityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheCapacityProperty, HitRateMonotoneInCapacity) {
+  const std::uint64_t cap = GetParam();
+  auto run = [](std::uint64_t capacity) {
+    CacheSim cache(CacheConfig{.capacity_bytes = capacity, .line_bytes = 64, .ways = 8,
+                               .sample_every = 1});
+    trace::generate_uniform_random(0, 1 << 18, 100000, 7,
+                                   [&](std::uint64_t a) { cache.access(a); });
+    return cache.stats().hit_rate();
+  };
+  const double small = run(cap);
+  const double large = run(cap * 2);
+  EXPECT_LE(small, large + 0.01);
+  EXPECT_GE(small, 0.0);
+  EXPECT_LE(large, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheCapacityProperty,
+                         ::testing::Values(4096, 16384, 65536, 262144));
+
+}  // namespace
+}  // namespace knl::sim

@@ -1,0 +1,59 @@
+// Tests for the mesh/directory latency model.
+#include "sim/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knl::sim {
+namespace {
+
+TEST(Mesh, HopsAreManhattanDistance) {
+  Mesh mesh(MeshConfig{.tiles_x = 8, .tiles_y = 4});
+  EXPECT_EQ(mesh.hops(0, 0), 0);
+  EXPECT_EQ(mesh.hops(0, 7), 7);    // same row, far corner
+  EXPECT_EQ(mesh.hops(0, 8), 1);    // one row down
+  EXPECT_EQ(mesh.hops(0, 31), 10);  // opposite corner: 7 + 3
+  EXPECT_EQ(mesh.hops(31, 0), 10);  // symmetric
+}
+
+TEST(Mesh, HopsOutOfRangeThrows) {
+  Mesh mesh;
+  EXPECT_THROW((void)mesh.hops(-1, 0), std::out_of_range);
+  EXPECT_THROW((void)mesh.hops(0, mesh.tiles()), std::out_of_range);
+}
+
+TEST(Mesh, MeanHopsMatchesBruteForceAllToAll) {
+  MeshConfig cfg{.tiles_x = 8, .tiles_y = 4, .mode = ClusterMode::AllToAll};
+  Mesh mesh(cfg);
+  double total = 0.0;
+  const int n = mesh.tiles();
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) total += mesh.hops(a, b);
+  }
+  EXPECT_NEAR(mesh.mean_hops(), total / (n * n), 1e-9);
+}
+
+TEST(Mesh, QuadrantModeShortensDirectoryPath) {
+  Mesh all(MeshConfig{.mode = ClusterMode::AllToAll});
+  Mesh quad(MeshConfig{.mode = ClusterMode::Quadrant});
+  EXPECT_LT(quad.mean_hops(), all.mean_hops());
+  EXPECT_LT(quad.directory_latency_ns(), all.directory_latency_ns());
+}
+
+TEST(Mesh, RemoteForwardCostsMoreThanDirectoryLookup) {
+  Mesh mesh;
+  EXPECT_GT(mesh.remote_l2_forward_ns(), mesh.directory_latency_ns());
+}
+
+TEST(Mesh, DefaultIsThePapersTestbed) {
+  Mesh mesh;  // 32 active tiles, quadrant cluster mode (paper SIII-A)
+  EXPECT_EQ(mesh.tiles(), 32);
+  EXPECT_EQ(mesh.config().mode, ClusterMode::Quadrant);
+}
+
+TEST(Mesh, InvalidGridThrows) {
+  EXPECT_THROW((void)Mesh(MeshConfig{.tiles_x = 0, .tiles_y = 4}), std::invalid_argument);
+  EXPECT_THROW((void)Mesh(MeshConfig{.tiles_x = 8, .tiles_y = -1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knl::sim

@@ -1,0 +1,72 @@
+// Tests for the simulated page table.
+#include "sim/page_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knl::sim {
+namespace {
+
+std::vector<Frame> make_frames(MemNode node, std::uint64_t first, std::uint64_t n) {
+  std::vector<Frame> frames;
+  for (std::uint64_t i = 0; i < n; ++i) frames.push_back(Frame{node, first + i});
+  return frames;
+}
+
+TEST(PageTable, MapTranslateUnmapRoundtrip) {
+  PageTable pt(4096);
+  pt.map_range(10, make_frames(MemNode::HBM, 5, 3));
+  ASSERT_TRUE(pt.translate(10 * 4096).has_value());
+  EXPECT_EQ(pt.translate(10 * 4096)->index, 5u);
+  EXPECT_EQ(pt.translate(12 * 4096 + 100)->index, 7u);
+  EXPECT_FALSE(pt.translate(13 * 4096).has_value());
+
+  auto frames = pt.unmap_range(10, 3);
+  EXPECT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].index, 5u);
+  EXPECT_FALSE(pt.translate(10 * 4096).has_value());
+  EXPECT_EQ(pt.mapped_pages(), 0u);
+}
+
+TEST(PageTable, DoubleMapThrowsWithoutPartialEffect) {
+  PageTable pt(4096);
+  pt.map_range(0, make_frames(MemNode::DDR, 0, 2));
+  EXPECT_THROW((void)pt.map_range(1, make_frames(MemNode::DDR, 10, 2)), std::logic_error);
+  // The overlapping call must not have mapped page 2.
+  EXPECT_FALSE(pt.translate(2 * 4096).has_value());
+}
+
+TEST(PageTable, UnmapUnknownThrows) {
+  PageTable pt(4096);
+  EXPECT_THROW((void)pt.unmap_range(0, 1), std::logic_error);
+}
+
+TEST(PageTable, NodeSplitCountsPerNode) {
+  PageTable pt(4096);
+  std::vector<Frame> frames;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    frames.push_back(Frame{i % 2 == 0 ? MemNode::DDR : MemNode::HBM, i});
+  }
+  pt.map_range(0, frames);
+  const auto split = pt.node_split(0, 4 * 4096);
+  EXPECT_EQ(split.ddr_pages, 2u);
+  EXPECT_EQ(split.hbm_pages, 2u);
+  EXPECT_DOUBLE_EQ(split.hbm_fraction(), 0.5);
+
+  // Partial range: only pages 0-1.
+  const auto partial = pt.node_split(0, 2 * 4096);
+  EXPECT_EQ(partial.total(), 2u);
+
+  // Empty range.
+  EXPECT_EQ(pt.node_split(0, 0).total(), 0u);
+}
+
+TEST(PageTable, NodeSplitIgnoresUnmappedHoles) {
+  PageTable pt(4096);
+  pt.map_range(0, make_frames(MemNode::HBM, 0, 1));
+  pt.map_range(2, make_frames(MemNode::DDR, 1, 1));
+  const auto split = pt.node_split(0, 3 * 4096);  // pages 0,1,2; page 1 unmapped
+  EXPECT_EQ(split.total(), 2u);
+}
+
+}  // namespace
+}  // namespace knl::sim

@@ -1,0 +1,120 @@
+// Tests for the simulated physical memory (frame allocator).
+#include "sim/physical_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace knl::sim {
+namespace {
+
+PhysicalMemoryConfig tiny_config(double fragmentation = 0.0) {
+  PhysicalMemoryConfig cfg;
+  cfg.page_bytes = 4096;
+  cfg.ddr.capacity_bytes = 64 * 4096;
+  cfg.hbm.capacity_bytes = 16 * 4096;
+  cfg.fragmentation = fragmentation;
+  return cfg;
+}
+
+TEST(PhysicalMemory, CapacityAccounting) {
+  PhysicalMemory pm(tiny_config());
+  EXPECT_EQ(pm.total_frames(MemNode::DDR), 64u);
+  EXPECT_EQ(pm.total_frames(MemNode::HBM), 16u);
+  EXPECT_EQ(pm.free_frames(MemNode::DDR), 64u);
+
+  auto frames = pm.allocate(MemNode::DDR, 10);
+  ASSERT_TRUE(frames.has_value());
+  EXPECT_EQ(frames->size(), 10u);
+  EXPECT_EQ(pm.free_frames(MemNode::DDR), 54u);
+  EXPECT_EQ(pm.node(MemNode::DDR).used_bytes(), 10u * 4096);
+
+  pm.free(*frames);
+  EXPECT_EQ(pm.free_frames(MemNode::DDR), 64u);
+}
+
+TEST(PhysicalMemory, ExhaustionReturnsNulloptWithoutSideEffects) {
+  PhysicalMemory pm(tiny_config());
+  EXPECT_FALSE(pm.allocate(MemNode::HBM, 17).has_value());
+  EXPECT_EQ(pm.free_frames(MemNode::HBM), 16u);
+  EXPECT_TRUE(pm.allocate(MemNode::HBM, 16).has_value());
+  EXPECT_FALSE(pm.allocate(MemNode::HBM, 1).has_value());
+}
+
+TEST(PhysicalMemory, FramesAreUniqueAndInRange) {
+  PhysicalMemory pm(tiny_config(0.3));
+  std::set<std::uint64_t> seen;
+  auto a = pm.allocate(MemNode::DDR, 30);
+  auto b = pm.allocate(MemNode::DDR, 30);
+  ASSERT_TRUE(a && b);
+  for (const auto& batch : {*a, *b}) {
+    for (const Frame& f : batch) {
+      EXPECT_EQ(f.node, MemNode::DDR);
+      EXPECT_LT(f.index, 64u);
+      EXPECT_TRUE(seen.insert(f.index).second) << "duplicate frame " << f.index;
+    }
+  }
+}
+
+TEST(PhysicalMemory, ContiguousWhenUnfragmented) {
+  PhysicalMemory pm(tiny_config(0.0));
+  auto frames = pm.allocate(MemNode::DDR, 8);
+  ASSERT_TRUE(frames);
+  for (std::size_t i = 0; i < frames->size(); ++i) {
+    EXPECT_EQ((*frames)[i].index, i);
+  }
+}
+
+TEST(PhysicalMemory, FreedFramesAreReused) {
+  PhysicalMemory pm(tiny_config());
+  auto a = pm.allocate(MemNode::DDR, 64);
+  ASSERT_TRUE(a);
+  pm.free(*a);
+  auto b = pm.allocate(MemNode::DDR, 64);
+  ASSERT_TRUE(b);  // full capacity again, bump pointer exhausted -> free list
+  EXPECT_EQ(b->size(), 64u);
+}
+
+TEST(PhysicalMemory, FreeOutOfRangeThrows) {
+  PhysicalMemory pm(tiny_config());
+  EXPECT_THROW((void)pm.free({Frame{MemNode::DDR, 1000}}), std::logic_error);
+}
+
+TEST(PhysicalMemory, ResetRestoresFullCapacity) {
+  PhysicalMemory pm(tiny_config());
+  (void)pm.allocate(MemNode::DDR, 60);
+  (void)pm.allocate(MemNode::HBM, 16);
+  pm.reset();
+  EXPECT_EQ(pm.free_frames(MemNode::DDR), 64u);
+  EXPECT_EQ(pm.free_frames(MemNode::HBM), 16u);
+}
+
+TEST(PhysicalMemory, DefaultsMatchTestbedCapacities) {
+  PhysicalMemory pm;
+  EXPECT_EQ(pm.node(MemNode::DDR).capacity_bytes(), 96 * GiB);
+  EXPECT_EQ(pm.node(MemNode::HBM).capacity_bytes(), 16 * GiB);
+  EXPECT_EQ(pm.page_bytes(), 2 * MiB);
+}
+
+TEST(PhysicalMemory, InvalidConfigThrows) {
+  PhysicalMemoryConfig bad = tiny_config();
+  bad.page_bytes = 0;
+  EXPECT_THROW(PhysicalMemory{bad}, std::invalid_argument);
+  PhysicalMemoryConfig bad2 = tiny_config();
+  bad2.fragmentation = 1.5;
+  EXPECT_THROW(PhysicalMemory{bad2}, std::invalid_argument);
+}
+
+TEST(MemoryNode, ReserveReleaseInvariants) {
+  MemoryNode node(MemNode::HBM, params::kHbm);
+  EXPECT_TRUE(node.reserve(8 * GiB));
+  EXPECT_EQ(node.free_bytes(), 8 * GiB);
+  EXPECT_FALSE(node.reserve(9 * GiB));  // over capacity: rejected, no change
+  EXPECT_EQ(node.used_bytes(), 8 * GiB);
+  node.release(8 * GiB);
+  EXPECT_EQ(node.used_bytes(), 0u);
+  EXPECT_THROW((void)node.release(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace knl::sim

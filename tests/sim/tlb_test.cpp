@@ -1,0 +1,94 @@
+// Tests for the TLB model: the analytic expectation is validated against
+// the exact LRU simulator.
+#include "sim/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace knl::sim {
+namespace {
+
+TEST(TlbModel, NoMissesWithinCoverage) {
+  TlbModel model;
+  EXPECT_DOUBLE_EQ(model.miss_probability(model.config().coverage_bytes()), 0.0);
+  EXPECT_DOUBLE_EQ(model.miss_probability(1), 0.0);
+  EXPECT_DOUBLE_EQ(model.expected_penalty_ns(64 * MiB), 0.0);
+}
+
+TEST(TlbModel, CoverageMatchesPaperFig3Knee) {
+  // 64 entries x 2 MiB pages = 128 MiB: the size where Fig. 3 latency
+  // starts rising.
+  TlbModel model;
+  EXPECT_EQ(model.config().coverage_bytes(), 128 * MiB);
+}
+
+TEST(TlbModel, MissProbabilityApproachesOne) {
+  TlbModel model;
+  EXPECT_GT(model.miss_probability(100 * GiB), 0.99);
+  EXPECT_LT(model.miss_probability(256 * MiB), 0.51);
+}
+
+TEST(TlbModel, WalkCostMonotoneAndBounded) {
+  TlbModel model;
+  double prev = 0.0;
+  for (std::uint64_t fp = 64 * MiB; fp <= 64 * GiB; fp *= 4) {
+    const double cost = model.walk_cost_ns(fp);
+    EXPECT_GE(cost, model.config().walk_cached_ns);
+    EXPECT_LT(cost, model.config().walk_memory_ns);
+    EXPECT_GE(cost, prev);
+    prev = cost;
+  }
+}
+
+class TlbAnalyticVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TlbAnalyticVsExact, MissRateMatchesLruSimOnUniformStream) {
+  const std::uint64_t footprint = GetParam();
+  TlbConfig cfg;
+  cfg.entries = 32;
+  cfg.page_bytes = 4096;  // small config so the exact sim runs fast
+  TlbModel model(cfg);
+  TlbSim sim(cfg);
+
+  std::mt19937_64 rng(13);
+  std::uniform_int_distribution<std::uint64_t> dist(0, footprint - 1);
+  for (int i = 0; i < 200000; ++i) sim.access(dist(rng));
+
+  // Uniform random over N pages with an LRU of E entries: steady-state miss
+  // rate is (N-E)/N for N > E (every miss targets an uncached page).
+  EXPECT_NEAR(sim.miss_rate(), model.miss_probability(footprint), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Footprints, TlbAnalyticVsExact,
+                         ::testing::Values(64 * 4096,       // below coverage
+                                           128 * 4096,      // at coverage edge
+                                           256 * 4096,      // 2x coverage
+                                           1024 * 4096));   // 8x coverage
+
+TEST(TlbSim, SequentialPagesWithinCoverageAllHitAfterWarmup) {
+  TlbConfig cfg;
+  cfg.entries = 16;
+  cfg.page_bytes = 4096;
+  TlbSim sim(cfg);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t p = 0; p < 16; ++p) sim.access(p * 4096);
+  }
+  EXPECT_EQ(sim.misses(), 16u);  // only the cold pass misses
+}
+
+TEST(TlbSim, LruEvictionOrder) {
+  TlbConfig cfg;
+  cfg.entries = 2;
+  cfg.page_bytes = 4096;
+  TlbSim sim(cfg);
+  sim.access(0);
+  sim.access(4096);
+  sim.access(0);      // refresh page 0
+  sim.access(8192);   // evicts page 1
+  EXPECT_TRUE(sim.access(0));
+  EXPECT_FALSE(sim.access(4096));
+}
+
+}  // namespace
+}  // namespace knl::sim

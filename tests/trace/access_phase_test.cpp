@@ -1,0 +1,93 @@
+// Tests for AccessPhase validation and helpers.
+#include "trace/access_phase.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knl::trace {
+namespace {
+
+AccessPhase valid_phase() {
+  AccessPhase p;
+  p.name = "p";
+  p.pattern = Pattern::Sequential;
+  p.footprint_bytes = 1024;
+  p.logical_bytes = 4096;
+  return p;
+}
+
+TEST(AccessPhase, ValidPhasePasses) { EXPECT_NO_THROW(valid_phase().validate()); }
+
+TEST(AccessPhase, AccessesDividesByGranule) {
+  AccessPhase p = valid_phase();
+  p.granule_bytes = 8;
+  EXPECT_DOUBLE_EQ(p.accesses(), 512.0);
+  p.granule_bytes = 0;  // degenerate: no crash
+  EXPECT_DOUBLE_EQ(p.accesses(), 0.0);
+}
+
+TEST(AccessPhase, PatternNames) {
+  EXPECT_EQ(to_string(Pattern::Sequential), "sequential");
+  EXPECT_EQ(to_string(Pattern::Strided), "strided");
+  EXPECT_EQ(to_string(Pattern::Random), "random");
+  EXPECT_EQ(to_string(Pattern::PointerChase), "pointer-chase");
+  EXPECT_EQ(to_string(Pattern::Compute), "compute");
+}
+
+struct BadPhaseCase {
+  const char* label;
+  void (*mutate)(AccessPhase&);
+};
+
+class AccessPhaseValidation : public ::testing::TestWithParam<BadPhaseCase> {};
+
+TEST_P(AccessPhaseValidation, RejectsInvalidField) {
+  AccessPhase p = valid_phase();
+  GetParam().mutate(p);
+  EXPECT_THROW((void)p.validate(), std::invalid_argument) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadFields, AccessPhaseValidation,
+    ::testing::Values(
+        BadPhaseCase{"zero footprint", [](AccessPhase& p) { p.footprint_bytes = 0; }},
+        BadPhaseCase{"no traffic", [](AccessPhase& p) { p.logical_bytes = 0.0; }},
+        BadPhaseCase{"negative flops", [](AccessPhase& p) { p.flops = -1.0; }},
+        BadPhaseCase{"zero granule", [](AccessPhase& p) { p.granule_bytes = 0; }},
+        BadPhaseCase{"sweeps below one", [](AccessPhase& p) { p.sweeps = 0.5; }},
+        BadPhaseCase{"write fraction above one",
+                     [](AccessPhase& p) { p.write_fraction = 1.5; }},
+        BadPhaseCase{"negative write fraction",
+                     [](AccessPhase& p) { p.write_fraction = -0.1; }},
+        BadPhaseCase{"strided without stride",
+                     [](AccessPhase& p) {
+                       p.pattern = Pattern::Strided;
+                       p.stride_bytes = 0.0;
+                     }},
+        BadPhaseCase{"chase without chains",
+                     [](AccessPhase& p) {
+                       p.pattern = Pattern::PointerChase;
+                       p.chains_per_thread = 0;
+                     }},
+        BadPhaseCase{"compute efficiency zero",
+                     [](AccessPhase& p) { p.compute_efficiency = 0.0; }},
+        BadPhaseCase{"l2 override above one",
+                     [](AccessPhase& p) { p.l2_hit_override = 1.5; }},
+        BadPhaseCase{"negative smt beta", [](AccessPhase& p) { p.smt_beta = -0.1; }}),
+    [](const ::testing::TestParamInfo<BadPhaseCase>& param_info) {
+      std::string name = param_info.param.label;
+      for (char& c : name) {
+        if (c == ' ') c = '_';
+      }
+      return name;
+    });
+
+TEST(AccessPhase, ComputePhaseNeedsNoMemoryFields) {
+  AccessPhase p;
+  p.name = "flops";
+  p.pattern = Pattern::Compute;
+  p.flops = 1e9;
+  EXPECT_NO_THROW(p.validate());
+}
+
+}  // namespace
+}  // namespace knl::trace

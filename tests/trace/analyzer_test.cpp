@@ -1,0 +1,124 @@
+// Tests for the trace analyzer.
+#include "trace/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "trace/generators.hpp"
+#include "workloads/gups.hpp"
+
+namespace knl::trace {
+namespace {
+
+TEST(TraceAnalyzer, SequentialSweepIsFullyRegular) {
+  TraceAnalyzer analyzer;
+  generate_sweep(0, 4 << 20, 64, 2, [&](std::uint64_t a) { analyzer.record(a); });
+  const TraceStats stats = analyzer.analyze();
+  EXPECT_GT(stats.sequential_fraction, 0.99);
+  EXPECT_GT(stats.regularity, 0.99);
+  EXPECT_EQ(stats.footprint_bytes, 4u << 20);
+  EXPECT_EQ(stats.accesses, 2u * ((4 << 20) / 64));
+}
+
+TEST(TraceAnalyzer, UniformRandomIsIrregular) {
+  TraceAnalyzer analyzer;
+  generate_uniform_random(0, 64 << 20, 300000, 5,
+                          [&](std::uint64_t a) { analyzer.record(a); });
+  const TraceStats stats = analyzer.analyze();
+  EXPECT_LT(stats.regularity, 0.1);
+  EXPECT_LT(stats.sequential_fraction, 0.05);
+}
+
+TEST(TraceAnalyzer, StridedStreamDetected) {
+  TraceAnalyzer analyzer;
+  generate_strided(0, 32 << 20, 1024, 2, [&](std::uint64_t a) { analyzer.record(a); });
+  const TraceStats stats = analyzer.analyze();
+  EXPECT_NEAR(static_cast<double>(stats.dominant_stride), 1024.0, 1.0);
+  EXPECT_GT(stats.dominant_stride_fraction, 0.95);
+  // Regular enough to prefetch, but below a unit-stride stream.
+  EXPECT_GT(stats.regularity, 0.3);
+  EXPECT_LT(stats.regularity, 1.0);
+}
+
+TEST(TraceAnalyzer, ReuseHitReflectsWorkingSet) {
+  TraceAnalyzer::Config cfg;
+  cfg.reuse_cache_bytes = 1 << 20;
+  cfg.reuse_sample_every = 1;
+  // Small working set reused repeatedly: reuse distances tiny -> hit ~1.
+  TraceAnalyzer hot(cfg);
+  generate_sweep(0, 256 << 10, 64, 8, [&](std::uint64_t a) { hot.record(a); });
+  EXPECT_GT(hot.analyze().l2_reuse_hit, 0.95);
+  // Working set far beyond the cache: reuse distances huge -> hit ~0.
+  TraceAnalyzer cold(cfg);
+  generate_sweep(0, 64 << 20, 64, 2, [&](std::uint64_t a) { cold.record(a); });
+  EXPECT_LT(cold.analyze().l2_reuse_hit, 0.05);
+}
+
+TEST(TraceAnalyzer, ToPhaseSequential) {
+  TraceAnalyzer analyzer;
+  generate_sweep(0, 8 << 20, 64, 3, [&](std::uint64_t a) { analyzer.record(a); });
+  const AccessPhase phase = analyzer.to_phase("sweep", 1.0);
+  EXPECT_EQ(phase.pattern, Pattern::Sequential);
+  EXPECT_EQ(phase.footprint_bytes, 8u << 20);
+  EXPECT_NEAR(phase.sweeps, 3.0, 0.01);
+  EXPECT_NO_THROW(phase.validate());
+}
+
+TEST(TraceAnalyzer, ToPhaseRandomWithScaling) {
+  TraceAnalyzer analyzer;
+  generate_uniform_random(0, 8 << 20, 100000, 3,
+                          [&](std::uint64_t a) { analyzer.record(a); });
+  const AccessPhase phase = analyzer.to_phase("rnd", 100.0);
+  EXPECT_EQ(phase.pattern, Pattern::Random);
+  EXPECT_EQ(phase.granule_bytes, 8u);
+  // Footprint scaled by ~100x (sampled footprint is < 8 MiB of lines).
+  EXPECT_GT(phase.footprint_bytes, 50u * (8u << 20));
+  EXPECT_NO_THROW(phase.validate());
+}
+
+TEST(TraceAnalyzer, GupsStreamClassifiedRandom) {
+  // The real GUPS address recurrence must characterize as random access.
+  TraceAnalyzer analyzer;
+  std::uint64_t ran = 1;
+  const std::uint64_t entries = 1 << 18;
+  for (int i = 0; i < 500000; ++i) {
+    ran = workloads::Gups::next_random(ran);
+    analyzer.record((ran & (entries - 1)) * 8);
+  }
+  const auto app = analyzer.to_characteristics("gups", 1.0);
+  EXPECT_LT(app.regular_fraction, 0.2);
+}
+
+TEST(TraceAnalyzer, ResetClearsEverything) {
+  TraceAnalyzer analyzer;
+  generate_sweep(0, 1 << 20, 64, 1, [&](std::uint64_t a) { analyzer.record(a); });
+  analyzer.reset();
+  EXPECT_EQ(analyzer.accesses(), 0u);
+  EXPECT_EQ(analyzer.analyze().footprint_bytes, 0u);
+}
+
+TEST(TraceAnalyzer, Validation) {
+  TraceAnalyzer::Config bad;
+  bad.line_bytes = 0;
+  EXPECT_THROW(TraceAnalyzer{bad}, std::invalid_argument);
+  TraceAnalyzer::Config bad2;
+  bad2.reuse_sample_every = 0;
+  EXPECT_THROW(TraceAnalyzer{bad2}, std::invalid_argument);
+
+  TraceAnalyzer empty;
+  EXPECT_THROW((void)empty.to_phase("x"), std::logic_error);
+  TraceAnalyzer some;
+  some.record(0);
+  EXPECT_THROW((void)some.to_phase("x", 0.0), std::invalid_argument);
+}
+
+TEST(TraceAnalyzer, EmptyTraceStatsAreZero) {
+  TraceAnalyzer analyzer;
+  const TraceStats stats = analyzer.analyze();
+  EXPECT_EQ(stats.accesses, 0u);
+  EXPECT_DOUBLE_EQ(stats.regularity, 0.0);
+}
+
+}  // namespace
+}  // namespace knl::trace

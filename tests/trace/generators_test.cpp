@@ -1,0 +1,85 @@
+// Tests for the address-stream generators.
+#include "trace/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace knl::trace {
+namespace {
+
+TEST(Generators, SweepVisitsEveryLineInOrder) {
+  std::vector<std::uint64_t> addrs;
+  generate_sweep(1000, 256, 64, 2, [&](std::uint64_t a) { addrs.push_back(a); });
+  ASSERT_EQ(addrs.size(), 8u);
+  EXPECT_EQ(addrs[0], 1000u);
+  EXPECT_EQ(addrs[3], 1000u + 192);
+  EXPECT_EQ(addrs[4], 1000u);  // second sweep restarts
+}
+
+TEST(Generators, StridedHonoursStride) {
+  std::vector<std::uint64_t> addrs;
+  generate_strided(0, 1000, 256, 1, [&](std::uint64_t a) { addrs.push_back(a); });
+  ASSERT_EQ(addrs.size(), 4u);
+  EXPECT_EQ(addrs[3], 768u);
+  EXPECT_THROW((void)generate_strided(0, 100, 0, 1, [](std::uint64_t) {}), std::invalid_argument);
+}
+
+TEST(Generators, UniformRandomStaysInRangeAndIsDeterministic) {
+  std::vector<std::uint64_t> a1, a2;
+  generate_uniform_random(500, 1000, 2000, 9, [&](std::uint64_t a) { a1.push_back(a); });
+  generate_uniform_random(500, 1000, 2000, 9, [&](std::uint64_t a) { a2.push_back(a); });
+  EXPECT_EQ(a1, a2);  // same seed, same stream
+  for (const auto a : a1) {
+    EXPECT_GE(a, 500u);
+    EXPECT_LT(a, 1500u);
+  }
+  std::vector<std::uint64_t> a3;
+  generate_uniform_random(500, 1000, 2000, 10, [&](std::uint64_t a) { a3.push_back(a); });
+  EXPECT_NE(a1, a3);  // different seed, different stream
+  EXPECT_THROW((void)generate_uniform_random(0, 0, 1, 1, [](std::uint64_t) {}), std::invalid_argument);
+}
+
+class ChasePermutationProperty
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(ChasePermutationProperty, SingleCycleCoveringAllSlots) {
+  const auto [n, seed] = GetParam();
+  const auto next = build_chase_permutation(n, seed);
+  ASSERT_EQ(next.size(), n);
+  std::set<std::uint32_t> seen;
+  std::uint32_t cur = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(seen.insert(cur).second) << "revisited slot before covering all";
+    ASSERT_LT(next[cur], n);
+    cur = next[cur];
+  }
+  EXPECT_EQ(cur, 0u) << "walk must close into a single cycle";
+  EXPECT_EQ(seen.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, ChasePermutationProperty,
+    ::testing::Values(std::pair<std::uint32_t, std::uint64_t>{2, 0},
+                      std::pair<std::uint32_t, std::uint64_t>{3, 1},
+                      std::pair<std::uint32_t, std::uint64_t>{64, 42},
+                      std::pair<std::uint32_t, std::uint64_t>{1000, 7},
+                      std::pair<std::uint32_t, std::uint64_t>{4096, 1234}));
+
+TEST(Generators, ChaseReplayFollowsPermutation) {
+  const auto next = build_chase_permutation(16, 3);
+  std::vector<std::uint64_t> addrs;
+  generate_chase(0, next, 64, 5, [&](std::uint64_t a) { addrs.push_back(a); });
+  ASSERT_EQ(addrs.size(), 5u);
+  EXPECT_EQ(addrs[0], 0u);
+  EXPECT_EQ(addrs[1], static_cast<std::uint64_t>(next[0]) * 64);
+}
+
+TEST(Generators, ChaseErrors) {
+  EXPECT_THROW((void)build_chase_permutation(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)generate_chase(0, {}, 64, 1, [](std::uint64_t) {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knl::trace

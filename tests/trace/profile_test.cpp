@@ -1,0 +1,59 @@
+// Tests for AccessProfile.
+#include "trace/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knl::trace {
+namespace {
+
+AccessPhase phase(const char* name, std::uint64_t footprint, double bytes,
+                  double flops = 0.0) {
+  AccessPhase p;
+  p.name = name;
+  p.pattern = Pattern::Sequential;
+  p.footprint_bytes = footprint;
+  p.logical_bytes = bytes;
+  p.flops = flops;
+  return p;
+}
+
+TEST(AccessProfile, AddValidatesPhases) {
+  AccessProfile p("x");
+  AccessPhase bad = phase("bad", 0, 100);
+  EXPECT_THROW((void)p.add(bad), std::invalid_argument);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(AccessProfile, ResidentDefaultsToMaxFootprint) {
+  AccessProfile p("x");
+  p.add(phase("a", 100, 1)).add(phase("b", 5000, 1)).add(phase("c", 300, 1));
+  EXPECT_EQ(p.resident_bytes(), 5000u);
+}
+
+TEST(AccessProfile, ResidentOverrideWins) {
+  AccessProfile p("x");
+  p.add(phase("a", 100, 1));
+  p.set_resident_bytes(1 << 20);
+  EXPECT_EQ(p.resident_bytes(), 1u << 20);
+}
+
+TEST(AccessProfile, TotalsSumAcrossPhases) {
+  AccessProfile p("x");
+  p.add(phase("a", 100, 1000.0, 5.0)).add(phase("b", 100, 2000.0, 7.0));
+  EXPECT_DOUBLE_EQ(p.total_logical_bytes(), 3000.0);
+  EXPECT_DOUBLE_EQ(p.total_flops(), 12.0);
+}
+
+TEST(AccessProfile, NamePreserved) {
+  AccessProfile p("minife-cg");
+  EXPECT_EQ(p.name(), "minife-cg");
+}
+
+TEST(AccessProfile, EmptyProfileHasZeroResident) {
+  AccessProfile p("empty");
+  EXPECT_EQ(p.resident_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(p.total_flops(), 0.0);
+}
+
+}  // namespace
+}  // namespace knl::trace

@@ -1,0 +1,86 @@
+// Tests for the DGEMM workload: real blocked kernel + profile model.
+#include "workloads/dgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/types.hpp"
+
+namespace knl::workloads {
+namespace {
+
+TEST(Dgemm, VerifyBlockedAgainstNaive) { EXPECT_NO_THROW(Dgemm(64).verify()); }
+
+TEST(Dgemm, BlockedMatchesNaiveForAwkwardSizes) {
+  // Sizes that do not divide the block evenly exercise the edge loops.
+  for (const std::size_t n : {17u, 33u, 50u}) {
+    std::vector<double> a(n * n), b(n * n), c1(n * n), c2(n * n);
+    std::mt19937_64 rng(n);
+    std::uniform_real_distribution<double> dist(-1, 1);
+    for (auto& x : a) x = dist(rng);
+    for (auto& x : b) x = dist(rng);
+    Dgemm::multiply_blocked(a, b, c1, n, 16);
+    Dgemm::multiply_naive(a, b, c2, n);
+    for (std::size_t i = 0; i < n * n; ++i) {
+      ASSERT_NEAR(c1[i], c2[i], 1e-9 * static_cast<double>(n)) << "n=" << n;
+    }
+  }
+}
+
+TEST(Dgemm, KernelArgumentValidation) {
+  std::vector<double> a(16), b(16), c(16), wrong(9);
+  EXPECT_THROW((void)Dgemm::multiply_blocked(a, b, wrong, 4), std::invalid_argument);
+  EXPECT_THROW((void)Dgemm::multiply_blocked(a, b, c, 4, 0), std::invalid_argument);
+  EXPECT_THROW((void)Dgemm::multiply_naive(wrong, b, c, 4), std::invalid_argument);
+}
+
+TEST(Dgemm, FootprintIsThreeMatrices) {
+  Dgemm d(1000);
+  EXPECT_EQ(d.footprint_bytes(), 3u * 1000 * 1000 * 8);
+}
+
+TEST(Dgemm, FromFootprintInverts) {
+  const auto d = Dgemm::from_footprint(static_cast<std::uint64_t>(6e9));
+  const double fp = static_cast<double>(d.footprint_bytes());
+  EXPECT_NEAR(fp, 6e9, 0.02e9);
+}
+
+TEST(Dgemm, EffectiveIntensityDecreasesWithSize) {
+  const double small = Dgemm::from_footprint(static_cast<std::uint64_t>(0.1e9))
+                           .effective_flops_per_byte();
+  const double large = Dgemm::from_footprint(static_cast<std::uint64_t>(6e9))
+                           .effective_flops_per_byte();
+  EXPECT_GT(small, large);
+  EXPECT_NEAR(small, 5.6, 0.1);
+  EXPECT_NEAR(large, 3.5, 0.1);
+}
+
+TEST(Dgemm, ProfileCarriesCubicFlops) {
+  Dgemm d(2048);
+  const auto p = d.profile();
+  EXPECT_DOUBLE_EQ(p.total_flops(), 2.0 * 2048.0 * 2048.0 * 2048.0);
+  ASSERT_EQ(p.phases().size(), 1u);
+  EXPECT_GT(p.phases()[0].logical_bytes, 0.0);
+}
+
+TEST(Dgemm, MetricIsGflops) {
+  Dgemm d(1024);
+  RunResult r;
+  r.feasible = true;
+  r.seconds = 1.0;
+  EXPECT_NEAR(d.metric(r), 2.0 * 1024.0 * 1024.0 * 1024.0 / 1e9, 1e-6);
+}
+
+TEST(Dgemm, TableOneRow) {
+  Dgemm d(1024);
+  EXPECT_EQ(d.info().name, "DGEMM");
+  EXPECT_EQ(d.info().type, "Scientific");
+  EXPECT_EQ(d.info().access_pattern, "Sequential");
+  EXPECT_EQ(d.info().max_scale_bytes, 24ull * 1000 * 1000 * 1000);
+}
+
+TEST(Dgemm, RejectsTinyMatrices) { EXPECT_THROW((void)Dgemm(8), std::invalid_argument); }
+
+}  // namespace
+}  // namespace knl::workloads

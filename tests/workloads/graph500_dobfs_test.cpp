@@ -1,0 +1,62 @@
+// Tests for direction-optimizing BFS (the tuned-Graph500 extension).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "workloads/graph500.hpp"
+
+namespace knl::workloads {
+namespace {
+
+constexpr std::uint64_t kUnreached = std::numeric_limits<std::uint64_t>::max();
+
+TEST(DirectionOptimizingBfs, ProducesValidTreeOnKronecker) {
+  const auto edges = generate_kronecker(11, 16, 21);
+  const auto g = build_csr(1 << 11, edges);
+  std::uint64_t root = 0;
+  while (g.offsets[root + 1] == g.offsets[root]) ++root;
+  const auto parent = bfs_direction_optimizing(g, root);
+  EXPECT_TRUE(validate_bfs(g, root, parent));
+}
+
+TEST(DirectionOptimizingBfs, SameReachabilityAsTopDown) {
+  const auto edges = generate_kronecker(10, 16, 33);
+  const auto g = build_csr(1 << 10, edges);
+  std::uint64_t root = 0;
+  while (g.offsets[root + 1] == g.offsets[root]) ++root;
+  const auto td = bfs(g, root);
+  const auto dopt = bfs_direction_optimizing(g, root);
+  ASSERT_EQ(td.size(), dopt.size());
+  for (std::uint64_t v = 0; v < g.num_vertices; ++v) {
+    EXPECT_EQ(td[v] == kUnreached, dopt[v] == kUnreached) << v;
+  }
+}
+
+TEST(DirectionOptimizingBfs, HandGraphLevels) {
+  // Star graph: everything at depth 1 — bottom-up kicks in immediately
+  // with a huge frontier edge count.
+  std::vector<Edge> edges;
+  for (std::uint64_t v = 1; v < 64; ++v) edges.push_back(Edge{0, v});
+  const auto g = build_csr(64, edges);
+  const auto parent = bfs_direction_optimizing(g, 0, /*alpha=*/2);
+  for (std::uint64_t v = 1; v < 64; ++v) EXPECT_EQ(parent[v], 0u);
+  EXPECT_TRUE(validate_bfs(g, 0, parent));
+}
+
+TEST(DirectionOptimizingBfs, PathGraphStaysTopDown) {
+  // A path has tiny frontiers: the switch never triggers, result equals
+  // plain top-down exactly.
+  const auto g = build_csr(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  const auto td = bfs(g, 0);
+  const auto dopt = bfs_direction_optimizing(g, 0);
+  EXPECT_EQ(td, dopt);
+}
+
+TEST(DirectionOptimizingBfs, Validation) {
+  const auto g = build_csr(2, {{0, 1}});
+  EXPECT_THROW((void)bfs_direction_optimizing(g, 5), std::invalid_argument);
+  EXPECT_THROW((void)bfs_direction_optimizing(g, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knl::workloads

@@ -1,0 +1,168 @@
+// Tests for the Graph500 workload: Kronecker generation, CSR, BFS and the
+// reference-style validation.
+#include "workloads/graph500.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/types.hpp"
+
+namespace knl::workloads {
+namespace {
+
+constexpr std::uint64_t kUnreached = std::numeric_limits<std::uint64_t>::max();
+
+TEST(Kronecker, EdgeCountAndRange) {
+  const auto edges = generate_kronecker(8, 16, 1);
+  EXPECT_EQ(edges.size(), 16u << 8);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.src, 256u);
+    EXPECT_LT(e.dst, 256u);
+  }
+}
+
+TEST(Kronecker, DeterministicPerSeed) {
+  const auto a = generate_kronecker(6, 4, 7);
+  const auto b = generate_kronecker(6, 4, 7);
+  const auto c = generate_kronecker(6, 4, 8);
+  ASSERT_EQ(a.size(), b.size());
+  bool same = true, diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    same = same && a[i].src == b[i].src && a[i].dst == b[i].dst;
+    diff = diff || a[i].src != c[i].src || a[i].dst != c[i].dst;
+  }
+  EXPECT_TRUE(same);
+  EXPECT_TRUE(diff);
+}
+
+TEST(Kronecker, RmatSkewProducesHubs) {
+  // A=0.57 biases toward low vertex ids: vertex degrees must be heavily
+  // skewed, with the max degree far above the mean.
+  const auto edges = generate_kronecker(12, 16, 3);
+  const auto g = build_csr(1 << 12, edges);
+  std::uint64_t max_deg = 0;
+  for (std::uint64_t v = 0; v < g.num_vertices; ++v) {
+    max_deg = std::max(max_deg, g.offsets[v + 1] - g.offsets[v]);
+  }
+  const double mean_deg =
+      static_cast<double>(g.num_directed_edges()) / static_cast<double>(g.num_vertices);
+  EXPECT_GT(static_cast<double>(max_deg), 10.0 * mean_deg);
+}
+
+TEST(Kronecker, Validation) {
+  EXPECT_THROW((void)generate_kronecker(0, 16, 1), std::invalid_argument);
+  EXPECT_THROW((void)generate_kronecker(8, 0, 1), std::invalid_argument);
+}
+
+TEST(BuildCsr, InsertsBothDirectionsDropsSelfLoops) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 2}};
+  const auto g = build_csr(3, edges);
+  EXPECT_EQ(g.num_directed_edges(), 4u);  // (0,1),(1,0),(1,2),(2,1)
+  EXPECT_EQ(g.offsets[1 + 1] - g.offsets[1], 2u);  // vertex 1 has degree 2
+}
+
+TEST(BuildCsr, DegreeSumsMatchOffsets) {
+  const auto edges = generate_kronecker(8, 8, 5);
+  const auto g = build_csr(256, edges);
+  EXPECT_EQ(g.offsets.front(), 0u);
+  EXPECT_EQ(g.offsets.back(), g.targets.size());
+  for (std::uint64_t v = 0; v < g.num_vertices; ++v) {
+    EXPECT_LE(g.offsets[v], g.offsets[v + 1]);
+  }
+}
+
+TEST(BuildCsr, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW((void)build_csr(2, {{0, 5}}), std::invalid_argument);
+}
+
+TEST(Bfs, ParentTreeOnHandGraph) {
+  // Path graph 0-1-2-3.
+  const auto g = build_csr(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto parent = bfs(g, 0);
+  EXPECT_EQ(parent[0], 0u);
+  EXPECT_EQ(parent[1], 0u);
+  EXPECT_EQ(parent[2], 1u);
+  EXPECT_EQ(parent[3], 2u);
+  EXPECT_TRUE(validate_bfs(g, 0, parent));
+}
+
+TEST(Bfs, UnreachedVerticesStayUnreached) {
+  const auto g = build_csr(4, {{0, 1}});  // 2 and 3 isolated
+  const auto parent = bfs(g, 0);
+  EXPECT_EQ(parent[2], kUnreached);
+  EXPECT_EQ(parent[3], kUnreached);
+  EXPECT_TRUE(validate_bfs(g, 0, parent));
+}
+
+TEST(Bfs, RootOutOfRangeThrows) {
+  const auto g = build_csr(2, {{0, 1}});
+  EXPECT_THROW((void)bfs(g, 5), std::invalid_argument);
+}
+
+TEST(ValidateBfs, DetectsCorruptedParent) {
+  const auto g = build_csr(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto parent = bfs(g, 0);
+  parent[3] = 0;  // claims an edge 3-0 that does not exist
+  EXPECT_FALSE(validate_bfs(g, 0, parent));
+}
+
+TEST(ValidateBfs, DetectsWrongDepth) {
+  // Cycle 0-1-2-3-0: vertex 3 is at depth 1 via root edge; claiming parent 1
+  // (whose depth is 1, so 3 would be depth 2) stays consistent as a tree but
+  // a *skipped level* must be caught.
+  const auto g = build_csr(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto parent = bfs(g, 0);
+  parent[4] = 2;  // depth(4)=4 claimed via depth-2 parent, and edge 2-4 absent
+  EXPECT_FALSE(validate_bfs(g, 0, parent));
+}
+
+TEST(ValidateBfs, DetectsParentCycle) {
+  const auto g = build_csr(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto parent = bfs(g, 0);
+  parent[2] = 3;
+  parent[3] = 2;  // 2 <-> 3 cycle never reaches the root
+  EXPECT_FALSE(validate_bfs(g, 0, parent));
+}
+
+TEST(ValidateBfs, DetectsBadRoot) {
+  const auto g = build_csr(2, {{0, 1}});
+  auto parent = bfs(g, 0);
+  parent[0] = 1;
+  EXPECT_FALSE(validate_bfs(g, 0, parent));
+}
+
+TEST(Graph500Workload, VerifyEndToEnd) { EXPECT_NO_THROW(Graph500(9).verify()); }
+
+TEST(Graph500Workload, FromFootprintPicksClosestScale) {
+  const auto g = Graph500::from_footprint(static_cast<std::uint64_t>(35e9));
+  const double fp = static_cast<double>(g.footprint_bytes());
+  EXPECT_GT(fp, 17e9);
+  EXPECT_LT(fp, 70e9);
+}
+
+TEST(Graph500Workload, ProfilePhases) {
+  Graph500 g(20);
+  const auto p = g.profile();
+  ASSERT_EQ(p.phases().size(), 2u);
+  EXPECT_EQ(p.phases()[0].name, "adjacency-scan");
+  EXPECT_EQ(p.phases()[1].name, "visited-updates");
+  EXPECT_EQ(p.phases()[1].pattern, trace::Pattern::Random);
+}
+
+TEST(Graph500Workload, MetricIsHarmonicTepsOverRoots) {
+  Graph500 g(20, 16, 64);
+  RunResult r;
+  r.feasible = true;
+  r.seconds = 64.0;  // one second per search
+  EXPECT_NEAR(g.metric(r), static_cast<double>(g.num_edges()), 1.0);
+}
+
+TEST(Graph500Workload, Validation) {
+  EXPECT_THROW((void)Graph500(2), std::invalid_argument);
+  EXPECT_THROW((void)Graph500(20, 0), std::invalid_argument);
+  EXPECT_THROW((void)Graph500(20, 16, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knl::workloads

@@ -1,0 +1,97 @@
+// Tests for the GUPS workload (HPCC RandomAccess).
+#include "workloads/gups.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/types.hpp"
+
+namespace knl::workloads {
+namespace {
+
+TEST(Gups, VerifySelfInverseUpdates) { EXPECT_NO_THROW(Gups(1 << 20).verify()); }
+
+TEST(Gups, LcgFollowsHpccRecurrence) {
+  // ran' = (ran << 1) ^ (poly if top bit set).
+  EXPECT_EQ(Gups::next_random(1), 2u);
+  EXPECT_EQ(Gups::next_random(0x8000000000000000ull), 7u);  // wraps through poly
+  EXPECT_EQ(Gups::next_random(0x4000000000000000ull), 0x8000000000000000ull);
+}
+
+TEST(Gups, LcgStreamDoesNotShortCycle) {
+  std::set<std::uint64_t> seen;
+  std::uint64_t ran = 1;
+  for (int i = 0; i < 10000; ++i) {
+    ran = Gups::next_random(ran);
+    ASSERT_TRUE(seen.insert(ran).second) << "cycle at step " << i;
+  }
+}
+
+TEST(Gups, UpdatesSpreadAcrossTable) {
+  // The GF(2) LFSR from a small seed starts with a long power-of-two
+  // transient and its low bits decorrelate slowly (each step is a 1-bit
+  // shift), so short runs do not cover the table like iid draws would —
+  // but they must still spread far beyond a handful of slots.
+  std::vector<std::uint64_t> table(1 << 10, 0);
+  Gups::run_updates(table, 4 * table.size(), 1);
+  std::size_t touched = 0;
+  for (const auto v : table) {
+    if (v != 0) ++touched;
+  }
+  EXPECT_GT(touched, table.size() / 4);
+  // A longer run approaches full coverage.
+  std::vector<std::uint64_t> table2(1 << 10, 0);
+  Gups::run_updates(table2, 64 * table2.size(), 1);
+  std::size_t touched2 = 0;
+  for (const auto v : table2) {
+    if (v != 0) ++touched2;
+  }
+  EXPECT_GT(touched2, table2.size() * 9 / 10);
+}
+
+TEST(Gups, RunUpdatesRequiresPowerOfTwo) {
+  std::vector<std::uint64_t> bad(1000);
+  EXPECT_THROW((void)Gups::run_updates(bad, 10, 1), std::invalid_argument);
+}
+
+TEST(Gups, TableMustBePowerOfTwo) {
+  EXPECT_NO_THROW(Gups(1 << 20));
+  EXPECT_THROW((void)Gups((1 << 20) + 8), std::invalid_argument);
+  EXPECT_THROW((void)Gups(8), std::invalid_argument);  // one entry
+}
+
+TEST(Gups, ProfileIsPureRandomReadModifyWrite) {
+  Gups gups(1 << 20);
+  const auto p = gups.profile();
+  ASSERT_EQ(p.phases().size(), 1u);
+  const auto& phase = p.phases()[0];
+  EXPECT_EQ(phase.pattern, trace::Pattern::Random);
+  EXPECT_EQ(phase.granule_bytes, 8u);
+  EXPECT_DOUBLE_EQ(phase.write_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(phase.logical_bytes, 4.0 * (1 << 17) * 8.0);
+}
+
+TEST(Gups, HpccUpdateCount) {
+  Gups gups(1 << 20);
+  EXPECT_EQ(gups.table_entries(), (1u << 20) / 8);
+  EXPECT_EQ(gups.updates(), 4u * ((1u << 20) / 8));
+}
+
+TEST(Gups, MetricIsGigaUpdatesPerSecond) {
+  Gups gups(8ull << 30);
+  RunResult r;
+  r.feasible = true;
+  r.seconds = 10.0;
+  EXPECT_NEAR(gups.metric(r), static_cast<double>(gups.updates()) / 10.0 / 1e9, 1e-12);
+}
+
+TEST(Gups, TableOneRow) {
+  Gups gups(1 << 20);
+  EXPECT_EQ(gups.info().type, "Data analytics");
+  EXPECT_EQ(gups.info().access_pattern, "Random");
+  EXPECT_EQ(gups.info().max_scale_bytes, 32ull * GiB);
+}
+
+}  // namespace
+}  // namespace knl::workloads

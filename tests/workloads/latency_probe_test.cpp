@@ -1,0 +1,67 @@
+// Tests for the dual-random-read latency probe.
+#include "workloads/latency_probe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knl::workloads {
+namespace {
+
+TEST(LatencyProbe, VerifyChecksChaseCycle) {
+  EXPECT_NO_THROW(LatencyProbe(1 << 20).verify());
+}
+
+TEST(LatencyProbe, ProfileIsDualPointerChase) {
+  LatencyProbe probe(1 << 20, 2);
+  const auto p = probe.profile();
+  ASSERT_EQ(p.phases().size(), 1u);
+  EXPECT_EQ(p.phases()[0].pattern, trace::Pattern::PointerChase);
+  EXPECT_EQ(p.phases()[0].chains_per_thread, 2);
+}
+
+TEST(LatencyProbe, L2TierIsAboutTenNanoseconds) {
+  Machine machine;
+  LatencyProbe probe(512 * KiB);
+  EXPECT_NEAR(probe.measured_latency_ns(machine, MemNode::DDR), 10.0, 1.0);
+  EXPECT_NEAR(probe.measured_latency_ns(machine, MemNode::HBM), 10.0, 1.0);
+}
+
+TEST(LatencyProbe, MemoryTierShowsDramFasterByPaperBand) {
+  Machine machine;
+  for (const std::uint64_t block : {8 * MiB, 64 * MiB, 512 * MiB}) {
+    LatencyProbe probe(block);
+    const double d = probe.measured_latency_ns(machine, MemNode::DDR);
+    const double h = probe.measured_latency_ns(machine, MemNode::HBM);
+    const double gap = (h - d) / d;
+    EXPECT_GT(gap, 0.10) << "block " << block;
+    EXPECT_LT(gap, 0.25) << "block " << block;
+  }
+}
+
+TEST(LatencyProbe, LatencyRisesBeyondTlbCoverage) {
+  Machine machine;
+  const double at64m = LatencyProbe(64 * MiB).measured_latency_ns(machine, MemNode::DDR);
+  const double at1g = LatencyProbe(1 * GiB).measured_latency_ns(machine, MemNode::DDR);
+  EXPECT_GT(at1g, at64m * 1.5);  // paper Fig. 3 third tier
+}
+
+TEST(LatencyProbe, IdleLatencyAnchors) {
+  Machine machine;
+  EXPECT_DOUBLE_EQ(LatencyProbe::idle_latency_ns(machine, MemNode::DDR), 130.4);
+  EXPECT_DOUBLE_EQ(LatencyProbe::idle_latency_ns(machine, MemNode::HBM), 154.0);
+}
+
+TEST(LatencyProbe, MetricDividesByAccesses) {
+  LatencyProbe probe(1 << 20);
+  RunResult r;
+  r.feasible = true;
+  r.seconds = 1.0;
+  EXPECT_GT(probe.metric(r), 0.0);
+}
+
+TEST(LatencyProbe, Validation) {
+  EXPECT_THROW((void)LatencyProbe(1024), std::invalid_argument);
+  EXPECT_THROW((void)LatencyProbe(1 << 20, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knl::workloads

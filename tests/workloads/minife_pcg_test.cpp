@@ -1,0 +1,54 @@
+// Tests for Jacobi-preconditioned CG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/minife.hpp"
+
+namespace knl::workloads {
+namespace {
+
+TEST(PreconditionedCg, SolvesToKnownSolution) {
+  const CsrMatrix a = assemble_27pt(8, 8, 8);
+  std::vector<double> b(a.rows, 1.0), x(a.rows, 0.0);
+  const CgResult r = preconditioned_cg(a, b, x, 300, 1e-10);
+  EXPECT_TRUE(r.converged);
+  for (const double v : x) EXPECT_NEAR(v, 1.0, 1e-6);
+}
+
+TEST(PreconditionedCg, ConvergesNoSlowerThanPlainCg) {
+  const CsrMatrix a = assemble_27pt(10, 10, 10);
+  std::vector<double> b(a.rows);
+  for (std::uint64_t i = 0; i < a.rows; ++i) {
+    b[i] = std::sin(static_cast<double>(i));
+  }
+  std::vector<double> x1(a.rows, 0.0), x2(a.rows, 0.0);
+  const CgResult plain = conjugate_gradient(a, b, x1, 500, 1e-9);
+  const CgResult pcg = preconditioned_cg(a, b, x2, 500, 1e-9);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(pcg.converged);
+  EXPECT_LE(pcg.iterations, plain.iterations + 2);
+  // Both reach the same solution.
+  for (std::uint64_t i = 0; i < a.rows; i += 97) {
+    EXPECT_NEAR(x1[i], x2[i], 1e-6);
+  }
+}
+
+TEST(PreconditionedCg, SizeMismatchThrows) {
+  const CsrMatrix a = assemble_27pt(3, 3, 3);
+  std::vector<double> b(5), x(a.rows);
+  EXPECT_THROW((void)preconditioned_cg(a, b, x, 10, 1e-8), std::invalid_argument);
+}
+
+TEST(PreconditionedCg, ZeroDiagonalRejected) {
+  CsrMatrix a;
+  a.rows = 2;
+  a.row_offsets = {0, 1, 2};
+  a.cols = {0, 1};
+  a.vals = {1.0, 0.0};  // zero diagonal on row 1
+  std::vector<double> b(2, 1.0), x(2, 0.0);
+  EXPECT_THROW((void)preconditioned_cg(a, b, x, 10, 1e-8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knl::workloads

@@ -1,0 +1,128 @@
+// Tests for the MiniFE workload: assembly, SpMV, CG and the profile.
+#include "workloads/minife.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/types.hpp"
+
+namespace knl::workloads {
+namespace {
+
+TEST(MiniFeAssembly, InteriorRowsHave27Entries) {
+  const CsrMatrix a = assemble_27pt(5, 5, 5);
+  EXPECT_EQ(a.rows, 125u);
+  // Center vertex (2,2,2) = row 62: full 27-point stencil.
+  const std::uint64_t row = 62;
+  EXPECT_EQ(a.row_offsets[row + 1] - a.row_offsets[row], 27u);
+}
+
+TEST(MiniFeAssembly, CornerRowsHave8Entries) {
+  const CsrMatrix a = assemble_27pt(5, 5, 5);
+  EXPECT_EQ(a.row_offsets[1] - a.row_offsets[0], 8u);  // corner: 2x2x2 block
+}
+
+TEST(MiniFeAssembly, RowSumsAreOne) {
+  // diag = neighbours+1, off-diag = -1 each: every row sums to exactly 1.
+  const CsrMatrix a = assemble_27pt(4, 3, 5);
+  std::vector<double> ones(a.rows, 1.0), out(a.rows, 0.0);
+  spmv(a, ones, out);
+  for (const double v : out) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(MiniFeAssembly, RejectsEmptyBrick) {
+  EXPECT_THROW((void)assemble_27pt(0, 5, 5), std::invalid_argument);
+}
+
+TEST(MiniFeSpmv, MatchesHandComputedStencil) {
+  const CsrMatrix a = assemble_27pt(3, 3, 3);
+  std::vector<double> x(a.rows, 0.0), y(a.rows, 0.0);
+  x[13] = 1.0;  // center vertex
+  spmv(a, x, y);
+  // Center row: diag 26+1 = 27... diag is neighbours+1 = 27 for the center.
+  EXPECT_DOUBLE_EQ(y[13], 27.0);
+  // Every other vertex neighbours the center in a 3^3 brick: -1.
+  for (std::uint64_t i = 0; i < a.rows; ++i) {
+    if (i != 13) {
+      EXPECT_DOUBLE_EQ(y[i], -1.0) << i;
+    }
+  }
+  std::vector<double> wrong(5);
+  EXPECT_THROW((void)spmv(a, wrong, y), std::invalid_argument);
+}
+
+TEST(MiniFeCg, SolvesToKnownSolution) {
+  const CsrMatrix a = assemble_27pt(8, 8, 8);
+  std::vector<double> b(a.rows, 1.0);  // A*ones = ones
+  std::vector<double> x(a.rows, 0.0);
+  const CgResult r = conjugate_gradient(a, b, x, 300, 1e-10);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.final_residual_norm, 1e-10);
+  for (const double v : x) EXPECT_NEAR(v, 1.0, 1e-6);
+}
+
+TEST(MiniFeCg, TinyIterationBudgetDoesNotConverge) {
+  // Non-uniform b: with b = ones, A*ones = ones makes CG converge in one
+  // step, so a varying right-hand side is needed to exercise the budget.
+  const CsrMatrix a = assemble_27pt(4, 4, 4);
+  std::vector<double> b(a.rows), x(a.rows, 0.0);
+  for (std::uint64_t i = 0; i < a.rows; ++i) {
+    b[i] = static_cast<double>(i % 7) - 3.0;
+  }
+  const CgResult r = conjugate_gradient(a, b, x, 2, 1e-14);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 2);
+}
+
+TEST(MiniFeCg, SizeMismatchThrows) {
+  const CsrMatrix a = assemble_27pt(3, 3, 3);
+  std::vector<double> b(5), x(a.rows);
+  EXPECT_THROW((void)conjugate_gradient(a, b, x, 10, 1e-8), std::invalid_argument);
+}
+
+TEST(MiniFe, VerifyEndToEnd) { EXPECT_NO_THROW(MiniFe(8).verify()); }
+
+TEST(MiniFe, FootprintPartsAreConsistent) {
+  MiniFe m(32);
+  EXPECT_EQ(m.rows(), 32u * 32 * 32);
+  EXPECT_EQ(m.footprint_bytes(), m.matrix_bytes() + m.vector_bytes());
+  EXPECT_EQ(m.matrix_bytes(), m.rows() * 332);
+  EXPECT_EQ(m.vector_bytes(), m.rows() * 40);
+}
+
+TEST(MiniFe, FromFootprintApproximatesTarget) {
+  const auto m = MiniFe::from_footprint(static_cast<std::uint64_t>(7.2e9));
+  const double fp = static_cast<double>(m.matrix_bytes());
+  EXPECT_GT(fp, 5e9);
+  EXPECT_LT(fp, 9e9);
+}
+
+TEST(MiniFe, ProfileHasSpmvAndVectorPhases) {
+  MiniFe m(32, /*cg_iters=*/100);
+  const auto p = m.profile();
+  ASSERT_EQ(p.phases().size(), 2u);
+  EXPECT_EQ(p.phases()[0].name, "spmv");
+  EXPECT_EQ(p.phases()[1].name, "dots+axpys");
+  // SpMV phase footprint is the matrix, vector phase is the small vectors —
+  // the split that produces the paper's MiniFE-vs-STREAM cache divergence.
+  EXPECT_EQ(p.phases()[0].footprint_bytes, m.matrix_bytes());
+  EXPECT_EQ(p.phases()[1].footprint_bytes, m.vector_bytes());
+  EXPECT_EQ(p.resident_bytes(), m.footprint_bytes());
+}
+
+TEST(MiniFe, MetricCountsCgFlops) {
+  MiniFe m(16, 10);
+  RunResult r;
+  r.feasible = true;
+  r.seconds = 1.0;
+  EXPECT_NEAR(m.metric(r), 10.0 * 4096.0 * 64.0 / 1e6, 1e-9);
+}
+
+TEST(MiniFe, Validation) {
+  EXPECT_THROW((void)MiniFe(2), std::invalid_argument);
+  EXPECT_THROW((void)MiniFe(16, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knl::workloads

@@ -1,0 +1,84 @@
+// Tests for the full STREAM suite (copy/scale/add/triad).
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "workloads/stream.hpp"
+
+namespace knl::workloads {
+namespace {
+
+TEST(StreamSuite, KernelMetadata) {
+  EXPECT_EQ(stream_kernel_arrays(StreamKernel::Copy), 2);
+  EXPECT_EQ(stream_kernel_arrays(StreamKernel::Scale), 2);
+  EXPECT_EQ(stream_kernel_arrays(StreamKernel::Add), 3);
+  EXPECT_EQ(stream_kernel_arrays(StreamKernel::Triad), 3);
+  EXPECT_DOUBLE_EQ(stream_kernel_flops(StreamKernel::Copy), 0.0);
+  EXPECT_DOUBLE_EQ(stream_kernel_flops(StreamKernel::Triad), 2.0);
+  EXPECT_EQ(to_string(StreamKernel::Scale), "scale");
+}
+
+TEST(StreamSuite, KernelsComputeCorrectValues) {
+  std::vector<double> a{1, 2, 3}, b{4, 5, 6}, c{0, 0, 0};
+  stream_copy(c, a);
+  EXPECT_EQ(c, a);
+  stream_scale(b, a, 2.0);
+  EXPECT_EQ(b, (std::vector<double>{2, 4, 6}));
+  stream_add(c, a, b);
+  EXPECT_EQ(c, (std::vector<double>{3, 6, 9}));
+  std::vector<double> wrong(2);
+  EXPECT_THROW(stream_copy(wrong, a), std::invalid_argument);
+  EXPECT_THROW(stream_scale(wrong, a, 1.0), std::invalid_argument);
+  EXPECT_THROW(stream_add(wrong, a, b), std::invalid_argument);
+}
+
+class StreamSuiteKernels : public ::testing::TestWithParam<StreamKernel> {};
+
+TEST_P(StreamSuiteKernels, VerifyPasses) {
+  EXPECT_NO_THROW(StreamBench(GetParam(), 1 << 20).verify());
+}
+
+TEST_P(StreamSuiteKernels, ProfileAndMetricConsistent) {
+  const StreamBench bench(GetParam(), 24000, 5);
+  const auto p = bench.profile();
+  ASSERT_EQ(p.phases().size(), 1u);
+  EXPECT_DOUBLE_EQ(p.phases()[0].logical_bytes, 5.0 * 24000.0);
+  RunResult r;
+  r.feasible = true;
+  r.seconds = 1e-3;
+  EXPECT_NEAR(bench.metric(r), 120000.0 / 1e-3 / 1e9, 1e-12);
+  EXPECT_EQ(bench.info().name, "STREAM-" + to_string(GetParam()));
+}
+
+TEST_P(StreamSuiteKernels, AllKernelsHitTheSameBandwidthEnvelope) {
+  // STREAM reports per-kernel bandwidths within a few percent of each
+  // other on real machines; in the model they share the streaming path.
+  Machine machine;
+  const StreamBench bench(GetParam(), 4ull << 30);
+  const RunResult dram = machine.run(bench.profile(), RunConfig{MemConfig::DRAM, 64});
+  const RunResult hbm = machine.run(bench.profile(), RunConfig{MemConfig::HBM, 64});
+  EXPECT_NEAR(bench.metric(dram), 77.0, 1.0);
+  EXPECT_NEAR(bench.metric(hbm), 330.0, 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, StreamSuiteKernels,
+                         ::testing::Values(StreamKernel::Copy, StreamKernel::Scale,
+                                           StreamKernel::Add, StreamKernel::Triad),
+                         [](const ::testing::TestParamInfo<StreamKernel>& pi) {
+                           return to_string(pi.param);
+                         });
+
+TEST(StreamSuite, ElementCountDependsOnArrayCount) {
+  // Same total bytes: 2-array kernels get more elements per array.
+  const StreamBench copy(StreamKernel::Copy, 48000);
+  const StreamBench triad(StreamKernel::Triad, 48000);
+  EXPECT_EQ(copy.elements(), 3000u);
+  EXPECT_EQ(triad.elements(), 2000u);
+}
+
+TEST(StreamSuite, Validation) {
+  EXPECT_THROW(StreamBench(StreamKernel::Copy, 8), std::invalid_argument);
+  EXPECT_THROW(StreamBench(StreamKernel::Triad, 24000, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knl::workloads

@@ -1,0 +1,63 @@
+// Tests for the STREAM triad workload.
+#include "workloads/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace knl::workloads {
+namespace {
+
+TEST(StreamTriad, VerifyRunsRealKernel) { EXPECT_NO_THROW(StreamTriad(1 << 20).verify()); }
+
+TEST(StreamTriad, TriadKernelExactValues) {
+  std::vector<double> a(4, 0.0), b{1, 2, 3, 4}, c{10, 20, 30, 40};
+  StreamTriad::triad(a, b, c, 0.5);
+  EXPECT_DOUBLE_EQ(a[0], 6.0);
+  EXPECT_DOUBLE_EQ(a[3], 24.0);
+  std::vector<double> wrong(3);
+  EXPECT_THROW((void)StreamTriad::triad(wrong, b, c, 1.0), std::invalid_argument);
+}
+
+TEST(StreamTriad, ProfileDescribesTriadTraffic) {
+  StreamTriad stream(3 * 1000 * sizeof(double), /*ntimes=*/7);
+  const auto p = stream.profile();
+  ASSERT_EQ(p.phases().size(), 1u);
+  const auto& phase = p.phases()[0];
+  EXPECT_EQ(phase.pattern, trace::Pattern::Sequential);
+  EXPECT_DOUBLE_EQ(phase.sweeps, 7.0);
+  EXPECT_DOUBLE_EQ(phase.logical_bytes, 7.0 * 24000.0);
+  // Streaming stores: no write-allocate traffic counted.
+  EXPECT_DOUBLE_EQ(phase.write_fraction, 0.0);
+  EXPECT_EQ(p.resident_bytes(), 24000u);
+}
+
+TEST(StreamTriad, MetricIsLogicalBytesOverTime) {
+  StreamTriad stream(24000, 10);
+  RunResult r;
+  r.feasible = true;
+  r.seconds = 1e-3;
+  EXPECT_NEAR(stream.metric(r), 240000.0 / 1e-3 / 1e9, 1e-9);
+  RunResult infeasible;
+  infeasible.feasible = false;
+  EXPECT_DOUBLE_EQ(stream.metric(infeasible), 0.0);
+}
+
+TEST(StreamTriad, ElementsFromTotalBytes) {
+  StreamTriad stream(3 * 100 * sizeof(double));
+  EXPECT_EQ(stream.elements(), 100u);
+  EXPECT_THROW((void)StreamTriad(10), std::invalid_argument);
+  EXPECT_THROW((void)StreamTriad(24000, 0), std::invalid_argument);
+}
+
+TEST(StreamTriad, SimulatedBandwidthMatchesPaperOnBothNodes) {
+  Machine machine;
+  StreamTriad stream(4 * GiB);
+  const auto dram = machine.run(stream.profile(), RunConfig{MemConfig::DRAM, 64});
+  const auto hbm = machine.run(stream.profile(), RunConfig{MemConfig::HBM, 64});
+  EXPECT_NEAR(stream.metric(dram), 77.0, 1.5);
+  EXPECT_NEAR(stream.metric(hbm), 330.0, 6.0);
+}
+
+}  // namespace
+}  // namespace knl::workloads

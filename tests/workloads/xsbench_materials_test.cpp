@@ -1,0 +1,95 @@
+// Tests for the XSBench material set and lookup driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <set>
+
+#include "workloads/xsbench.hpp"
+
+namespace knl::workloads {
+namespace {
+
+TEST(Materials, TwelveMaterialsWithFuelDominant) {
+  const MaterialSet set = build_materials(355, 1);
+  ASSERT_EQ(set.materials.size(), 12u);
+  ASSERT_EQ(set.probabilities.size(), 12u);
+  // Fuel (material 0) has by far the most nuclides.
+  for (std::size_t m = 1; m < 12; ++m) {
+    EXPECT_GT(set.materials[0].size(), set.materials[m].size());
+  }
+  EXPECT_GE(set.materials[0].size(), 300u);  // ~0.9 * 355
+}
+
+TEST(Materials, ProbabilitiesNormalized) {
+  const MaterialSet set = build_materials(355, 2);
+  double sum = 0.0;
+  for (const double p : set.probabilities) {
+    EXPECT_GT(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Materials, NuclidesDistinctWithinMaterial) {
+  const MaterialSet set = build_materials(50, 3);
+  for (const auto& material : set.materials) {
+    std::set<int> seen;
+    for (const auto& [nuclide, density] : material) {
+      EXPECT_TRUE(seen.insert(nuclide).second);
+      EXPECT_GE(nuclide, 0);
+      EXPECT_LT(nuclide, 50);
+      EXPECT_GT(density, 0.0);
+    }
+  }
+}
+
+TEST(Materials, SamplingFollowsProbabilities) {
+  const MaterialSet set = build_materials(60, 4);
+  // CDF edges: u just below the first probability picks material 0.
+  EXPECT_EQ(sample_material(set, 0.0), 0);
+  EXPECT_EQ(sample_material(set, set.probabilities[0] - 1e-9), 0);
+  EXPECT_EQ(sample_material(set, set.probabilities[0] + 1e-9), 1);
+  EXPECT_EQ(sample_material(set, 1.0 - 1e-12), 11);
+  EXPECT_THROW((void)sample_material(set, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)sample_material(set, -0.1), std::invalid_argument);
+}
+
+TEST(Materials, RunLookupsDeterministicChecksum) {
+  const XsData data = build_xs_data(16, 64, 5);
+  const MaterialSet set = build_materials(16, 6);
+  const double c1 = run_lookups(data, set, 2000, 7);
+  const double c2 = run_lookups(data, set, 2000, 7);
+  EXPECT_DOUBLE_EQ(c1, c2);
+  const double c3 = run_lookups(data, set, 2000, 8);
+  EXPECT_NE(c1, c3);
+  EXPECT_TRUE(std::isfinite(c1));
+  EXPECT_GT(c1, 0.0);
+}
+
+TEST(Materials, RunLookupsMatchesOracleDriver) {
+  // Re-run the same sampled lookups against the direct oracle and compare
+  // the checksum — end-to-end driver validation.
+  const XsData data = build_xs_data(12, 48, 9);
+  const MaterialSet set = build_materials(12, 10);
+  const double via_union = run_lookups(data, set, 500, 11);
+
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  double via_direct = 0.0;
+  double xs[5];
+  for (int i = 0; i < 500; ++i) {
+    const double e = uni(rng);
+    const int m = sample_material(set, uni(rng));
+    lookup_macro_xs_direct(data, e, set.materials[static_cast<std::size_t>(m)], xs);
+    via_direct += xs[0] + xs[4];
+  }
+  EXPECT_NEAR(via_union, via_direct, 1e-6);
+}
+
+TEST(Materials, Validation) {
+  EXPECT_THROW((void)build_materials(5, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knl::workloads

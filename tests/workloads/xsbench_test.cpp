@@ -1,0 +1,123 @@
+// Tests for the XSBench workload: unionized grid construction and lookups.
+#include "workloads/xsbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "core/types.hpp"
+
+namespace knl::workloads {
+namespace {
+
+TEST(XsData, GridsAreSortedAndSized) {
+  const XsData data = build_xs_data(5, 50, 1);
+  EXPECT_EQ(data.nuclide_energy.size(), 250u);
+  EXPECT_EQ(data.union_energy.size(), 250u);
+  EXPECT_EQ(data.union_index.size(), 250u * 5);
+  EXPECT_TRUE(std::is_sorted(data.union_energy.begin(), data.union_energy.end()));
+  for (int n = 0; n < 5; ++n) {
+    const auto begin = data.nuclide_energy.begin() + n * 50;
+    EXPECT_TRUE(std::is_sorted(begin, begin + 50));
+  }
+}
+
+TEST(XsData, UnionIndexPointsAtEnclosingInterval) {
+  const XsData data = build_xs_data(3, 64, 2);
+  for (std::size_t u = 0; u < data.union_energy.size(); u += 17) {
+    const double e = data.union_energy[u];
+    for (int n = 0; n < 3; ++n) {
+      const auto idx = data.union_index[u * 3 + static_cast<std::size_t>(n)];
+      ASSERT_GE(idx, 0);
+      ASSERT_LE(idx, 62);
+      const std::size_t base = static_cast<std::size_t>(n) * 64;
+      // nuclide_energy[idx] <= e (unless clamped at the low edge).
+      if (idx > 0) {
+        EXPECT_LE(data.nuclide_energy[base + static_cast<std::size_t>(idx)], e);
+      }
+    }
+  }
+}
+
+TEST(XsLookup, MatchesDirectOracleAcrossEnergies) {
+  const XsData data = build_xs_data(12, 128, 3);
+  std::vector<std::pair<int, double>> material{{0, 1.0}, {5, 0.3}, {11, 2.0}};
+  for (double e = 0.05; e < 1.0; e += 0.037) {
+    double a[5], b[5];
+    lookup_macro_xs(data, e, material, a);
+    lookup_macro_xs_direct(data, e, material, b);
+    for (int ch = 0; ch < 5; ++ch) ASSERT_NEAR(a[ch], b[ch], 1e-9) << "e=" << e;
+  }
+}
+
+TEST(XsLookup, DensityScalesLinearly) {
+  const XsData data = build_xs_data(4, 32, 4);
+  double once[5], twice[5];
+  lookup_macro_xs(data, 0.5, {{2, 1.0}}, once);
+  lookup_macro_xs(data, 0.5, {{2, 2.0}}, twice);
+  for (int ch = 0; ch < 5; ++ch) EXPECT_NEAR(twice[ch], 2.0 * once[ch], 1e-12);
+}
+
+TEST(XsLookup, OutOfRangeEnergyClamps) {
+  const XsData data = build_xs_data(4, 32, 5);
+  double lo[5], hi[5];
+  EXPECT_NO_THROW(lookup_macro_xs(data, -10.0, {{0, 1.0}}, lo));
+  EXPECT_NO_THROW(lookup_macro_xs(data, 10.0, {{0, 1.0}}, hi));
+  for (int ch = 0; ch < 5; ++ch) {
+    EXPECT_GE(lo[ch], 0.0);
+    EXPECT_GE(hi[ch], 0.0);
+  }
+}
+
+TEST(XsLookup, UnknownNuclideThrows) {
+  const XsData data = build_xs_data(4, 32, 6);
+  double out[5];
+  EXPECT_THROW((void)lookup_macro_xs(data, 0.5, {{7, 1.0}}, out), std::invalid_argument);
+}
+
+TEST(XsBenchWorkload, VerifyAgainstOracle) { EXPECT_NO_THROW(XsBench(64).verify()); }
+
+TEST(XsBenchWorkload, FootprintMatchesPaperSizing) {
+  // Paper: default "large" gridpoints (11303) with 355 nuclides ~ 5.6 GB,
+  // and -g doublings reach 90 GB.
+  const XsBench base(11303);
+  EXPECT_NEAR(static_cast<double>(base.footprint_bytes()), 5.6e9, 0.5e9);
+  const XsBench big(11303 * 16);
+  EXPECT_NEAR(static_cast<double>(big.footprint_bytes()), 90e9, 8e9);
+}
+
+TEST(XsBenchWorkload, FromFootprintInverts) {
+  const auto xs = XsBench::from_footprint(static_cast<std::uint64_t>(22.5e9));
+  EXPECT_NEAR(static_cast<double>(xs.footprint_bytes()), 22.5e9, 2e9);
+}
+
+TEST(XsBenchWorkload, ProfileHasSearchAndGatherPhases) {
+  XsBench xs(1000);
+  const auto p = xs.profile();
+  ASSERT_EQ(p.phases().size(), 2u);
+  EXPECT_EQ(p.phases()[0].name, "union-binary-search");
+  EXPECT_EQ(p.phases()[1].name, "nuclide-gather");
+  // Binary search depth ~ log2(n_union).
+  const double depth = p.phases()[0].logical_bytes / (15e6 * 8.0);
+  EXPECT_NEAR(depth, std::ceil(std::log2(355.0 * 1000.0)), 0.5);
+}
+
+TEST(XsBenchWorkload, MetricIsLookupsPerSecond) {
+  XsBench xs(1000, 355, 1000000);
+  RunResult r;
+  r.feasible = true;
+  r.seconds = 2.0;
+  EXPECT_DOUBLE_EQ(xs.metric(r), 500000.0);
+}
+
+TEST(XsBenchWorkload, Validation) {
+  EXPECT_THROW((void)XsBench(1), std::invalid_argument);
+  EXPECT_THROW((void)XsBench(100, 0), std::invalid_argument);
+  EXPECT_THROW((void)XsBench(100, 355, 0), std::invalid_argument);
+  EXPECT_THROW((void)XsBench(100, 10, 100, 20), std::invalid_argument);  // material > nuclides
+}
+
+}  // namespace
+}  // namespace knl::workloads
