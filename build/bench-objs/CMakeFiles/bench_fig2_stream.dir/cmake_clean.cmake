@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_stream"
+  "../bench/bench_fig2_stream.pdb"
+  "CMakeFiles/bench_fig2_stream.dir/bench_fig2_stream.cpp.o"
+  "CMakeFiles/bench_fig2_stream.dir/bench_fig2_stream.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

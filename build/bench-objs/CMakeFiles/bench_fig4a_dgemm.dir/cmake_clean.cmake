@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4a_dgemm"
+  "../bench/bench_fig4a_dgemm.pdb"
+  "CMakeFiles/bench_fig4a_dgemm.dir/bench_fig4a_dgemm.cpp.o"
+  "CMakeFiles/bench_fig4a_dgemm.dir/bench_fig4a_dgemm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_dgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4b_minife"
+  "../bench/bench_fig4b_minife.pdb"
+  "CMakeFiles/bench_fig4b_minife.dir/bench_fig4b_minife.cpp.o"
+  "CMakeFiles/bench_fig4b_minife.dir/bench_fig4b_minife.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_minife.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

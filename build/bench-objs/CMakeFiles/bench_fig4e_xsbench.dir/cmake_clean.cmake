@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4e_xsbench"
+  "../bench/bench_fig4e_xsbench.pdb"
+  "CMakeFiles/bench_fig4e_xsbench.dir/bench_fig4e_xsbench.cpp.o"
+  "CMakeFiles/bench_fig4e_xsbench.dir/bench_fig4e_xsbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4e_xsbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

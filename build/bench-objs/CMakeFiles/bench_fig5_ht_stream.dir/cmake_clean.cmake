@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_ht_stream"
+  "../bench/bench_fig5_ht_stream.pdb"
+  "CMakeFiles/bench_fig5_ht_stream.dir/bench_fig5_ht_stream.cpp.o"
+  "CMakeFiles/bench_fig5_ht_stream.dir/bench_fig5_ht_stream.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_ht_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

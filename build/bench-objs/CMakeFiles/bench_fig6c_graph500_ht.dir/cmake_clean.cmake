@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6c_graph500_ht"
+  "../bench/bench_fig6c_graph500_ht.pdb"
+  "CMakeFiles/bench_fig6c_graph500_ht.dir/bench_fig6c_graph500_ht.cpp.o"
+  "CMakeFiles/bench_fig6c_graph500_ht.dir/bench_fig6c_graph500_ht.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_graph500_ht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6c_graph500_ht.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_finegrained"
+  "../bench/bench_finegrained.pdb"
+  "CMakeFiles/bench_finegrained.dir/bench_finegrained.cpp.o"
+  "CMakeFiles/bench_finegrained.dir/bench_finegrained.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_finegrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

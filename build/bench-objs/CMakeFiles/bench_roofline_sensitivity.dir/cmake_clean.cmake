@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_roofline_sensitivity"
+  "../bench/bench_roofline_sensitivity.pdb"
+  "CMakeFiles/bench_roofline_sensitivity.dir/bench_roofline_sensitivity.cpp.o"
+  "CMakeFiles/bench_roofline_sensitivity.dir/bench_roofline_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roofline_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

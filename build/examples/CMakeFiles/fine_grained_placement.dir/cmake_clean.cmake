@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fine_grained_placement.dir/fine_grained_placement.cpp.o"
+  "CMakeFiles/fine_grained_placement.dir/fine_grained_placement.cpp.o.d"
+  "fine_grained_placement"
+  "fine_grained_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fine_grained_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numactl_sim.dir/numactl_sim.cpp.o"
+  "CMakeFiles/numactl_sim.dir/numactl_sim.cpp.o.d"
+  "numactl_sim"
+  "numactl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numactl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/knlmem.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/collectives.cpp" "src/CMakeFiles/knlmem.dir/cluster/collectives.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/cluster/collectives.cpp.o.d"
+  "/root/repo/src/core/advisor.cpp" "src/CMakeFiles/knlmem.dir/core/advisor.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/core/advisor.cpp.o.d"
+  "/root/repo/src/core/machine.cpp" "src/CMakeFiles/knlmem.dir/core/machine.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/core/machine.cpp.o.d"
+  "/root/repo/src/core/machine_config.cpp" "src/CMakeFiles/knlmem.dir/core/machine_config.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/core/machine_config.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/CMakeFiles/knlmem.dir/core/migration.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/core/migration.cpp.o.d"
+  "/root/repo/src/core/placement_plan.cpp" "src/CMakeFiles/knlmem.dir/core/placement_plan.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/core/placement_plan.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/CMakeFiles/knlmem.dir/core/types.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/core/types.cpp.o.d"
+  "/root/repo/src/mem/hbwmalloc.cpp" "src/CMakeFiles/knlmem.dir/mem/hbwmalloc.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/mem/hbwmalloc.cpp.o.d"
+  "/root/repo/src/mem/memkind.cpp" "src/CMakeFiles/knlmem.dir/mem/memkind.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/mem/memkind.cpp.o.d"
+  "/root/repo/src/mem/numa_policy.cpp" "src/CMakeFiles/knlmem.dir/mem/numa_policy.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/mem/numa_policy.cpp.o.d"
+  "/root/repo/src/mem/numa_topology.cpp" "src/CMakeFiles/knlmem.dir/mem/numa_topology.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/mem/numa_topology.cpp.o.d"
+  "/root/repo/src/report/figure.cpp" "src/CMakeFiles/knlmem.dir/report/figure.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/report/figure.cpp.o.d"
+  "/root/repo/src/report/roofline.cpp" "src/CMakeFiles/knlmem.dir/report/roofline.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/report/roofline.cpp.o.d"
+  "/root/repo/src/report/sensitivity.cpp" "src/CMakeFiles/knlmem.dir/report/sensitivity.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/report/sensitivity.cpp.o.d"
+  "/root/repo/src/report/stats.cpp" "src/CMakeFiles/knlmem.dir/report/stats.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/report/stats.cpp.o.d"
+  "/root/repo/src/report/sweep.cpp" "src/CMakeFiles/knlmem.dir/report/sweep.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/report/sweep.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/knlmem.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/report/table.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/knlmem.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/cache_hierarchy.cpp" "src/CMakeFiles/knlmem.dir/sim/cache_hierarchy.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/sim/cache_hierarchy.cpp.o.d"
+  "/root/repo/src/sim/dram_model.cpp" "src/CMakeFiles/knlmem.dir/sim/dram_model.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/sim/dram_model.cpp.o.d"
+  "/root/repo/src/sim/mcdram_cache.cpp" "src/CMakeFiles/knlmem.dir/sim/mcdram_cache.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/sim/mcdram_cache.cpp.o.d"
+  "/root/repo/src/sim/memory_node.cpp" "src/CMakeFiles/knlmem.dir/sim/memory_node.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/sim/memory_node.cpp.o.d"
+  "/root/repo/src/sim/mesh.cpp" "src/CMakeFiles/knlmem.dir/sim/mesh.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/sim/mesh.cpp.o.d"
+  "/root/repo/src/sim/page_table.cpp" "src/CMakeFiles/knlmem.dir/sim/page_table.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/sim/page_table.cpp.o.d"
+  "/root/repo/src/sim/parallel_replay.cpp" "src/CMakeFiles/knlmem.dir/sim/parallel_replay.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/sim/parallel_replay.cpp.o.d"
+  "/root/repo/src/sim/physical_memory.cpp" "src/CMakeFiles/knlmem.dir/sim/physical_memory.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/sim/physical_memory.cpp.o.d"
+  "/root/repo/src/sim/timing_model.cpp" "src/CMakeFiles/knlmem.dir/sim/timing_model.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/sim/timing_model.cpp.o.d"
+  "/root/repo/src/sim/tlb.cpp" "src/CMakeFiles/knlmem.dir/sim/tlb.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/sim/tlb.cpp.o.d"
+  "/root/repo/src/sim/trace_machine.cpp" "src/CMakeFiles/knlmem.dir/sim/trace_machine.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/sim/trace_machine.cpp.o.d"
+  "/root/repo/src/trace/access_phase.cpp" "src/CMakeFiles/knlmem.dir/trace/access_phase.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/trace/access_phase.cpp.o.d"
+  "/root/repo/src/trace/analyzer.cpp" "src/CMakeFiles/knlmem.dir/trace/analyzer.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/trace/analyzer.cpp.o.d"
+  "/root/repo/src/trace/generators.cpp" "src/CMakeFiles/knlmem.dir/trace/generators.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/trace/generators.cpp.o.d"
+  "/root/repo/src/trace/profile.cpp" "src/CMakeFiles/knlmem.dir/trace/profile.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/trace/profile.cpp.o.d"
+  "/root/repo/src/workloads/dgemm.cpp" "src/CMakeFiles/knlmem.dir/workloads/dgemm.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/workloads/dgemm.cpp.o.d"
+  "/root/repo/src/workloads/graph500.cpp" "src/CMakeFiles/knlmem.dir/workloads/graph500.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/workloads/graph500.cpp.o.d"
+  "/root/repo/src/workloads/gups.cpp" "src/CMakeFiles/knlmem.dir/workloads/gups.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/workloads/gups.cpp.o.d"
+  "/root/repo/src/workloads/latency_probe.cpp" "src/CMakeFiles/knlmem.dir/workloads/latency_probe.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/workloads/latency_probe.cpp.o.d"
+  "/root/repo/src/workloads/minife.cpp" "src/CMakeFiles/knlmem.dir/workloads/minife.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/workloads/minife.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/knlmem.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/stream.cpp" "src/CMakeFiles/knlmem.dir/workloads/stream.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/workloads/stream.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/knlmem.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/workloads/workload.cpp.o.d"
+  "/root/repo/src/workloads/xsbench.cpp" "src/CMakeFiles/knlmem.dir/workloads/xsbench.cpp.o" "gcc" "src/CMakeFiles/knlmem.dir/workloads/xsbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/cluster_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/cluster/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/cluster/cluster_test.cpp.o.d"
+  "/root/repo/tests/cluster/collectives_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/cluster/collectives_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/cluster/collectives_test.cpp.o.d"
+  "/root/repo/tests/core/advisor_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/core/advisor_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/core/advisor_test.cpp.o.d"
+  "/root/repo/tests/core/machine_describe_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/core/machine_describe_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/core/machine_describe_test.cpp.o.d"
+  "/root/repo/tests/core/machine_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/core/machine_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/core/machine_test.cpp.o.d"
+  "/root/repo/tests/core/migration_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/core/migration_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/core/migration_test.cpp.o.d"
+  "/root/repo/tests/core/placement_plan_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/core/placement_plan_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/core/placement_plan_test.cpp.o.d"
+  "/root/repo/tests/core/types_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/core/types_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/core/types_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/profile_consistency_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/integration/profile_consistency_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/integration/profile_consistency_test.cpp.o.d"
+  "/root/repo/tests/mem/hbwmalloc_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/mem/hbwmalloc_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/mem/hbwmalloc_test.cpp.o.d"
+  "/root/repo/tests/mem/memkind_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/mem/memkind_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/mem/memkind_test.cpp.o.d"
+  "/root/repo/tests/mem/numa_policy_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/mem/numa_policy_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/mem/numa_policy_test.cpp.o.d"
+  "/root/repo/tests/mem/numa_topology_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/mem/numa_topology_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/mem/numa_topology_test.cpp.o.d"
+  "/root/repo/tests/mem/snc4_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/mem/snc4_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/mem/snc4_test.cpp.o.d"
+  "/root/repo/tests/report/figure_export_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/report/figure_export_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/report/figure_export_test.cpp.o.d"
+  "/root/repo/tests/report/figure_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/report/figure_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/report/figure_test.cpp.o.d"
+  "/root/repo/tests/report/roofline_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/report/roofline_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/report/roofline_test.cpp.o.d"
+  "/root/repo/tests/report/sensitivity_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/report/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/report/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/report/stats_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/report/stats_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/report/stats_test.cpp.o.d"
+  "/root/repo/tests/report/sweep_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/report/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/report/sweep_test.cpp.o.d"
+  "/root/repo/tests/report/table_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/report/table_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/report/table_test.cpp.o.d"
+  "/root/repo/tests/repro/ablation_shape_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/repro/ablation_shape_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/repro/ablation_shape_test.cpp.o.d"
+  "/root/repo/tests/repro/property_sweep_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/repro/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/repro/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/repro/shape_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/repro/shape_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/repro/shape_test.cpp.o.d"
+  "/root/repo/tests/sim/cache_hierarchy_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/sim/cache_hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/sim/cache_hierarchy_test.cpp.o.d"
+  "/root/repo/tests/sim/cache_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/sim/cache_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/sim/cache_test.cpp.o.d"
+  "/root/repo/tests/sim/dram_model_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/sim/dram_model_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/sim/dram_model_test.cpp.o.d"
+  "/root/repo/tests/sim/mcdram_cache_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/sim/mcdram_cache_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/sim/mcdram_cache_test.cpp.o.d"
+  "/root/repo/tests/sim/mesh_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/sim/mesh_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/sim/mesh_test.cpp.o.d"
+  "/root/repo/tests/sim/page_table_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/sim/page_table_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/sim/page_table_test.cpp.o.d"
+  "/root/repo/tests/sim/parallel_replay_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/sim/parallel_replay_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/sim/parallel_replay_test.cpp.o.d"
+  "/root/repo/tests/sim/physical_memory_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/sim/physical_memory_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/sim/physical_memory_test.cpp.o.d"
+  "/root/repo/tests/sim/timing_model_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/sim/timing_model_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/sim/timing_model_test.cpp.o.d"
+  "/root/repo/tests/sim/tlb_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/sim/tlb_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/sim/tlb_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_machine_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/sim/trace_machine_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/sim/trace_machine_test.cpp.o.d"
+  "/root/repo/tests/trace/access_phase_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/trace/access_phase_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/trace/access_phase_test.cpp.o.d"
+  "/root/repo/tests/trace/analyzer_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/trace/analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/trace/analyzer_test.cpp.o.d"
+  "/root/repo/tests/trace/generators_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/trace/generators_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/trace/generators_test.cpp.o.d"
+  "/root/repo/tests/trace/profile_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/trace/profile_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/trace/profile_test.cpp.o.d"
+  "/root/repo/tests/workloads/dgemm_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/workloads/dgemm_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/workloads/dgemm_test.cpp.o.d"
+  "/root/repo/tests/workloads/graph500_dobfs_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/workloads/graph500_dobfs_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/workloads/graph500_dobfs_test.cpp.o.d"
+  "/root/repo/tests/workloads/graph500_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/workloads/graph500_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/workloads/graph500_test.cpp.o.d"
+  "/root/repo/tests/workloads/gups_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/workloads/gups_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/workloads/gups_test.cpp.o.d"
+  "/root/repo/tests/workloads/latency_probe_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/workloads/latency_probe_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/workloads/latency_probe_test.cpp.o.d"
+  "/root/repo/tests/workloads/minife_pcg_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/workloads/minife_pcg_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/workloads/minife_pcg_test.cpp.o.d"
+  "/root/repo/tests/workloads/minife_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/workloads/minife_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/workloads/minife_test.cpp.o.d"
+  "/root/repo/tests/workloads/registry_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/workloads/registry_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/workloads/registry_test.cpp.o.d"
+  "/root/repo/tests/workloads/stream_suite_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/workloads/stream_suite_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/workloads/stream_suite_test.cpp.o.d"
+  "/root/repo/tests/workloads/stream_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/workloads/stream_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/workloads/stream_test.cpp.o.d"
+  "/root/repo/tests/workloads/xsbench_materials_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/workloads/xsbench_materials_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/workloads/xsbench_materials_test.cpp.o.d"
+  "/root/repo/tests/workloads/xsbench_test.cpp" "tests/CMakeFiles/knlmem_tests.dir/workloads/xsbench_test.cpp.o" "gcc" "tests/CMakeFiles/knlmem_tests.dir/workloads/xsbench_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/knlmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

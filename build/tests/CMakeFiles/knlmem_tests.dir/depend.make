@@ -1,0 +1,2 @@
+# Empty dependencies file for knlmem_tests.
+# This may be replaced when dependencies are built.
