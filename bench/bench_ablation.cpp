@@ -17,7 +17,9 @@
 #include "workloads/minife.hpp"
 #include "workloads/xsbench.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: no sweep here, flags accepted for consistency.
+  (void)knl::bench::parse_args(argc, argv);
   using namespace knl;
 
   // --- 1. Equal-latency MCDRAM ablation -----------------------------------

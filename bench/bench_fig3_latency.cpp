@@ -5,8 +5,12 @@
 #include "bench_util.hpp"
 #include "workloads/latency_probe.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knl;
+  // Uniform CLI: the latency probe is analytic (no sweep), so --jobs and
+  // --cache are accepted for consistency but have nothing to accelerate.
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  const bench::CacheSession cache(opts);
   Machine machine;
 
   report::Figure figure("Fig. 3: dual random read latency vs block size",

@@ -6,23 +6,26 @@
 #include "report/sweep.hpp"
 #include "workloads/minife.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knl;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  const bench::CacheSession cache(opts);
   Machine machine;
 
   const auto factory = [](std::uint64_t bytes) -> std::unique_ptr<workloads::Workload> {
     return std::make_unique<workloads::MiniFe>(workloads::MiniFe::from_footprint(bytes));
   };
-  report::Figure figure = report::sweep_sizes(
+  report::SweepRun run = report::sweep_sizes_run(
       machine, factory, bench::fig4b_sizes(), /*threads=*/64, report::kAllConfigs,
-      report::Figure("Fig. 4b: MiniFE", "Matrix Size (GB)", "CG MFLOPS"));
-  report::add_ratio_series(figure, "HBM", "DRAM", "Speedup by HBM w.r.t. DRAM");
-  report::add_ratio_series(figure, "Cache Mode", "DRAM", "Speedup by Cache w.r.t. DRAM");
+      report::Figure("Fig. 4b: MiniFE", "Matrix Size (GB)", "CG MFLOPS"),
+      bench::sweep_options(opts));
+  report::add_ratio_series(run.figure, "HBM", "DRAM", "Speedup by HBM w.r.t. DRAM");
+  report::add_ratio_series(run.figure, "Cache Mode", "DRAM", "Speedup by Cache w.r.t. DRAM");
 
   bench::print_figure(
       "Fig. 4b: MiniFE performance vs problem size",
       "HBM ~3x DRAM while it fits; cache-mode speedup decays toward ~1.05x when "
       "the matrix is nearly twice HBM capacity (28.8 GB)",
-      figure);
+      run);
   return 0;
 }

@@ -5,22 +5,25 @@
 #include "report/sweep.hpp"
 #include "workloads/gups.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knl;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  const bench::CacheSession cache(opts);
   Machine machine;
 
   const auto factory = [](std::uint64_t bytes) -> std::unique_ptr<workloads::Workload> {
     return std::make_unique<workloads::Gups>(bytes);  // fig4c sizes are powers of two
   };
-  report::Figure figure = report::sweep_sizes(
+  report::SweepRun run = report::sweep_sizes_run(
       machine, factory, bench::fig4c_sizes(), /*threads=*/64, report::kAllConfigs,
-      report::Figure("Fig. 4c: GUPS", "Table Size (GiB)", "GUPS"));
-  report::add_ratio_series(figure, "DRAM", "HBM", "DRAM advantage (x)");
+      report::Figure("Fig. 4c: GUPS", "Table Size (GiB)", "GUPS"),
+      bench::sweep_options(opts));
+  report::add_ratio_series(run.figure, "DRAM", "HBM", "DRAM advantage (x)");
 
   bench::print_figure(
       "Fig. 4c: GUPS vs table size",
       "nearly flat; DRAM marginally best at every size (latency-bound, no benefit "
       "from HBM); HBM series stops past 16 GB",
-      figure);
+      run);
   return 0;
 }

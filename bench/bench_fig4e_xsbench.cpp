@@ -5,22 +5,25 @@
 #include "report/sweep.hpp"
 #include "workloads/xsbench.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knl;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  const bench::CacheSession cache(opts);
   Machine machine;
 
   const auto factory = [](std::uint64_t bytes) -> std::unique_ptr<workloads::Workload> {
     return std::make_unique<workloads::XsBench>(workloads::XsBench::from_footprint(bytes));
   };
-  report::Figure figure = report::sweep_sizes(
+  report::SweepRun run = report::sweep_sizes_run(
       machine, factory, bench::fig4e_sizes(), /*threads=*/64, report::kAllConfigs,
-      report::Figure("Fig. 4e: XSBench", "Problem Size (GB)", "Lookups/s"));
-  report::add_ratio_series(figure, "DRAM", "HBM", "DRAM advantage (x)");
+      report::Figure("Fig. 4e: XSBench", "Problem Size (GB)", "Lookups/s"),
+      bench::sweep_options(opts));
+  report::add_ratio_series(run.figure, "DRAM", "HBM", "DRAM advantage (x)");
 
   bench::print_figure(
       "Fig. 4e: XSBench vs problem size",
       "DRAM best at one thread/core; differences small at 5.6 GB and growing with "
       "size; HBM series stops past 16 GB (paper's footprints reach 90 GB)",
-      figure);
+      run);
   return 0;
 }

@@ -5,20 +5,23 @@
 #include "report/sweep.hpp"
 #include "workloads/dgemm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knl;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  const bench::CacheSession cache(opts);
   Machine machine;
 
   const auto dgemm = workloads::Dgemm::from_footprint(bench::gb(6.0));
-  report::Figure figure = report::sweep_threads(
+  report::SweepRun run = report::sweep_threads_run(
       machine, dgemm, {64, 128, 192}, report::kAllConfigs,
-      report::Figure("Fig. 6a: DGEMM vs threads", "No. of Threads", "GFLOPS"));
-  report::add_self_speedup_series(figure);
+      report::Figure("Fig. 6a: DGEMM vs threads", "No. of Threads", "GFLOPS"),
+      bench::sweep_options(opts));
+  report::add_self_speedup_series(run.figure);
 
   bench::print_figure(
       "Fig. 6a: DGEMM vs hardware threads (6 GB problem)",
       "HBM gains ~1.7x from 64 -> 192 threads; DRAM stays flat (bandwidth-bound, "
       "hyper-threading cannot help)",
-      figure);
+      run);
   return 0;
 }

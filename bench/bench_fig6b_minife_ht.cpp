@@ -4,20 +4,23 @@
 #include "report/sweep.hpp"
 #include "workloads/minife.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knl;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  const bench::CacheSession cache(opts);
   Machine machine;
 
   const auto minife = workloads::MiniFe::from_footprint(bench::gb(7.2));
-  report::Figure figure = report::sweep_threads(
+  report::SweepRun run = report::sweep_threads_run(
       machine, minife, bench::fig6_threads(), report::kAllConfigs,
-      report::Figure("Fig. 6b: MiniFE vs threads", "No. of Threads", "CG MFLOPS"));
-  report::add_self_speedup_series(figure);
+      report::Figure("Fig. 6b: MiniFE vs threads", "No. of Threads", "CG MFLOPS"),
+      bench::sweep_options(opts));
+  report::add_self_speedup_series(run.figure);
 
   bench::print_figure(
       "Fig. 6b: MiniFE vs hardware threads (7.2 GB matrix)",
       "HBM gains ~1.7x by 192 threads (3.8x vs DRAM@64 overall); DRAM flat; cache "
       "mode tracks HBM while the matrix fits MCDRAM",
-      figure);
+      run);
   return 0;
 }

@@ -3,20 +3,23 @@
 #include "report/sweep.hpp"
 #include "workloads/graph500.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knl;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  const bench::CacheSession cache(opts);
   Machine machine;
 
   const auto graph = workloads::Graph500::from_footprint(bench::gb(8.8));
-  report::Figure figure = report::sweep_threads(
+  report::SweepRun run = report::sweep_threads_run(
       machine, graph, bench::fig6_threads(), report::kAllConfigs,
-      report::Figure("Fig. 6c: Graph500 vs threads", "No. of Threads", "TEPS"));
-  report::add_self_speedup_series(figure);
+      report::Figure("Fig. 6c: Graph500 vs threads", "No. of Threads", "TEPS"),
+      bench::sweep_options(opts));
+  report::add_self_speedup_series(run.figure);
 
   bench::print_figure(
       "Fig. 6c: Graph500 vs hardware threads (8.8 GB graph)",
       "all configs gain ~1.5x, peaking at 128 threads; DRAM remains the best "
       "configuration at every thread count",
-      figure);
+      run);
   return 0;
 }

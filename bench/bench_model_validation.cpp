@@ -6,11 +6,14 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "sim/timing_model.hpp"
 #include "sim/trace_machine.hpp"
 #include "trace/generators.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: no sweep here, flags accepted for consistency.
+  (void)knl::bench::parse_args(argc, argv);
   using namespace knl;
   using namespace knl::sim;
 

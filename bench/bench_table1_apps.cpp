@@ -1,10 +1,13 @@
 // Table I reproduction: the evaluated-application inventory.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "report/table.hpp"
 #include "workloads/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: no sweep here, flags accepted for consistency.
+  (void)knl::bench::parse_args(argc, argv);
   using namespace knl;
   std::printf("==== Table I: List of Evaluated Applications ====\n\n");
 

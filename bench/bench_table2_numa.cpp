@@ -2,9 +2,12 @@
 // cache mode.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "core/machine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  // Uniform bench CLI: no sweep here, flags accepted for consistency.
+  (void)knl::bench::parse_args(argc, argv);
   using namespace knl;
   Machine machine;
 

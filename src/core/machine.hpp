@@ -24,6 +24,8 @@ struct PhaseReport {
   sim::PhaseTiming timing;
 };
 
+/// Result of run_detailed: the whole-run summary plus one PhaseReport per
+/// profile phase, in profile order.
 struct DetailedRunResult {
   RunResult summary;
   std::vector<PhaseReport> phases;

@@ -1,8 +1,42 @@
 #include "core/machine_config.hpp"
 
+#include <cstring>
 #include <stdexcept>
+#include <type_traits>
 
 namespace knl {
+
+namespace {
+
+// FNV-1a over the raw bytes of trivially-copyable values. Doubles are mixed
+// via their bit pattern, so any parameter change — however small — changes
+// the fingerprint, and equal configs always agree.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix_bytes(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+template <typename T>
+void mix(std::uint64_t& h, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  mix_bytes(h, &value, sizeof(value));
+}
+
+void mix_node(std::uint64_t& h, const params::NodeParams& node) {
+  mix(h, node.capacity_bytes);
+  mix(h, node.peak_bw_gbs);
+  mix(h, node.stream_bw_gbs);
+  mix(h, node.random_bw_gbs);
+  mix(h, node.idle_latency_ns);
+}
+
+}  // namespace
 
 void MachineConfig::validate() const {
   if (timing.ddr.capacity_bytes != physical.ddr.capacity_bytes ||
@@ -19,6 +53,47 @@ void MachineConfig::validate() const {
   if (physical.page_bytes == 0 || timing.mcdram.capacity_bytes == 0) {
     throw std::invalid_argument("MachineConfig: page and cache sizes must be positive");
   }
+}
+
+std::uint64_t MachineConfig::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  // Timing view.
+  mix_node(h, timing.ddr);
+  mix_node(h, timing.hbm);
+  mix(h, timing.hierarchy.l1_bytes);
+  mix(h, timing.hierarchy.l2_tile_bytes);
+  mix(h, timing.hierarchy.tiles);
+  mix(h, timing.hierarchy.l1_latency_ns);
+  mix(h, timing.hierarchy.l2_latency_ns);
+  mix(h, timing.hierarchy.l2_effectiveness);
+  mix(h, timing.hierarchy.mesh.tiles_x);
+  mix(h, timing.hierarchy.mesh.tiles_y);
+  mix(h, timing.hierarchy.mesh.hop_latency_ns);
+  mix(h, timing.hierarchy.mesh.directory_lookup_ns);
+  mix(h, timing.hierarchy.mesh.mode);
+  mix(h, timing.tlb.page_bytes);
+  mix(h, timing.tlb.entries);
+  mix(h, timing.tlb.walk_cached_ns);
+  mix(h, timing.tlb.walk_memory_ns);
+  mix(h, timing.tlb.walk_thrash_bytes);
+  mix(h, timing.mcdram.capacity_bytes);
+  mix(h, timing.mcdram.line_bytes);
+  mix(h, timing.mcdram.tag_latency_ns);
+  mix(h, timing.mcdram.miss_overhead_s_per_gb);
+  mix(h, timing.mcdram.sweep_knee);
+  mix(h, timing.mcdram.sweep_sharpness);
+  mix(h, timing.cores);
+  mix(h, timing.smt_per_core);
+  mix(h, timing.seq_mlp_per_core);
+  mix(h, timing.rand_mlp_per_thread);
+  mix(h, timing.queue_coefficient);
+  // Physical view (frame layout drives cache-mode conflict behaviour).
+  mix(h, physical.page_bytes);
+  mix_node(h, physical.ddr);
+  mix_node(h, physical.hbm);
+  mix(h, physical.fragmentation);
+  mix(h, physical.seed);
+  return h;
 }
 
 MachineConfig MachineConfig::knl7210() { return MachineConfig{}; }

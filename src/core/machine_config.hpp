@@ -1,6 +1,8 @@
 // Aggregate configuration of the simulated node.
 #pragma once
 
+#include <cstdint>
+
 #include "sim/knl_params.hpp"
 #include "sim/physical_memory.hpp"
 #include "sim/timing_model.hpp"
@@ -17,6 +19,13 @@ struct MachineConfig {
   /// Sanity-check invariants (capacities match between the two views,
   /// parameters positive). Throws std::invalid_argument on violation.
   void validate() const;
+
+  /// Content hash (FNV-1a) of every calibrated parameter in both the timing
+  /// and physical views. Two configs with equal fingerprints produce
+  /// bit-identical simulation results, so the sweep memoization cache
+  /// (report/sweep.hpp) keys on this — entries never leak between, say,
+  /// knl7210() and knl7210_equal_latency() machines.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
   /// The paper's testbed configuration.
   [[nodiscard]] static MachineConfig knl7210();

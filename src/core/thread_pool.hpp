@@ -1,0 +1,87 @@
+// Work-stealing thread pool — the execution substrate of the parallel sweep
+// engine (report/sweep.hpp) and of any other embarrassingly-parallel grid in
+// the library.
+//
+// Design: each worker owns a deque guarded by its own mutex. Submission
+// round-robins tasks across the deques; a worker pops from the front of its
+// own deque and, when that runs dry, steals from the back of a sibling's —
+// the classic Chase-Lev discipline (implemented with locks, not lock-free
+// buffers: sweep cells are milliseconds, so queue overhead is noise).
+// Tasks are arbitrary callables; submit() returns a std::future carrying the
+// task's result or exception.
+//
+// Destruction is graceful: the destructor stops intake, drains every queued
+// task, and joins the workers — no submitted future is ever abandoned.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace knl::core {
+
+class ThreadPool {
+ public:
+  /// Start `threads` workers; 0 means one per hardware thread (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains all queued tasks, then joins the workers. Futures obtained from
+  /// submit() are guaranteed to become ready before the destructor returns.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue `fn` for execution on some worker. Returns a future that
+  /// yields fn's return value, or rethrows the exception fn threw.
+  /// Thread-safe: any thread (including a worker) may submit.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> future = task.get_future();
+    // packaged_task<R()>::operator() returns void (the result lands in the
+    // shared state), so it slots directly into the type-erased queue entry.
+    enqueue(Task(std::move(task)));
+    return future;
+  }
+
+  /// std::thread::hardware_concurrency, clamped to at least 1 (the standard
+  /// allows it to return 0 when the count is unknowable).
+  [[nodiscard]] static unsigned hardware_threads() noexcept;
+
+ private:
+  using Task = std::packaged_task<void()>;
+
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> queue;
+    std::thread thread;
+  };
+
+  void enqueue(Task task);
+  /// Pop from our own front, else steal from a sibling's back.
+  bool acquire(std::size_t self, Task& out);
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::size_t> next_{0};    // round-robin submission cursor
+  std::atomic<std::size_t> queued_{0};  // tasks enqueued but not yet popped
+  std::atomic<bool> stop_{false};
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+};
+
+}  // namespace knl::core

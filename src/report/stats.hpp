@@ -6,10 +6,15 @@
 
 namespace knl::report {
 
+/// Plain average; 0 for an empty span.
 [[nodiscard]] double arithmetic_mean(std::span<const double> xs);
+/// n / sum(1/x) — the mean Graph500 uses for TEPS; 0 for an empty span.
 [[nodiscard]] double harmonic_mean(std::span<const double> xs);
+/// nth root of the product (computed in log space); 0 for an empty span.
 [[nodiscard]] double geometric_mean(std::span<const double> xs);
+/// Smallest element; 0 for an empty span.
 [[nodiscard]] double minimum(std::span<const double> xs);
+/// Largest element; 0 for an empty span.
 [[nodiscard]] double maximum(std::span<const double> xs);
 /// Population standard deviation.
 [[nodiscard]] double stddev(std::span<const double> xs);

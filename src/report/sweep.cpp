@@ -1,39 +1,358 @@
 #include "report/sweep.hpp"
 
-#include <set>
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <type_traits>
+
+#include "core/thread_pool.hpp"
 
 namespace knl::report {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hashing (FNV-1a over raw value bytes, matching MachineConfig::fingerprint).
+// ---------------------------------------------------------------------------
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix_bytes(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+template <typename T>
+void mix(std::uint64_t& h, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  mix_bytes(h, &value, sizeof(value));
+}
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// Grid dispatch: evaluate `cells` independent cells, inline for jobs == 1,
+// on a work-stealing pool otherwise. Results land in slot order, so the
+// caller's merge is deterministic regardless of completion order.
+// ---------------------------------------------------------------------------
+struct CellOutcome {
+  bool feasible = false;
+  bool cache_hit = false;
+  double x = 0.0;
+  double y = 0.0;
+  double seconds = 0.0;
+};
+
+int resolve_jobs(int jobs) {
+  return jobs <= 0 ? static_cast<int>(core::ThreadPool::hardware_threads()) : jobs;
+}
+
+template <typename Eval>
+std::vector<CellOutcome> run_grid(int jobs, std::size_t cells, const Eval& eval) {
+  std::vector<CellOutcome> out(cells);
+  const auto workers = static_cast<std::size_t>(resolve_jobs(jobs));
+  if (workers <= 1 || cells <= 1) {
+    for (std::size_t i = 0; i < cells; ++i) out[i] = eval(i);
+    return out;
+  }
+  core::ThreadPool pool(static_cast<unsigned>(std::min(workers, cells)));
+  std::vector<std::future<void>> futures;
+  futures.reserve(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    futures.push_back(pool.submit([&out, &eval, i] { out[i] = eval(i); }));
+  }
+  for (auto& future : futures) future.get();  // rethrow cell exceptions
+  return out;
+}
+
+/// Merge one cell into the running stats (figure points are added by the
+/// caller, which knows the series naming).
+void account(SweepStats& stats, const CellOutcome& cell) {
+  ++stats.cells;
+  if (cell.cache_hit) {
+    ++stats.cache_hits;
+  } else {
+    ++stats.evaluated;
+  }
+  if (!cell.feasible) ++stats.infeasible;
+  stats.cell_seconds += cell.seconds;
+}
+
+}  // namespace
+
+std::uint64_t profile_fingerprint(const trace::AccessProfile& profile) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, profile.resident_bytes());
+  mix(h, profile.phases().size());
+  for (const trace::AccessPhase& phase : profile.phases()) {
+    mix(h, phase.pattern);
+    mix(h, phase.footprint_bytes);
+    mix(h, phase.logical_bytes);
+    mix(h, phase.flops);
+    mix(h, phase.granule_bytes);
+    mix(h, phase.sweeps);
+    mix(h, phase.write_fraction);
+    mix(h, phase.stride_bytes);
+    mix(h, phase.chains_per_thread);
+    mix(h, phase.mlp_override);
+    mix(h, phase.l2_hit_override);
+    mix(h, phase.smt_beta);
+    mix(h, phase.compute_efficiency);
+  }
+  return h;
+}
+
+std::size_t SweepKeyHash::operator()(const SweepKey& key) const noexcept {
+  std::uint64_t h = kFnvOffset;
+  mix(h, key.profile_hash);
+  mix(h, key.machine_hash);
+  mix(h, key.config);
+  mix(h, key.threads);
+  return static_cast<std::size_t>(h);
+}
+
+// ---------------------------------------------------------------------------
+// SweepCache
+// ---------------------------------------------------------------------------
+SweepCache& SweepCache::instance() {
+  static SweepCache cache;
+  return cache;
+}
+
+std::optional<RunResult> SweepCache::lookup(const SweepKey& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SweepCache::store(const SweepKey& key, const RunResult& result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.insert_or_assign(key, result);
+}
+
+std::size_t SweepCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SweepCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+namespace {
+constexpr const char* kCacheHeader = "knlmem-sweep-cache 1";
+}
+
+bool SweepCache::save(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fprintf(file, "%s\n", kCacheHeader);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, r] : entries_) {
+      // Hex floats (%a) round-trip doubles exactly, keeping warm-cache runs
+      // bit-identical to cold ones. The free-form infeasibility reason goes
+      // last so it may contain spaces; "-" marks an empty reason.
+      std::fprintf(file,
+                   "%016" PRIx64 " %016" PRIx64 " %d %d %d %a %a %a %a %a %a %s\n",
+                   key.profile_hash, key.machine_hash, static_cast<int>(key.config),
+                   key.threads, r.feasible ? 1 : 0, r.seconds, r.bytes_from_memory,
+                   r.flops, r.avg_latency_ns, r.achieved_bw_gbs, r.mcdram_hit_rate,
+                   r.infeasible_reason.empty() ? "-" : r.infeasible_reason.c_str());
+    }
+  }
+  const bool ok = std::fclose(file) == 0;
+  return ok;
+}
+
+bool SweepCache::load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return false;
+  char line[1024];
+  if (std::fgets(line, sizeof(line), file) == nullptr ||
+      std::strncmp(line, kCacheHeader, std::strlen(kCacheHeader)) != 0) {
+    std::fclose(file);
+    return false;
+  }
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    SweepKey key;
+    RunResult r;
+    int config = 0;
+    int feasible = 0;
+    int consumed = 0;
+    const int fields = std::sscanf(
+        line, "%" SCNx64 " %" SCNx64 " %d %d %d %la %la %la %la %la %la%n",
+        &key.profile_hash, &key.machine_hash, &config, &key.threads, &feasible,
+        &r.seconds, &r.bytes_from_memory, &r.flops, &r.avg_latency_ns,
+        &r.achieved_bw_gbs, &r.mcdram_hit_rate, &consumed);
+    if (fields != 11) continue;  // skip malformed lines, keep the rest
+    key.config = static_cast<MemConfig>(config);
+    r.feasible = feasible != 0;
+    std::string reason(line + consumed);
+    while (!reason.empty() && (reason.front() == ' ')) reason.erase(0, 1);
+    while (!reason.empty() && (reason.back() == '\n' || reason.back() == '\r')) {
+      reason.pop_back();
+    }
+    if (reason != "-") r.infeasible_reason = reason;
+    store(key, r);
+  }
+  std::fclose(file);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Cell evaluation
+// ---------------------------------------------------------------------------
+RunResult cached_run(const Machine& machine, const trace::AccessProfile& profile,
+                     const RunConfig& run_config, bool* cache_hit) {
+  const SweepKey key{profile_fingerprint(profile), machine.config().fingerprint(),
+                     run_config.config, run_config.threads};
+  if (auto cached = SweepCache::instance().lookup(key)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return *cached;
+  }
+  const RunResult result = machine.run(profile, run_config);
+  SweepCache::instance().store(key, result);
+  if (cache_hit != nullptr) *cache_hit = false;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Sweeps
+// ---------------------------------------------------------------------------
+SweepRun sweep_sizes_run(const Machine& machine, const WorkloadFactory& factory,
+                         const std::vector<std::uint64_t>& sizes_bytes, int threads,
+                         const std::vector<MemConfig>& configs, Figure figure,
+                         const SweepOptions& options) {
+  const auto start = Clock::now();
+  const std::size_t cells = sizes_bytes.size() * configs.size();
+
+  const auto eval = [&](std::size_t index) {
+    const auto cell_start = Clock::now();
+    const std::uint64_t bytes = sizes_bytes[index / configs.size()];
+    const MemConfig config = configs[index % configs.size()];
+
+    CellOutcome cell;
+    const auto workload = factory(bytes);
+    cell.x = static_cast<double>(workload->footprint_bytes()) / 1e9;
+    const RunConfig run_config{config, threads};
+    RunResult result;
+    if (options.memoize) {
+      result = cached_run(machine, workload->profile(), run_config, &cell.cache_hit);
+    } else {
+      result = machine.run(workload->profile(), run_config);
+    }
+    cell.feasible = result.feasible;
+    if (result.feasible) cell.y = workload->metric(result);
+    cell.seconds = seconds_since(cell_start);
+    return cell;
+  };
+
+  const std::vector<CellOutcome> outcomes = run_grid(options.jobs, cells, eval);
+
+  SweepRun run{std::move(figure), {}};
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const CellOutcome& cell = outcomes[i];
+    account(run.stats, cell);
+    if (!cell.feasible) continue;  // paper: no bar when HBM can't hold it
+    run.figure.add(to_string(configs[i % configs.size()]), cell.x, cell.y);
+  }
+  run.stats.wall_seconds = seconds_since(start);
+  return run;
+}
+
+SweepRun sweep_threads_run(const Machine& machine, const workloads::Workload& workload,
+                           const std::vector<int>& thread_counts,
+                           const std::vector<MemConfig>& configs, Figure figure,
+                           const SweepOptions& options) {
+  const auto start = Clock::now();
+  const trace::AccessProfile profile = workload.profile();
+  const std::size_t cells = thread_counts.size() * configs.size();
+
+  const auto eval = [&](std::size_t index) {
+    const auto cell_start = Clock::now();
+    const int threads = thread_counts[index / configs.size()];
+    const MemConfig config = configs[index % configs.size()];
+
+    CellOutcome cell;
+    cell.x = static_cast<double>(threads);
+    const RunConfig run_config{config, threads};
+    RunResult result;
+    if (options.memoize) {
+      result = cached_run(machine, profile, run_config, &cell.cache_hit);
+    } else {
+      result = machine.run(profile, run_config);
+    }
+    cell.feasible = result.feasible;
+    if (result.feasible) cell.y = workload.metric(result);
+    cell.seconds = seconds_since(cell_start);
+    return cell;
+  };
+
+  const std::vector<CellOutcome> outcomes = run_grid(options.jobs, cells, eval);
+
+  SweepRun run{std::move(figure), {}};
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const CellOutcome& cell = outcomes[i];
+    account(run.stats, cell);
+    if (!cell.feasible) continue;
+    run.figure.add(to_string(configs[i % configs.size()]), cell.x, cell.y);
+  }
+  run.stats.wall_seconds = seconds_since(start);
+  return run;
+}
 
 Figure sweep_sizes(const Machine& machine, const WorkloadFactory& factory,
                    const std::vector<std::uint64_t>& sizes_bytes, int threads,
                    const std::vector<MemConfig>& configs, Figure figure) {
-  for (const std::uint64_t bytes : sizes_bytes) {
-    const auto workload = factory(bytes);
-    const double x = static_cast<double>(workload->footprint_bytes()) / 1e9;
-    for (const MemConfig config : configs) {
-      const RunResult result = machine.run(workload->profile(), RunConfig{config, threads});
-      if (!result.feasible) continue;  // paper: no bar when HBM can't hold it
-      figure.add(to_string(config), x, workload->metric(result));
-    }
-  }
-  return figure;
+  return sweep_sizes_run(machine, factory, sizes_bytes, threads, configs,
+                         std::move(figure))
+      .figure;
 }
 
 Figure sweep_threads(const Machine& machine, const workloads::Workload& workload,
                      const std::vector<int>& thread_counts,
                      const std::vector<MemConfig>& configs, Figure figure) {
-  const trace::AccessProfile profile = workload.profile();
-  for (const int threads : thread_counts) {
-    for (const MemConfig config : configs) {
-      const RunResult result = machine.run(profile, RunConfig{config, threads});
-      if (!result.feasible) continue;
-      figure.add(to_string(config), static_cast<double>(threads),
-                 workload.metric(result));
-    }
-  }
-  return figure;
+  return sweep_threads_run(machine, workload, thread_counts, configs,
+                           std::move(figure))
+      .figure;
 }
 
+SweepStats& SweepStats::operator+=(const SweepStats& other) {
+  cells += other.cells;
+  evaluated += other.evaluated;
+  cache_hits += other.cache_hits;
+  infeasible += other.infeasible;
+  cell_seconds += other.cell_seconds;
+  wall_seconds += other.wall_seconds;
+  return *this;
+}
+
+std::string SweepStats::summary() const {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "sweep: %zu cells (%zu evaluated, %zu cache hits, %zu infeasible), "
+                "cell time %.4f s, wall %.4f s",
+                cells, evaluated, cache_hits, infeasible, cell_seconds, wall_seconds);
+  return buffer;
+}
+
+// ---------------------------------------------------------------------------
+// Derived series
+// ---------------------------------------------------------------------------
 void add_self_speedup_series(Figure& figure) {
   const auto snapshot = figure.series();  // copy: we append while iterating
   for (const auto& s : snapshot) {

@@ -1,11 +1,23 @@
 // Sweep runner: the common loop of every bench binary — run a workload
 // across problem sizes or thread counts under the paper's three memory
 // configurations and collect a Figure.
+//
+// The engine enumerates the full (size-or-threads × config) grid as
+// independent cells, evaluates them on a work-stealing thread pool
+// (core/thread_pool.hpp), and merges results into the Figure in grid order —
+// so the output is bit-identical whatever the job count. A process-wide
+// memoization cache keyed on (profile content, machine fingerprint, memory
+// config, thread count) makes repeated cells — across figures, across
+// sweeps, and via save()/load() across bench-binary runs — free.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/machine.hpp"
@@ -20,15 +32,134 @@ using WorkloadFactory =
 inline const std::vector<MemConfig> kAllConfigs{MemConfig::DRAM, MemConfig::HBM,
                                                 MemConfig::CacheMode};
 
+/// Execution knobs of one sweep call. The defaults reproduce the classic
+/// serial engine exactly (and they must: determinism tests compare the two).
+struct SweepOptions {
+  /// Worker threads for cell evaluation: 1 = evaluate inline on the calling
+  /// thread (no pool), 0 = one worker per hardware thread, N = N workers.
+  int jobs = 1;
+  /// Consult and populate the process-wide SweepCache. Results are
+  /// unchanged either way (the model is deterministic); turning this off
+  /// only forces re-evaluation.
+  bool memoize = true;
+};
+
+/// Counters describing how a sweep call spent its time. `cells` is the full
+/// grid; every cell is either `evaluated` (simulated now), a `cache_hit`
+/// (reused from the SweepCache), and possibly `infeasible` (no Figure point,
+/// matching the paper's missing bars).
+struct SweepStats {
+  std::size_t cells = 0;
+  std::size_t evaluated = 0;
+  std::size_t cache_hits = 0;
+  std::size_t infeasible = 0;
+  /// Sum of per-cell evaluation wall times (what a serial engine would pay).
+  double cell_seconds = 0.0;
+  /// Wall time of the whole sweep call, dispatch and merge included.
+  double wall_seconds = 0.0;
+
+  /// One-line human-readable rendering for bench logs / EXPERIMENTS.md.
+  [[nodiscard]] std::string summary() const;
+
+  /// Accumulate another sweep's counters (wall times add; a multi-sweep
+  /// bench binary reports the total).
+  SweepStats& operator+=(const SweepStats& other);
+};
+
+/// A completed sweep: the figure plus the engine's accounting.
+struct SweepRun {
+  Figure figure;
+  SweepStats stats;
+};
+
+/// Memoization key of one grid cell. The profile hash covers every
+/// timing-relevant field of every phase plus the resident footprint, so two
+/// workloads with identical memory behaviour share entries and any profile
+/// change misses; the machine hash is MachineConfig::fingerprint().
+struct SweepKey {
+  std::uint64_t profile_hash = 0;
+  std::uint64_t machine_hash = 0;
+  MemConfig config = MemConfig::DRAM;
+  int threads = 0;
+
+  friend bool operator==(const SweepKey&, const SweepKey&) = default;
+};
+
+struct SweepKeyHash {
+  [[nodiscard]] std::size_t operator()(const SweepKey& key) const noexcept;
+};
+
+/// FNV-1a content hash of an AccessProfile: resident bytes plus every
+/// numeric/pattern field of every phase, in order. Phase and profile *names*
+/// are excluded — they are labels, not timing inputs.
+[[nodiscard]] std::uint64_t profile_fingerprint(const trace::AccessProfile& profile);
+
+/// Process-wide memoized simulation results, shared by every sweep in the
+/// process and thread-safe for concurrent cells. save()/load() persist
+/// entries as a text file (hex-float exact round-trip), so a bench binary
+/// run with `--cache FILE` starts warm on its second invocation.
+class SweepCache {
+ public:
+  static SweepCache& instance();
+
+  [[nodiscard]] std::optional<RunResult> lookup(const SweepKey& key) const;
+  void store(const SweepKey& key, const RunResult& result);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Merge entries from `path` (written by save). Returns false when the
+  /// file is absent or malformed — both are benign cold-cache starts.
+  bool load(const std::string& path);
+  /// Write every entry to `path`, replacing it. Returns false on I/O error.
+  [[nodiscard]] bool save(const std::string& path) const;
+
+ private:
+  SweepCache() = default;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<SweepKey, RunResult, SweepKeyHash> entries_;
+};
+
+/// Run one (profile, run-config) cell through the memoization cache: on a
+/// hit returns the cached RunResult, otherwise simulates and stores. Sets
+/// `*cache_hit` accordingly when non-null. The building block the sweep
+/// engine uses per cell, exposed for benches with bespoke grids (Fig. 5's
+/// per-hardware-thread series).
+[[nodiscard]] RunResult cached_run(const Machine& machine,
+                                   const trace::AccessProfile& profile,
+                                   const RunConfig& run_config,
+                                   bool* cache_hit = nullptr);
+
 /// Fig. 4-style sweep: metric vs problem size for each memory config at a
 /// fixed thread count. Infeasible runs (e.g. HBM beyond 16 GB) are omitted,
-/// matching the paper's missing bars.
+/// matching the paper's missing bars. Cells run on `options.jobs` workers;
+/// the factory must therefore be callable concurrently and deterministic
+/// (same bytes -> same workload), which holds for every registry workload.
+[[nodiscard]] SweepRun sweep_sizes_run(const Machine& machine,
+                                       const WorkloadFactory& factory,
+                                       const std::vector<std::uint64_t>& sizes_bytes,
+                                       int threads,
+                                       const std::vector<MemConfig>& configs,
+                                       Figure figure, const SweepOptions& options = {});
+
+/// Fig. 6-style sweep: metric vs thread count for a fixed problem size.
+/// The workload's const interface is invoked concurrently across cells.
+[[nodiscard]] SweepRun sweep_threads_run(const Machine& machine,
+                                         const workloads::Workload& workload,
+                                         const std::vector<int>& thread_counts,
+                                         const std::vector<MemConfig>& configs,
+                                         Figure figure,
+                                         const SweepOptions& options = {});
+
+/// Classic serial-signature sweep (kept for existing callers and tests):
+/// exactly sweep_sizes_run(...).figure with default options.
 [[nodiscard]] Figure sweep_sizes(const Machine& machine, const WorkloadFactory& factory,
                                  const std::vector<std::uint64_t>& sizes_bytes,
                                  int threads, const std::vector<MemConfig>& configs,
                                  Figure figure);
 
-/// Fig. 6-style sweep: metric vs thread count for a fixed problem size.
+/// Classic serial-signature thread sweep; see sweep_threads_run.
 [[nodiscard]] Figure sweep_threads(const Machine& machine,
                                    const workloads::Workload& workload,
                                    const std::vector<int>& thread_counts,
@@ -36,11 +167,15 @@ inline const std::vector<MemConfig> kAllConfigs{MemConfig::DRAM, MemConfig::HBM,
 
 /// Add "speedup vs first x" series (the black improvement lines of the
 /// paper's figures): for each existing series, appends a new series named
-/// "<name> speedup" normalized to that series' first point.
+/// "<name> speedup" normalized to that series' first point. Series that are
+/// empty or whose first point is <= 0 are skipped; an empty figure is a
+/// no-op.
 void add_self_speedup_series(Figure& figure);
 
 /// Add a series of ratios between two existing series (e.g. the Fig. 4b
-/// "Speedup by HBM w.r.t. DRAM" line). Points exist where both series do.
+/// "Speedup by HBM w.r.t. DRAM" line). Points exist where both series do;
+/// when either input series is missing, or the two share no x, no series is
+/// created.
 void add_ratio_series(Figure& figure, const std::string& numerator,
                       const std::string& denominator, const std::string& name);
 

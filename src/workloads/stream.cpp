@@ -118,9 +118,6 @@ StreamBench::StreamBench(StreamKernel kernel, std::uint64_t total_bytes, int nti
       ntimes_(ntimes) {
   if (elements_ == 0) throw std::invalid_argument("StreamBench: size too small");
   if (ntimes_ < 1) throw std::invalid_argument("StreamBench: ntimes must be >= 1");
-}
-
-const WorkloadInfo& StreamBench::info() const {
   info_ = WorkloadInfo{
       .name = "STREAM-" + to_string(kernel_),
       .type = "Micro-benchmark",
@@ -128,8 +125,9 @@ const WorkloadInfo& StreamBench::info() const {
       .max_scale_bytes = 40ull * 1000 * 1000 * 1000,
       .metric_name = "GB/s",
   };
-  return info_;
 }
+
+const WorkloadInfo& StreamBench::info() const { return info_; }
 
 trace::AccessProfile StreamBench::profile() const {
   trace::AccessProfile p("stream-" + to_string(kernel_));

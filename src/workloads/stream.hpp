@@ -79,7 +79,10 @@ class StreamBench final : public Workload {
   std::uint64_t total_bytes_;
   std::uint64_t elements_;
   int ntimes_;
-  mutable WorkloadInfo info_;
+  // Built once in the constructor: info() must be safe to call concurrently
+  // (sweep cells share one workload across pool workers), so no lazy
+  // mutation behind const.
+  WorkloadInfo info_;
 };
 
 }  // namespace knl::workloads

@@ -75,5 +75,38 @@ TEST(Sweep, RatioSeriesMissingInputsIsNoop) {
   EXPECT_EQ(f.find("ratio"), nullptr);
 }
 
+TEST(Sweep, SelfSpeedupOnEmptyFigureIsNoop) {
+  Figure f("t", "x", "y");
+  add_self_speedup_series(f);
+  EXPECT_TRUE(f.series().empty());
+}
+
+TEST(Sweep, SelfSpeedupSkipsSeriesWithNonPositiveBase) {
+  Figure f("t", "x", "y");
+  f.add("zero-base", 1.0, 0.0);
+  f.add("zero-base", 2.0, 5.0);
+  f.add("ok", 1.0, 2.0);
+  f.add("ok", 2.0, 4.0);
+  add_self_speedup_series(f);
+  // The zero-base series cannot be normalized; only "ok" gains a speedup line.
+  EXPECT_EQ(f.find("zero-base speedup"), nullptr);
+  ASSERT_NE(f.find("ok speedup"), nullptr);
+  EXPECT_DOUBLE_EQ(*f.value_at("ok speedup", 2.0), 2.0);
+}
+
+TEST(Sweep, RatioSeriesNonOverlappingXCreatesNoSeries) {
+  Figure f("t", "x", "y");
+  f.add("num", 1.0, 30.0);
+  f.add("den", 2.0, 10.0);
+  add_ratio_series(f, "num", "den", "ratio");
+  EXPECT_EQ(f.find("ratio"), nullptr);
+}
+
+TEST(Sweep, RatioSeriesOnEmptyFigureIsNoop) {
+  Figure f("t", "x", "y");
+  add_ratio_series(f, "num", "den", "ratio");
+  EXPECT_TRUE(f.series().empty());
+}
+
 }  // namespace
 }  // namespace knl::report
