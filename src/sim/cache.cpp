@@ -1,56 +1,245 @@
 #include "sim/cache.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace knl::sim {
 
-CacheSim::CacheSim(CacheConfig config) : config_(config), num_sets_(0) {
+namespace {
+
+[[nodiscard]] bool is_pow2(std::uint64_t v) { return v != 0 && std::has_single_bit(v); }
+
+}  // namespace
+
+CacheSim::CacheSim(CacheConfig config) : config_(config) {
   if (config_.capacity_bytes == 0 || config_.line_bytes == 0 || config_.ways <= 0) {
     throw std::invalid_argument("CacheSim: capacity, line size and ways must be positive");
+  }
+  if (!is_pow2(config_.line_bytes)) {
+    throw std::invalid_argument("CacheSim: line_bytes must be a power of two");
+  }
+  if (!is_pow2(static_cast<std::uint64_t>(config_.ways))) {
+    throw std::invalid_argument("CacheSim: ways must be a power of two");
+  }
+  if (config_.sample_every == 0) {
+    throw std::invalid_argument("CacheSim: sample_every must be >= 1");
   }
   num_sets_ = config_.num_sets();  // safe: divisor validated above
   if (num_sets_ == 0) {
     throw std::invalid_argument("CacheSim: capacity smaller than one set");
   }
-  if (config_.sample_every == 0) {
-    throw std::invalid_argument("CacheSim: sample_every must be >= 1");
+  line_shift_ = static_cast<unsigned>(std::countr_zero(config_.line_bytes));
+  sets_pow2_ = is_pow2(num_sets_);
+  if (sets_pow2_) {
+    set_shift_ = static_cast<unsigned>(std::countr_zero(num_sets_));
+    set_mask_ = num_sets_ - 1;
   }
+  num_sampled_sets_ = (num_sets_ + config_.sample_every - 1) / config_.sample_every;
+  slabs_.resize(
+      static_cast<std::size_t>((num_sampled_sets_ + kSlabSets - 1) >> kSlabSetShift));
 }
 
-bool CacheSim::access(std::uint64_t addr) {
-  const std::uint64_t line = addr / config_.line_bytes;
-  const std::uint64_t set_idx = line % num_sets_;
-  if (set_idx % config_.sample_every != 0) return true;  // not sampled
+CacheSim::Slab& CacheSim::slab_for(std::uint64_t sampled_idx) {
+  auto& slot = slabs_[static_cast<std::size_t>(sampled_idx >> kSlabSetShift)];
+  if (!slot) {
+    const std::uint64_t first = (sampled_idx >> kSlabSetShift) << kSlabSetShift;
+    const std::uint64_t sets = std::min(kSlabSets, num_sampled_sets_ - first);
+    const auto entries =
+        static_cast<std::size_t>(sets) * static_cast<std::size_t>(config_.ways);
+    slot = std::make_unique<Slab>();
+    slot->tag.assign(entries, 0);
+    slot->tick.assign(entries, 0);
+  }
+  return *slot;
+}
+
+bool CacheSim::access_sampled(std::uint64_t line, std::uint64_t set_idx) {
+  const std::uint64_t sampled =
+      config_.sample_every == 1 ? set_idx : set_idx / config_.sample_every;
+  Slab& slab = slab_for(sampled);
+  const std::size_t base = static_cast<std::size_t>(sampled & (kSlabSets - 1)) *
+                           static_cast<std::size_t>(config_.ways);
+  std::uint64_t* tags = slab.tag.data() + base;
+  std::uint64_t* ticks = slab.tick.data() + base;
+  const std::uint64_t tag = tag_of(line);
 
   ++tick_;
   ++stats_.accesses;
-  auto& set = sets_[set_idx];
-  if (set.empty()) set.resize(static_cast<std::size_t>(config_.ways));
-
-  const std::uint64_t tag = line / num_sets_;
-  Way* victim = &set[0];
-  for (auto& way : set) {
-    if (way.valid && way.tag == tag) {
-      way.lru = tick_;
+  // One pass finds a hit and the victim: lowest-index invalid way if any
+  // (an invalid victim is sticky), else the strict-minimum tick (LRU).
+  int victim = 0;
+  std::uint64_t victim_tick = ticks[0];
+  for (int w = 0; w < config_.ways; ++w) {
+    const std::uint64_t t = ticks[w];
+    if (t != 0 && tags[w] == tag) {
+      ticks[w] = tick_;
       ++stats_.hits;
       return true;
     }
-    if (!way.valid) {
-      if (victim->valid) victim = &way;
-    } else if (victim->valid && way.lru < victim->lru) {
-      victim = &way;
+    if (victim_tick != 0 && (t == 0 || t < victim_tick)) {
+      victim = w;
+      victim_tick = t;
     }
   }
   ++stats_.misses;
-  if (victim->valid) {
+  if (victim_tick != 0) {
     ++stats_.evictions;
   } else {
     ++resident_;
   }
-  victim->valid = true;
-  victim->tag = tag;
-  victim->lru = tick_;
+  tags[victim] = tag;
+  ticks[victim] = tick_;
   return false;
+}
+
+template <int kWays, bool kPow2>
+BlockStats CacheSim::access_block_ways(std::span<const std::uint64_t> addrs) {
+  // Hoist the hot constants; the way loop unrolls at compile time. In the
+  // kPow2 instantiation every runtime fallback folds away: set and tag come
+  // from shift/mask, and the sampling stride degenerates to sample_mask == 0
+  // when sampling is off, so the hot loop carries no configuration branches.
+  const unsigned line_shift = line_shift_;
+  const std::uint64_t set_mask = set_mask_;
+  const unsigned set_shift = set_shift_;
+  const std::uint64_t num_sets = num_sets_;
+  const std::uint64_t sample_every = config_.sample_every;
+  const bool sample_pow2 = std::has_single_bit(sample_every);
+  const std::uint64_t sample_mask = sample_every - 1;  // kPow2: 0 when exact
+  const auto sample_shift =
+      sample_pow2 ? static_cast<unsigned>(std::countr_zero(sample_every)) : 0u;
+
+  std::uint64_t tick = tick_;
+  BlockStats block;
+  std::uint64_t evictions = 0;
+  std::uint64_t filled = 0;
+
+  // Slab memoization: sweeps and chases revisit the same slab for long runs.
+  std::uint64_t cached_slab_idx = ~0ull;
+  std::uint64_t* cached_tags = nullptr;
+  std::uint64_t* cached_ticks = nullptr;
+
+  const std::size_t n = addrs.size();
+  const std::uint64_t* data = addrs.data();
+  std::size_t i = 0;
+  while (i < n) {
+    std::uint64_t line;
+    std::uint64_t set_idx;
+    std::uint64_t sampled;
+    std::uint64_t tag;
+    if constexpr (kPow2) {
+      // "Set not sampled" is a mask test directly on the address
+      // (sample_mask fits inside set_mask), so runs of skipped addresses
+      // burn ~1 cycle each in this scan instead of the full loop body. The
+      // 4-wide leg takes one predictable branch per four addresses.
+      if (sample_mask != 0) {
+        while (i + 4 <= n) {
+          const bool s0 = ((data[i] >> line_shift) & sample_mask) != 0;
+          const bool s1 = ((data[i + 1] >> line_shift) & sample_mask) != 0;
+          const bool s2 = ((data[i + 2] >> line_shift) & sample_mask) != 0;
+          const bool s3 = ((data[i + 3] >> line_shift) & sample_mask) != 0;
+          if (!(s0 & s1 & s2 & s3)) break;
+          i += 4;
+        }
+        while (i < n && ((data[i] >> line_shift) & sample_mask) != 0) ++i;
+        if (i >= n) break;
+      }
+      line = data[i++] >> line_shift;
+      set_idx = line & set_mask;
+      sampled = set_idx >> sample_shift;
+      tag = line >> set_shift;
+    } else {
+      line = data[i++] >> line_shift;
+      set_idx = line % num_sets;
+      sampled = set_idx;
+      if (sample_every != 1) {
+        if (sample_pow2) {
+          if ((set_idx & sample_mask) != 0) continue;
+          sampled = set_idx >> sample_shift;
+        } else {
+          if (set_idx % sample_every != 0) continue;
+          sampled = set_idx / sample_every;
+        }
+      }
+      tag = line / num_sets;
+    }
+    const std::uint64_t slab_idx = sampled >> kSlabSetShift;
+    if (slab_idx != cached_slab_idx) {
+      Slab& slab = slab_for(sampled);
+      cached_slab_idx = slab_idx;
+      cached_tags = slab.tag.data();
+      cached_ticks = slab.tick.data();
+    }
+    const std::size_t base =
+        static_cast<std::size_t>(sampled & (kSlabSets - 1)) * static_cast<std::size_t>(kWays);
+    std::uint64_t* tags = cached_tags + base;
+    std::uint64_t* ticks = cached_ticks + base;
+
+    ++tick;
+    ++block.sampled;
+    int victim = 0;
+    std::uint64_t victim_tick = ticks[0];
+    bool hit = false;
+    for (int w = 0; w < kWays; ++w) {
+      const std::uint64_t t = ticks[w];
+      if (t != 0 && tags[w] == tag) {
+        ticks[w] = tick;
+        hit = true;
+        break;
+      }
+      if (victim_tick != 0 && (t == 0 || t < victim_tick)) {
+        victim = w;
+        victim_tick = t;
+      }
+    }
+    if (hit) {
+      ++block.hits;
+      continue;
+    }
+    ++block.misses;
+    if (victim_tick != 0) {
+      ++evictions;
+    } else {
+      ++filled;
+    }
+    tags[victim] = tag;
+    ticks[victim] = tick;
+  }
+
+  tick_ = tick;
+  resident_ += filled;
+  stats_.accesses += block.sampled;
+  stats_.hits += block.hits;
+  stats_.misses += block.misses;
+  stats_.evictions += evictions;
+  return block;
+}
+
+BlockStats CacheSim::access_block_generic(std::span<const std::uint64_t> addrs) {
+  const CacheStats before = stats_;
+  for (const std::uint64_t addr : addrs) (void)access(addr);
+  return {stats_.accesses - before.accesses, stats_.hits - before.hits,
+          stats_.misses - before.misses};
+}
+
+BlockStats CacheSim::access_block(std::span<const std::uint64_t> addrs) {
+  const std::uint64_t sample_every = config_.sample_every;
+  const bool pow2 = sets_pow2_ && (sample_every == 1 ||
+                                   (std::has_single_bit(sample_every) &&
+                                    sample_every <= num_sets_));
+  switch (config_.ways) {
+    case 1:
+      return pow2 ? access_block_ways<1, true>(addrs) : access_block_ways<1, false>(addrs);
+    case 2:
+      return pow2 ? access_block_ways<2, true>(addrs) : access_block_ways<2, false>(addrs);
+    case 4:
+      return pow2 ? access_block_ways<4, true>(addrs) : access_block_ways<4, false>(addrs);
+    case 8:
+      return pow2 ? access_block_ways<8, true>(addrs) : access_block_ways<8, false>(addrs);
+    case 16:
+      return pow2 ? access_block_ways<16, true>(addrs) : access_block_ways<16, false>(addrs);
+    default:
+      return access_block_generic(addrs);
+  }
 }
 
 std::uint64_t CacheSim::access_range(std::uint64_t addr, std::uint64_t bytes) {
@@ -65,7 +254,7 @@ std::uint64_t CacheSim::access_range(std::uint64_t addr, std::uint64_t bytes) {
 }
 
 void CacheSim::flush() {
-  sets_.clear();
+  for (auto& slab : slabs_) slab.reset();
   resident_ = 0;
 }
 

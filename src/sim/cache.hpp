@@ -7,19 +7,27 @@
 //     full tag store (16 GiB / 64 B lines) is too large to hold — only sets
 //     whose index falls in a deterministic sample are simulated, which is
 //     unbiased for the address streams we replay (sequential sweeps and
-//     uniform-random).
+//     uniform-random).  See docs/ARCHITECTURE.md ("Set sampling and its
+//     error bound") for the SMARTS-style error analysis.
+//
+// Storage is flat: set-indexed tag/tick arrays carved into lazily-allocated
+// slabs, so a 16 GiB direct-mapped tag store costs memory proportional to
+// the sets actually touched while every access is array indexing — no
+// hashing, no per-set allocation.  `line_bytes` and `ways` are required to
+// be powers of two so the index math is shifts and masks.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
+#include <span>
 #include <vector>
 
 namespace knl::sim {
 
 struct CacheConfig {
   std::uint64_t capacity_bytes = 0;
-  std::uint64_t line_bytes = 64;
-  int ways = 1;  ///< 1 = direct-mapped.
+  std::uint64_t line_bytes = 64;  ///< must be a power of two
+  int ways = 1;                   ///< 1 = direct-mapped; must be a power of two
   /// Simulate only every `sample_every`-th set (1 = exact).
   std::uint64_t sample_every = 1;
 
@@ -39,6 +47,13 @@ struct CacheStats {
   }
 };
 
+/// Result of one batched access_block() call (counts sampled sets only).
+struct BlockStats {
+  std::uint64_t sampled = 0;  ///< accesses that fell in sampled sets
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
 /// LRU set-associative cache over 64-bit byte addresses.
 class CacheSim {
  public:
@@ -47,7 +62,20 @@ class CacheSim {
   /// Access one byte address; returns true on hit. Accesses mapping to
   /// non-sampled sets return true without being recorded (they do not
   /// perturb the stats).
-  bool access(std::uint64_t addr);
+  bool access(std::uint64_t addr) {
+    const std::uint64_t line = addr >> line_shift_;
+    const std::uint64_t set_idx = set_of(line);
+    if (config_.sample_every != 1 && set_idx % config_.sample_every != 0) {
+      return true;  // not sampled
+    }
+    return access_sampled(line, set_idx);
+  }
+
+  /// Replay a whole block of addresses; returns the block's own hit/miss
+  /// counts (cumulative stats() are updated as well). This is the batched
+  /// hot path: the per-way scan is dispatched once per block on the
+  /// compile-time way count, so the inner loop is fully unrolled.
+  BlockStats access_block(std::span<const std::uint64_t> addrs);
 
   /// Touch every line of [addr, addr+bytes); returns number of line misses
   /// among sampled sets.
@@ -62,19 +90,49 @@ class CacheSim {
   void flush();
 
  private:
-  struct Way {
-    std::uint64_t tag = 0;
-    std::uint64_t lru = 0;  // last-access tick
-    bool valid = false;
+  /// Sampled sets per lazily-allocated storage slab: one slab of a
+  /// direct-mapped cache is 32 Ki sets x 16 B = 512 KiB, small enough that
+  /// sparse replays stay cheap and large enough that dense replays touch
+  /// one allocation per ~2 GiB of cached footprint.
+  static constexpr std::uint64_t kSlabSetShift = 15;
+  static constexpr std::uint64_t kSlabSets = 1ull << kSlabSetShift;
+
+  struct Slab {
+    // Parallel arrays indexed by (set-within-slab * ways + way).
+    // tick == 0 marks an invalid way (global tick starts at 1).
+    std::vector<std::uint64_t> tag;
+    std::vector<std::uint64_t> tick;
   };
 
+  [[nodiscard]] std::uint64_t set_of(std::uint64_t line) const {
+    return sets_pow2_ ? (line & set_mask_) : (line % num_sets_);
+  }
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t line) const {
+    return sets_pow2_ ? (line >> set_shift_) : (line / num_sets_);
+  }
+
+  Slab& slab_for(std::uint64_t sampled_idx);
+  bool access_sampled(std::uint64_t line, std::uint64_t set_idx);
+
+  /// kPow2 instantiations assume power-of-two set count and sampling stride
+  /// (the common configurations), so all index math compiles to shift/mask
+  /// with no runtime fallback branches in the hot loop.
+  template <int kWays, bool kPow2>
+  BlockStats access_block_ways(std::span<const std::uint64_t> addrs);
+  BlockStats access_block_generic(std::span<const std::uint64_t> addrs);
+
   CacheConfig config_;
-  std::uint64_t num_sets_;
+  std::uint64_t num_sets_ = 0;
+  std::uint64_t num_sampled_sets_ = 0;
+  unsigned line_shift_ = 0;
+  bool sets_pow2_ = false;
+  unsigned set_shift_ = 0;
+  std::uint64_t set_mask_ = 0;
   std::uint64_t tick_ = 0;
   std::uint64_t resident_ = 0;
   CacheStats stats_;
-  // Sparse set storage: only sampled, touched sets are materialized.
-  std::unordered_map<std::uint64_t, std::vector<Way>> sets_;
+  // Lazily materialized flat storage: slabs_[sampled_idx >> kSlabSetShift].
+  std::vector<std::unique_ptr<Slab>> slabs_;
 };
 
 }  // namespace knl::sim

@@ -1,6 +1,7 @@
 #include "sim/parallel_replay.hpp"
 
 #include <algorithm>
+#include <future>
 #include <stdexcept>
 
 namespace knl::sim {
@@ -15,6 +16,9 @@ ParallelReplay::ParallelReplay(ParallelReplayConfig config)
   }
   if (config_.issue_ns <= 0.0) {
     throw std::invalid_argument("ParallelReplay: issue_ns must be positive");
+  }
+  if (config_.epoch_accesses < 1) {
+    throw std::invalid_argument("ParallelReplay: epoch_accesses must be >= 1");
   }
   reset();
   // Serialize line transfers at the (scaled) bandwidth cap: one 64 B line
@@ -34,17 +38,153 @@ void ParallelReplay::reset() {
   cores_.clear();
   cores_.reserve(static_cast<std::size_t>(config_.cores));
   for (int c = 0; c < config_.cores; ++c) {
-    Core core;
-    core.l1 = std::make_unique<CacheSim>(config_.l1);
-    core.l2 = std::make_unique<CacheSim>(config_.l2);
-    core.tlb = std::make_unique<TlbSim>(config_.tlb);
+    Core core{CacheSim(config_.l1), CacheSim(config_.l2), TlbSim(config_.tlb), {}, 0.0,
+              0, {}};
     core.mshr_free_at.assign(static_cast<std::size_t>(config_.mshrs_per_core), 0.0);
     cores_.push_back(std::move(core));
   }
   memory_free_at_ = 0.0;
 }
 
+ReplayCounters ParallelReplay::classify(Core& core,
+                                        const std::vector<std::uint64_t>& stream,
+                                        std::size_t begin, std::size_t end) {
+  ReplayCounters counters;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint64_t addr = stream[i];
+    std::uint8_t cls = kClassL1;
+    if (!core.tlb.access(addr)) {
+      cls |= kClassTlbMiss;
+      ++counters.tlb_misses;
+    }
+    if (core.l1.access(addr)) {
+      ++counters.l1_hits;
+    } else if (core.l2.access(addr)) {
+      cls |= kClassL2;
+      ++counters.l2_hits;
+    } else {
+      cls |= kClassMemory;
+      ++counters.memory_accesses;
+    }
+    core.cls[i - begin] = cls;
+  }
+  counters.accesses = end - begin;
+  return counters;
+}
+
 ParallelReplayStats ParallelReplay::replay(
+    const std::vector<std::vector<std::uint64_t>>& streams) {
+  if (streams.size() != cores_.size()) {
+    throw std::invalid_argument("ParallelReplay: one stream per core required");
+  }
+  ParallelReplayStats stats;
+  double last_done = 0.0;
+
+  // Round alignment identical to the lock-step reference: in global round r
+  // (counted from this call), core c consumes streams[c][pos0[c] + r] if
+  // that index exists. Rounds are processed in epochs of epoch_accesses.
+  const std::size_t num_cores = cores_.size();
+  std::vector<std::size_t> pos0(num_cores), remaining(num_cores);
+  std::size_t max_remaining = 0;
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    pos0[c] = cores_[c].position;
+    remaining[c] = streams[c].size() > pos0[c] ? streams[c].size() - pos0[c] : 0;
+    max_remaining = std::max(max_remaining, remaining[c]);
+  }
+
+  const bool parallel = num_cores > 1 && config_.workers != 1;
+  if (parallel && !pool_) {
+    pool_ = std::make_unique<core::ThreadPool>(config_.workers);
+  }
+
+  std::vector<ReplayCounters> shard_counters(num_cores);
+  std::vector<std::future<ReplayCounters>> futures;
+  futures.reserve(num_cores);
+
+  for (std::size_t epoch_start = 0; epoch_start < max_remaining;
+       epoch_start += config_.epoch_accesses) {
+    const std::size_t epoch_end =
+        std::min(max_remaining, epoch_start + config_.epoch_accesses);
+
+    // Phase A: classify each core's epoch slice through its private
+    // hierarchy. Cache/TLB outcomes depend only on the core's own address
+    // order, never on timing, so the shards are independent.
+    futures.clear();
+    for (std::size_t c = 0; c < num_cores; ++c) {
+      Core& core = cores_[c];
+      const std::size_t slice_end = std::min(remaining[c], epoch_end);
+      if (slice_end <= epoch_start) {
+        shard_counters[c] = ReplayCounters{};
+        continue;
+      }
+      const std::size_t begin = pos0[c] + epoch_start;
+      const std::size_t end = pos0[c] + slice_end;
+      core.cls.resize(end - begin);
+      if (parallel) {
+        futures.push_back(pool_->submit([this, &core, &stream = streams[c], begin, end] {
+          return classify(core, stream, begin, end);
+        }));
+      } else {
+        shard_counters[c] = classify(core, streams[c], begin, end);
+      }
+    }
+    if (parallel) {
+      std::size_t f = 0;
+      for (std::size_t c = 0; c < num_cores; ++c) {
+        if (std::min(remaining[c], epoch_end) > epoch_start) {
+          shard_counters[c] = futures[f++].get();
+        }
+      }
+    }
+    // Merge in core order — deterministic by construction.
+    for (std::size_t c = 0; c < num_cores; ++c) stats.merge(shard_counters[c]);
+
+    // Phase B: serial reconciliation of the shared bandwidth budget, in the
+    // exact round order (and with the exact FP operations) of the lock-step
+    // reference — bit-identical for every worker count and epoch size.
+    for (std::size_t r = epoch_start; r < epoch_end; ++r) {
+      for (std::size_t c = 0; c < num_cores; ++c) {
+        if (r >= remaining[c]) continue;
+        Core& core = cores_[c];
+        const std::uint8_t cls = core.cls[r - epoch_start];
+
+        core.issue_cursor += config_.issue_ns;
+        double start = core.issue_cursor;
+        if (cls & kClassTlbMiss) start += config_.tlb.walk_cached_ns;
+
+        if ((cls & kClassKindMask) == kClassL1) {
+          last_done = std::max(last_done, start + config_.l1_latency_ns);
+          continue;
+        }
+        auto earliest =
+            std::min_element(core.mshr_free_at.begin(), core.mshr_free_at.end());
+        const double issue = std::max(start, *earliest);
+        if ((cls & kClassKindMask) == kClassL2) {
+          last_done = std::max(last_done, issue + config_.l2_latency_ns);
+          continue;
+        }
+        // Contend for the shared bandwidth budget (token bucket), then pay
+        // the memory latency.
+        const double grant = std::max(issue, memory_free_at_);
+        if (memory_free_at_ > issue) stats.capped_seconds += (grant - issue) * 1e-9;
+        memory_free_at_ = grant + line_service_ns_;
+        const double done = grant + config_.l2_latency_ns +
+                            mesh_.directory_latency_ns() +
+                            config_.node.idle_latency_ns;
+        *earliest = done;
+        last_done = std::max(last_done, done);
+      }
+    }
+  }
+
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    cores_[c].position = pos0[c] + std::min(remaining[c], max_remaining);
+  }
+  stats.seconds = last_done * 1e-9;
+  return stats;
+}
+
+ParallelReplayStats ParallelReplay::replay_reference(
     const std::vector<std::vector<std::uint64_t>>& streams) {
   if (streams.size() != cores_.size()) {
     throw std::invalid_argument("ParallelReplay: one stream per core required");
@@ -66,16 +206,21 @@ ParallelReplayStats ParallelReplay::replay(
 
       core.issue_cursor += config_.issue_ns;
       double start = core.issue_cursor;
-      if (!core.tlb->access(addr)) start += config_.tlb.walk_cached_ns;
+      if (!core.tlb.access(addr)) {
+        ++stats.tlb_misses;
+        start += config_.tlb.walk_cached_ns;
+      }
 
-      if (core.l1->access(addr)) {
+      if (core.l1.access(addr)) {
+        ++stats.l1_hits;
         last_done = std::max(last_done, start + config_.l1_latency_ns);
         continue;
       }
       auto earliest =
           std::min_element(core.mshr_free_at.begin(), core.mshr_free_at.end());
       const double issue = std::max(start, *earliest);
-      if (core.l2->access(addr)) {
+      if (core.l2.access(addr)) {
+        ++stats.l2_hits;
         last_done = std::max(last_done, issue + config_.l2_latency_ns);
         continue;
       }

@@ -11,15 +11,26 @@
 // Simplification: cores are synchronized in rounds of one access each
 // (lock-step interleave). That matches how the analytic model treats
 // homogeneous SPMD phases and keeps the replay deterministic.
+//
+// Execution engine: replay() shards the work. Cache/TLB classification —
+// the expensive part — depends only on each core's private address order,
+// so per-epoch it runs as one task per core on a work-stealing thread pool;
+// a cheap serial pass then reconciles the shared bandwidth budget in the
+// exact lock-step round order. The result is bit-identical to the retained
+// single-threaded reference (replay_reference) for every worker count and
+// epoch size — see docs/ARCHITECTURE.md ("Sharded replay determinism").
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "sim/cache.hpp"
 #include "sim/knl_params.hpp"
 #include "sim/mesh.hpp"
+#include "sim/replay_stats.hpp"
 #include "sim/tlb.hpp"
 
 namespace knl::sim {
@@ -42,21 +53,12 @@ struct ParallelReplayConfig {
   /// Scale the node's bandwidth cap to the replayed core count, so an
   /// 8-core replay models 1/8 of the node (caps are machine-wide).
   bool scale_cap_to_cores = true;
-};
-
-struct ParallelReplayStats {
-  std::uint64_t accesses = 0;
-  std::uint64_t memory_accesses = 0;
-  double seconds = 0.0;
-  /// Wall time spent with the bandwidth budget saturated.
-  double capped_seconds = 0.0;
-
-  [[nodiscard]] double memory_bandwidth_gbs() const {
-    return seconds == 0.0 ? 0.0
-                          : static_cast<double>(memory_accesses) *
-                                static_cast<double>(params::kLineBytes) /
-                                (seconds * 1e9);
-  }
+  /// Worker threads for the sharded classification phase; 0 = one per
+  /// hardware thread. Results are identical for every value.
+  unsigned workers = 0;
+  /// Per-core accesses classified per epoch before the serial
+  /// bandwidth-budget reconciliation pass (bounds buffer memory).
+  std::size_t epoch_accesses = 1 << 15;
 };
 
 class ParallelReplay {
@@ -65,8 +67,14 @@ class ParallelReplay {
   explicit ParallelReplay(ParallelReplayConfig config);
 
   /// Replay one independent access stream per core (streams may differ in
-  /// length; shorter cores idle). Returns aggregate statistics.
+  /// length; shorter cores idle). Returns aggregate statistics. Sharded
+  /// engine: parallel classification + serial budget reconciliation.
   ParallelReplayStats replay(const std::vector<std::vector<std::uint64_t>>& streams);
+
+  /// Single-threaded lock-step reference implementation, kept as the
+  /// test oracle replay() must match bit-for-bit.
+  ParallelReplayStats replay_reference(
+      const std::vector<std::vector<std::uint64_t>>& streams);
 
   /// Effective bandwidth cap applied to this replay (GB/s).
   [[nodiscard]] double bandwidth_cap_gbs() const;
@@ -76,14 +84,30 @@ class ParallelReplay {
   [[nodiscard]] const ParallelReplayConfig& config() const noexcept { return config_; }
 
  private:
+  /// Access classification produced by the sharded phase: what each access
+  /// resolved to in the core-private hierarchy (timing-independent).
+  enum : std::uint8_t {
+    kClassL1 = 0,
+    kClassL2 = 1,
+    kClassMemory = 2,
+    kClassKindMask = 0x3,
+    kClassTlbMiss = 0x4,
+  };
+
   struct Core {
-    std::unique_ptr<CacheSim> l1;
-    std::unique_ptr<CacheSim> l2;
-    std::unique_ptr<TlbSim> tlb;
+    CacheSim l1;
+    CacheSim l2;
+    TlbSim tlb;
     std::vector<double> mshr_free_at;
     double issue_cursor = 0.0;
-    std::size_t position = 0;  // next index in its stream
+    std::size_t position = 0;       // next index in its stream
+    std::vector<std::uint8_t> cls;  // per-epoch classification buffer
   };
+
+  /// Classify stream[begin..end) through `core`'s private hierarchy into
+  /// core.cls; returns the event counts (pure integer work, no timing).
+  ReplayCounters classify(Core& core, const std::vector<std::uint64_t>& stream,
+                          std::size_t begin, std::size_t end);
 
   ParallelReplayConfig config_;
   Mesh mesh_;
@@ -92,6 +116,7 @@ class ParallelReplay {
   /// start the next line transfer.
   double memory_free_at_ = 0.0;
   double line_service_ns_ = 0.0;
+  std::unique_ptr<core::ThreadPool> pool_;  // lazily created classification pool
 };
 
 }  // namespace knl::sim

@@ -6,11 +6,16 @@
 // cache the walk hits memory.  This module provides both an analytic
 // expectation (used by the timing model at paper scale) and an exact LRU TLB
 // simulator (used by tests to validate the analytic form).
+//
+// TlbSim stores its entries in flat slot arrays threaded by an intrusive
+// hash index and an intrusive LRU list — O(1) per access with no allocation
+// after construction, far cheaper than the node-based list+hash LRU it
+// replaces, and an MRU front-check makes page-local streams (sweeps,
+// chases) nearly free.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/knl_params.hpp"
 
@@ -54,12 +59,24 @@ class TlbModel {
 };
 
 /// Exact LRU TLB used by tests to validate TlbModel::miss_probability.
+///
+/// Layout: a flat intrusive structure over fixed slot arrays — an
+/// open-hashed page index (bucket chains threaded through bucket_next_)
+/// plus a doubly-linked LRU order threaded through lru_prev_/lru_next_.
+/// Every operation is O(1) with no allocation after construction, which is
+/// what the batched replay hot loop needs.
 class TlbSim {
  public:
-  explicit TlbSim(TlbConfig config = {}) : config_(config) {}
+  explicit TlbSim(TlbConfig config = {});
 
   /// Translate one address; returns true on TLB hit.
-  bool access(std::uint64_t addr);
+  bool access(std::uint64_t addr) {
+    ++accesses_;
+    const std::uint64_t page = page_pow2_ ? (addr >> page_shift_) : (addr / config_.page_bytes);
+    // MRU front-check: page-local streams hit here without probing.
+    if (head_ >= 0 && pages_[static_cast<std::size_t>(head_)] == page) return true;
+    return access_slow(page);
+  }
 
   [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
@@ -69,11 +86,27 @@ class TlbSim {
   }
 
  private:
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t page) const noexcept {
+    // Fibonacci multiply-shift: sequential pages land in distinct buckets.
+    return static_cast<std::size_t>((page * 0x9E3779B97F4A7C15ull) >> bucket_shift_);
+  }
+  bool access_slow(std::uint64_t page);
+  void move_to_front(std::int32_t slot);
+
   TlbConfig config_;
+  bool page_pow2_ = false;
+  unsigned page_shift_ = 0;
+  unsigned bucket_shift_ = 0;
   std::uint64_t accesses_ = 0;
   std::uint64_t misses_ = 0;
-  std::list<std::uint64_t> lru_;  // front = most recent
-  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::int32_t head_ = -1;    // most recently used slot
+  std::int32_t tail_ = -1;    // least recently used slot
+  std::int32_t filled_ = 0;   // slots in use (fill before evicting)
+  std::vector<std::uint64_t> pages_;
+  std::vector<std::int32_t> lru_prev_;
+  std::vector<std::int32_t> lru_next_;
+  std::vector<std::int32_t> bucket_head_;
+  std::vector<std::int32_t> bucket_next_;
 };
 
 }  // namespace knl::sim

@@ -12,6 +12,7 @@ TraceMachine::TraceMachine(TraceMachineConfig config)
       l1_(config.l1),
       l2_(config.l2),
       tlb_(config.tlb),
+      tlb_model_(config.tlb),
       mcdram_(config.mcdram, /*sample_every=*/1),
       mesh_(config.mesh) {
   if (config_.mshrs < 1) throw std::invalid_argument("TraceMachine: need >= 1 MSHR");
@@ -19,6 +20,9 @@ TraceMachine::TraceMachine(TraceMachineConfig config)
     throw std::invalid_argument("TraceMachine: issue_ns must be positive");
   }
   mshr_free_at_.assign(static_cast<std::size_t>(config_.mshrs), 0.0);
+  // Page tables live in the same node as the data, so walk latency scales
+  // with the node's idle latency (same convention as TimingModel).
+  walk_node_scale_ = config_.node.idle_latency_ns / params::kDdr.idle_latency_ns;
 }
 
 void TraceMachine::reset() {
@@ -29,6 +33,7 @@ void TraceMachine::reset() {
   mcdram_.flush();
   mcdram_.reset_stats();
   tlb_ = TlbSim(config_.tlb);
+  pages_seen_.clear();
   std::fill(mshr_free_at_.begin(), mshr_free_at_.end(), 0.0);
   clock_ns_ = 0.0;
 }
@@ -37,14 +42,18 @@ double TraceMachine::service(std::uint64_t addr, double ready_ns, ReplayStats& s
   ++stats.accesses;
 
   // Address translation precedes the cache lookup; a TLB miss serializes
-  // the page walk in front of the access.
+  // the page walk in front of the access. The walk cost depends on the
+  // page-table working set observed so far (cached walks at small
+  // footprints, memory walks once the tables thrash) — the discrete
+  // counterpart of TlbModel::walk_cost_ns, which keeps this machine and
+  // the analytic model in agreement at every footprint.
   double start_ns = ready_ns;
   if (!tlb_.access(addr)) {
     ++stats.tlb_misses;
-    start_ns += tlb_.accesses() == 0
-                    ? 0.0
-                    : config_.tlb.walk_cached_ns;  // walk cost; table cached at
-                                                   // trace scale
+    pages_seen_.insert(addr / config_.tlb.page_bytes);
+    const std::uint64_t observed =
+        static_cast<std::uint64_t>(pages_seen_.size()) * config_.tlb.page_bytes;
+    start_ns += walk_node_scale_ * tlb_model_.walk_cost_ns(observed);
   }
 
   if (l1_.access(addr)) {

@@ -15,12 +15,14 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/cache.hpp"
 #include "sim/knl_params.hpp"
 #include "sim/mcdram_cache.hpp"
 #include "sim/mesh.hpp"
+#include "sim/replay_stats.hpp"
 #include "sim/tlb.hpp"
 
 namespace knl::sim {
@@ -44,26 +46,6 @@ struct TraceMachineConfig {
   bool mcdram_cache_enabled = false;
   McdramCacheConfig mcdram = {};
   params::NodeParams mcdram_node = params::kHbm;
-};
-
-struct ReplayStats {
-  std::uint64_t accesses = 0;
-  std::uint64_t l1_hits = 0;
-  std::uint64_t l2_hits = 0;
-  std::uint64_t memory_accesses = 0;
-  std::uint64_t tlb_misses = 0;
-  std::uint64_t mcdram_hits = 0;
-  double seconds = 0.0;
-
-  [[nodiscard]] double avg_access_ns() const {
-    return accesses == 0 ? 0.0 : seconds * 1e9 / static_cast<double>(accesses);
-  }
-  [[nodiscard]] double memory_bandwidth_gbs() const {
-    return seconds == 0.0 ? 0.0
-                          : static_cast<double>(memory_accesses) *
-                                static_cast<double>(params::kLineBytes) /
-                                (seconds * 1e9);
-  }
 };
 
 class TraceMachine {
@@ -93,9 +75,16 @@ class TraceMachine {
   CacheSim l1_;
   CacheSim l2_;
   TlbSim tlb_;
+  TlbModel tlb_model_;
   McdramCacheSim mcdram_;
   Mesh mesh_;
   std::vector<double> mshr_free_at_;
+  // Distinct pages the stream has touched so far: the page-table working
+  // set, which sets the cost of a walk (cached at small footprints, from
+  // memory once the tables outgrow the cache hierarchy). Mirrors the
+  // footprint-dependent walk cost the analytic TlbModel charges.
+  std::unordered_set<std::uint64_t> pages_seen_;
+  double walk_node_scale_ = 1.0;
   double clock_ns_ = 0.0;
 };
 

@@ -4,34 +4,103 @@
 
 namespace knl::trace {
 
-void generate_sweep(std::uint64_t base, std::uint64_t bytes, std::uint64_t line_bytes,
-                    int sweeps, const AddressVisitor& visit) {
-  if (line_bytes == 0) throw std::invalid_argument("generate_sweep: line_bytes == 0");
-  for (int s = 0; s < sweeps; ++s) {
-    for (std::uint64_t off = 0; off < bytes; off += line_bytes) {
-      visit(base + off);
+SweepGenerator::SweepGenerator(std::uint64_t base, std::uint64_t bytes,
+                               std::uint64_t line_bytes, int sweeps)
+    : base_(base), bytes_(bytes), line_bytes_(line_bytes), sweeps_remaining_(sweeps) {
+  if (line_bytes_ == 0) throw std::invalid_argument("generate_sweep: line_bytes == 0");
+  if (bytes_ == 0) sweeps_remaining_ = 0;  // zero-byte region: empty stream
+}
+
+std::size_t SweepGenerator::next_chunk(std::uint64_t* out, std::size_t capacity) {
+  std::size_t n = 0;
+  while (n < capacity && sweeps_remaining_ > 0) {
+    out[n++] = base_ + offset_;
+    offset_ += line_bytes_;
+    if (offset_ >= bytes_) {
+      offset_ = 0;
+      --sweeps_remaining_;
     }
   }
+  return n;
+}
+
+StridedGenerator::StridedGenerator(std::uint64_t base, std::uint64_t bytes,
+                                   std::uint64_t stride_bytes, int sweeps)
+    : base_(base), bytes_(bytes), stride_bytes_(stride_bytes), sweeps_remaining_(sweeps) {
+  if (stride_bytes_ == 0) throw std::invalid_argument("generate_strided: stride == 0");
+  if (bytes_ == 0) sweeps_remaining_ = 0;
+}
+
+std::size_t StridedGenerator::next_chunk(std::uint64_t* out, std::size_t capacity) {
+  std::size_t n = 0;
+  while (n < capacity && sweeps_remaining_ > 0) {
+    out[n++] = base_ + offset_;
+    offset_ += stride_bytes_;
+    if (offset_ >= bytes_) {
+      offset_ = 0;
+      --sweeps_remaining_;
+    }
+  }
+  return n;
+}
+
+UniformRandomGenerator::UniformRandomGenerator(std::uint64_t base, std::uint64_t bytes,
+                                               std::uint64_t count, std::uint64_t seed)
+    : base_(base), remaining_(count), rng_(seed), dist_(0, bytes == 0 ? 0 : bytes - 1) {
+  if (bytes == 0) throw std::invalid_argument("generate_uniform_random: empty range");
+}
+
+std::size_t UniformRandomGenerator::next_chunk(std::uint64_t* out, std::size_t capacity) {
+  std::size_t n = 0;
+  while (n < capacity && remaining_ > 0) {
+    out[n++] = base_ + dist_(rng_);
+    --remaining_;
+  }
+  return n;
+}
+
+ChaseGenerator::ChaseGenerator(std::uint64_t base, const std::vector<std::uint32_t>& next,
+                               std::uint64_t slot_bytes, std::uint64_t count)
+    : base_(base),
+      next_(next.data()),
+      slots_(static_cast<std::uint32_t>(next.size())),
+      slot_bytes_(slot_bytes),
+      remaining_(count) {
+  if (next.empty()) throw std::invalid_argument("generate_chase: empty permutation");
+}
+
+std::size_t ChaseGenerator::next_chunk(std::uint64_t* out, std::size_t capacity) {
+  std::size_t n = 0;
+  std::uint32_t cur = cursor_;
+  while (n < capacity && remaining_ > 0) {
+    out[n++] = base_ + static_cast<std::uint64_t>(cur) * slot_bytes_;
+    cur = next_[cur];
+    --remaining_;
+  }
+  cursor_ = cur;
+  return n;
+}
+
+// --------------------------------------------------------------------------
+// Legacy callback adapters.
+// --------------------------------------------------------------------------
+
+void generate_sweep(std::uint64_t base, std::uint64_t bytes, std::uint64_t line_bytes,
+                    int sweeps, const AddressVisitor& visit) {
+  SweepGenerator gen(base, bytes, line_bytes, sweeps);
+  for_each_address(gen, visit);
 }
 
 void generate_strided(std::uint64_t base, std::uint64_t bytes, std::uint64_t stride_bytes,
                       int sweeps, const AddressVisitor& visit) {
-  if (stride_bytes == 0) throw std::invalid_argument("generate_strided: stride == 0");
-  for (int s = 0; s < sweeps; ++s) {
-    for (std::uint64_t off = 0; off < bytes; off += stride_bytes) {
-      visit(base + off);
-    }
-  }
+  StridedGenerator gen(base, bytes, stride_bytes, sweeps);
+  for_each_address(gen, visit);
 }
 
 void generate_uniform_random(std::uint64_t base, std::uint64_t bytes, std::uint64_t count,
                              std::uint64_t seed, const AddressVisitor& visit) {
-  if (bytes == 0) throw std::invalid_argument("generate_uniform_random: empty range");
-  std::mt19937_64 rng(seed);
-  std::uniform_int_distribution<std::uint64_t> dist(0, bytes - 1);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    visit(base + dist(rng));
-  }
+  UniformRandomGenerator gen(base, bytes, count, seed);
+  for_each_address(gen, visit);
 }
 
 std::vector<std::uint32_t> build_chase_permutation(std::uint32_t n, std::uint64_t seed) {
@@ -52,12 +121,8 @@ std::vector<std::uint32_t> build_chase_permutation(std::uint32_t n, std::uint64_
 void generate_chase(std::uint64_t base, const std::vector<std::uint32_t>& next,
                     std::uint64_t slot_bytes, std::uint64_t count,
                     const AddressVisitor& visit) {
-  if (next.empty()) throw std::invalid_argument("generate_chase: empty permutation");
-  std::uint32_t cur = 0;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    visit(base + static_cast<std::uint64_t>(cur) * slot_bytes);
-    cur = next[cur];
-  }
+  ChaseGenerator gen(base, next, slot_bytes, count);
+  for_each_address(gen, visit);
 }
 
 }  // namespace knl::trace

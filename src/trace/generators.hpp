@@ -4,8 +4,18 @@
 // McdramCacheSim, TlbSim) so the analytic hit-rate expressions used at paper
 // scale can be validated against ground truth at test scale. They are also
 // used by the latency-probe workload to build real pointer-chase buffers.
+//
+// Two APIs:
+//   - chunked (the hot path): stateful generators fill caller-owned
+//     std::uint64_t buffers ~4 K addresses at a time via next_chunk(), and
+//     for_each_address() drains a generator through a *templated* visitor —
+//     no per-address std::function indirection anywhere;
+//   - callback (legacy): the generate_* free functions keep the original
+//     per-address AddressVisitor signature as thin adapters over the
+//     chunked generators.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <random>
@@ -14,6 +24,95 @@
 namespace knl::trace {
 
 using AddressVisitor = std::function<void(std::uint64_t addr)>;
+
+/// Default chunk capacity: 4 K addresses = 32 KiB, L1-resident so the
+/// generator->simulator hand-off stays in cache.
+inline constexpr std::size_t kAddressChunk = 4096;
+
+/// `sweeps` sequential line-granular passes over [base, base+bytes).
+class SweepGenerator {
+ public:
+  SweepGenerator(std::uint64_t base, std::uint64_t bytes, std::uint64_t line_bytes,
+                 int sweeps);
+  /// Fill out[0..capacity) with the next addresses; returns the count
+  /// written, 0 once the stream is exhausted.
+  std::size_t next_chunk(std::uint64_t* out, std::size_t capacity);
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t bytes_;
+  std::uint64_t line_bytes_;
+  std::uint64_t offset_ = 0;
+  int sweeps_remaining_;
+};
+
+/// Constant-stride walk over [base, base+bytes), repeated `sweeps` times.
+class StridedGenerator {
+ public:
+  StridedGenerator(std::uint64_t base, std::uint64_t bytes, std::uint64_t stride_bytes,
+                   int sweeps);
+  std::size_t next_chunk(std::uint64_t* out, std::size_t capacity);
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t bytes_;
+  std::uint64_t stride_bytes_;
+  std::uint64_t offset_ = 0;
+  int sweeps_remaining_;
+};
+
+/// `count` uniform-random addresses within [base, base+bytes).
+class UniformRandomGenerator {
+ public:
+  UniformRandomGenerator(std::uint64_t base, std::uint64_t bytes, std::uint64_t count,
+                         std::uint64_t seed);
+  std::size_t next_chunk(std::uint64_t* out, std::size_t capacity);
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t remaining_;
+  std::mt19937_64 rng_;
+  std::uniform_int_distribution<std::uint64_t> dist_;
+};
+
+/// Replay steps of a pointer chase over slots of `slot_bytes` at `base`.
+/// The permutation is borrowed, not copied — it must outlive the generator.
+class ChaseGenerator {
+ public:
+  ChaseGenerator(std::uint64_t base, const std::vector<std::uint32_t>& next,
+                 std::uint64_t slot_bytes, std::uint64_t count);
+  std::size_t next_chunk(std::uint64_t* out, std::size_t capacity);
+
+ private:
+  std::uint64_t base_;
+  const std::uint32_t* next_;
+  std::uint32_t slots_;
+  std::uint64_t slot_bytes_;
+  std::uint64_t remaining_;
+  std::uint32_t cursor_ = 0;
+};
+
+/// Drain a chunked generator through a templated visitor (inlined per
+/// address — the replacement for the std::function path in hot loops).
+template <typename Generator, typename Visitor>
+void for_each_address(Generator& gen, Visitor&& visit) {
+  std::uint64_t buffer[kAddressChunk];
+  for (std::size_t n; (n = gen.next_chunk(buffer, kAddressChunk)) != 0;) {
+    for (std::size_t i = 0; i < n; ++i) visit(buffer[i]);
+  }
+}
+
+/// Collect a generator's whole stream into a vector (test/bench helper).
+template <typename Generator>
+[[nodiscard]] std::vector<std::uint64_t> collect_addresses(Generator& gen) {
+  std::vector<std::uint64_t> out;
+  for_each_address(gen, [&](std::uint64_t a) { out.push_back(a); });
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Legacy per-address callback API (thin adapters over the generators).
+// --------------------------------------------------------------------------
 
 /// `sweeps` sequential line-granular passes over [base, base+bytes).
 void generate_sweep(std::uint64_t base, std::uint64_t bytes, std::uint64_t line_bytes,

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
+#include <vector>
 
 #include "trace/generators.hpp"
 
@@ -116,6 +118,86 @@ TEST(CacheSim, InvalidConfigThrows) {
                                     .sample_every = 0}), std::invalid_argument);
   EXPECT_THROW((void)CacheSim(CacheConfig{.capacity_bytes = 64, .line_bytes = 64, .ways = 4,
                                     .sample_every = 1}), std::invalid_argument);  // smaller than one set
+  // line_bytes and ways must be powers of two (the flat layout indexes with
+  // shifts and the templated dispatch unrolls fixed way counts).
+  EXPECT_THROW((void)CacheSim(CacheConfig{.capacity_bytes = 4096, .line_bytes = 48, .ways = 1,
+                                    .sample_every = 1}), std::invalid_argument);
+  EXPECT_THROW((void)CacheSim(CacheConfig{.capacity_bytes = 6144, .line_bytes = 64, .ways = 3,
+                                    .sample_every = 1}), std::invalid_argument);
+}
+
+// access_block must be behaviourally equivalent to an access() loop, for
+// every dispatch path: templated ways (1..16), the generic fallback (32),
+// and non-power-of-two set counts.
+class CacheBlockEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheBlockEquivalence, AccessBlockMatchesScalarLoop) {
+  const int ways = GetParam();
+  const CacheConfig cfg{.capacity_bytes = 64ull * 64 * static_cast<unsigned>(ways) * 3,
+                        .line_bytes = 64, .ways = ways, .sample_every = 1};
+  CacheSim scalar(cfg), batched(cfg);
+  std::vector<std::uint64_t> addrs;
+  trace::generate_uniform_random(0, 1 << 18, 50000, 19,
+                                 [&](std::uint64_t a) { addrs.push_back(a); });
+  std::uint64_t scalar_hits = 0;
+  for (const auto a : addrs) scalar_hits += scalar.access(a) ? 1u : 0u;
+  const BlockStats block = batched.access_block(addrs);
+  EXPECT_EQ(block.sampled, addrs.size());
+  EXPECT_EQ(block.hits, scalar_hits);
+  EXPECT_EQ(block.misses, addrs.size() - scalar_hits);
+  EXPECT_EQ(batched.stats().accesses, scalar.stats().accesses);
+  EXPECT_EQ(batched.stats().hits, scalar.stats().hits);
+  EXPECT_EQ(batched.stats().misses, scalar.stats().misses);
+  EXPECT_EQ(batched.stats().evictions, scalar.stats().evictions);
+  EXPECT_EQ(batched.resident_lines(), scalar.resident_lines());
+  // Replay the same block again: residency must carry over identically.
+  const BlockStats warm = batched.access_block(addrs);
+  std::uint64_t warm_hits = 0;
+  for (const auto a : addrs) warm_hits += scalar.access(a) ? 1u : 0u;
+  EXPECT_EQ(warm.hits, warm_hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheBlockEquivalence, ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(CacheSim, AccessBlockHonoursSetSampling) {
+  const CacheConfig cfg{.capacity_bytes = 1 << 20, .line_bytes = 64, .ways = 2,
+                        .sample_every = 8};
+  CacheSim scalar(cfg), batched(cfg);
+  std::vector<std::uint64_t> addrs;
+  trace::generate_sweep(0, 1 << 20, 64, 2, [&](std::uint64_t a) { addrs.push_back(a); });
+  for (const auto a : addrs) scalar.access(a);
+  const BlockStats block = batched.access_block(addrs);
+  EXPECT_EQ(block.sampled, scalar.stats().accesses);
+  EXPECT_EQ(block.hits, scalar.stats().hits);
+  EXPECT_LT(block.sampled, addrs.size());  // sampling skipped most sets
+}
+
+TEST(CacheSim, AccessBlockSampledHitRateTracksExact) {
+  // The recorded-set estimator is unbiased for uniform traffic; with
+  // n sampled accesses the standard error is sqrt(h(1-h)/n) — assert a
+  // 3-sigma band (see docs/ARCHITECTURE.md, "Set sampling").
+  const CacheConfig exact_cfg{.capacity_bytes = 1 << 18, .line_bytes = 64, .ways = 8,
+                              .sample_every = 1};
+  CacheConfig sampled_cfg = exact_cfg;
+  sampled_cfg.sample_every = 8;
+  CacheSim exact(exact_cfg), sampled(sampled_cfg);
+  std::vector<std::uint64_t> addrs;
+  trace::generate_uniform_random(0, 1 << 20, 400000, 23,
+                                 [&](std::uint64_t a) { addrs.push_back(a); });
+  const BlockStats e = exact.access_block(addrs);
+  const BlockStats s = sampled.access_block(addrs);
+  const double h = static_cast<double>(e.hits) / static_cast<double>(e.sampled);
+  const double hs = static_cast<double>(s.hits) / static_cast<double>(s.sampled);
+  const double sigma = std::sqrt(h * (1.0 - h) / static_cast<double>(s.sampled));
+  EXPECT_NEAR(hs, h, 3.0 * sigma + 0.005);
+}
+
+TEST(CacheSim, AccessBlockEmptySpan) {
+  CacheSim cache(small_cache());
+  const BlockStats block = cache.access_block({});
+  EXPECT_EQ(block.sampled, 0u);
+  EXPECT_EQ(block.hits, 0u);
+  EXPECT_EQ(block.misses, 0u);
 }
 
 // Property: for a fixed random workload, hit rate is non-decreasing in

@@ -114,6 +114,84 @@ TEST(ParallelReplay, UnevenStreamsDrainCompletely) {
   EXPECT_EQ(stats.accesses, 3u + 0u + 100u);
 }
 
+// The sharded engine must be *bit-identical* to the lock-step reference —
+// same counters and the very same doubles — for every worker count and
+// epoch size. Cache classification is timing-independent per core, and the
+// serial reconciliation replays the reference's FP operations in the exact
+// same order, so EXPECT_EQ on doubles is the right assertion, not
+// EXPECT_NEAR.
+void expect_bit_identical(const ParallelReplayStats& sharded,
+                          const ParallelReplayStats& reference) {
+  EXPECT_EQ(sharded.accesses, reference.accesses);
+  EXPECT_EQ(sharded.l1_hits, reference.l1_hits);
+  EXPECT_EQ(sharded.l2_hits, reference.l2_hits);
+  EXPECT_EQ(sharded.memory_accesses, reference.memory_accesses);
+  EXPECT_EQ(sharded.tlb_misses, reference.tlb_misses);
+  EXPECT_EQ(sharded.seconds, reference.seconds);
+  EXPECT_EQ(sharded.capped_seconds, reference.capped_seconds);
+}
+
+class ShardedVsReference
+    : public ::testing::TestWithParam<std::pair<unsigned, std::size_t>> {};
+
+TEST_P(ShardedVsReference, BitIdenticalOnRandomStreams) {
+  const auto [workers, epoch] = GetParam();
+  ParallelReplayConfig cfg;
+  cfg.cores = 4;
+  cfg.workers = workers;
+  cfg.epoch_accesses = epoch;
+  ParallelReplay sharded(cfg), reference(cfg);
+  const auto streams = random_streams(4, 8ull << 20, 20000, 11);
+  expect_bit_identical(sharded.replay(streams), reference.replay_reference(streams));
+}
+
+TEST_P(ShardedVsReference, BitIdenticalOnUnevenStreams) {
+  const auto [workers, epoch] = GetParam();
+  ParallelReplayConfig cfg;
+  cfg.cores = 3;
+  cfg.workers = workers;
+  cfg.epoch_accesses = epoch;
+  ParallelReplay sharded(cfg), reference(cfg);
+  std::vector<std::vector<std::uint64_t>> streams(3);
+  streams[0] = {0, 64, 128};
+  streams[1] = {};
+  for (std::uint64_t a = 0; a < 500 * 64; a += 64) streams[2].push_back(a);
+  expect_bit_identical(sharded.replay(streams), reference.replay_reference(streams));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersAndEpochs, ShardedVsReference,
+    ::testing::Values(std::pair<unsigned, std::size_t>{1, 64},
+                      std::pair<unsigned, std::size_t>{1, 1 << 15},
+                      std::pair<unsigned, std::size_t>{3, 1},
+                      std::pair<unsigned, std::size_t>{3, 64},
+                      std::pair<unsigned, std::size_t>{3, 1 << 15},
+                      std::pair<unsigned, std::size_t>{0, 4096}));
+
+TEST(ParallelReplay, ShardedMatchesReferenceAcrossConsecutiveCalls) {
+  // Engine state (caches, MSHRs, issue cursors, bandwidth budget, stream
+  // positions) persists across replay() calls exactly as in the reference.
+  ParallelReplayConfig cfg;
+  cfg.cores = 2;
+  cfg.workers = 2;
+  cfg.epoch_accesses = 128;
+  ParallelReplay sharded(cfg), reference(cfg);
+  const auto first = random_streams(2, 4ull << 20, 5000, 21);
+  const auto second = random_streams(2, 4ull << 20, 3000, 22);
+  expect_bit_identical(sharded.replay(first), reference.replay_reference(first));
+  expect_bit_identical(sharded.replay(second), reference.replay_reference(second));
+}
+
+TEST(ParallelReplay, ShardedMatchesReferenceWithHbmNode) {
+  ParallelReplayConfig cfg;
+  cfg.cores = 4;
+  cfg.node = params::kHbm;
+  cfg.epoch_accesses = 777;  // awkward epoch size straddling stream length
+  ParallelReplay sharded(cfg), reference(cfg);
+  const auto streams = random_streams(4, 16ull << 20, 10000, 31);
+  expect_bit_identical(sharded.replay(streams), reference.replay_reference(streams));
+}
+
 TEST(ParallelReplay, Validation) {
   ParallelReplayConfig bad;
   bad.cores = 0;
@@ -121,6 +199,9 @@ TEST(ParallelReplay, Validation) {
   ParallelReplayConfig bad2;
   bad2.mshrs_per_core = 0;
   EXPECT_THROW(ParallelReplay{bad2}, std::invalid_argument);
+  ParallelReplayConfig bad3;
+  bad3.epoch_accesses = 0;
+  EXPECT_THROW(ParallelReplay{bad3}, std::invalid_argument);
   ParallelReplay machine;
   EXPECT_THROW((void)machine.replay({}), std::invalid_argument);  // wrong stream count
 }

@@ -77,6 +77,15 @@ TEST(TlbSim, SequentialPagesWithinCoverageAllHitAfterWarmup) {
   EXPECT_EQ(sim.misses(), 16u);  // only the cold pass misses
 }
 
+TEST(TlbSim, InvalidConfigThrows) {
+  TlbConfig no_entries;
+  no_entries.entries = 0;
+  EXPECT_THROW((void)TlbSim(no_entries), std::invalid_argument);
+  TlbConfig no_pages;
+  no_pages.page_bytes = 0;
+  EXPECT_THROW((void)TlbSim(no_pages), std::invalid_argument);
+}
+
 TEST(TlbSim, LruEvictionOrder) {
   TlbConfig cfg;
   cfg.entries = 2;

@@ -77,8 +77,78 @@ TEST(Generators, ChaseReplayFollowsPermutation) {
 }
 
 TEST(Generators, ChaseErrors) {
+  EXPECT_THROW((void)build_chase_permutation(0, 0), std::invalid_argument);
   EXPECT_THROW((void)build_chase_permutation(1, 0), std::invalid_argument);
   EXPECT_THROW((void)generate_chase(0, {}, 64, 1, [](std::uint64_t) {}), std::invalid_argument);
+}
+
+TEST(Generators, ZeroByteRegionsYieldEmptyStreams) {
+  // A zero-byte region has no lines to visit: the stream must terminate
+  // immediately instead of wrapping forever at offset 0.
+  std::size_t visits = 0;
+  generate_sweep(0, 0, 64, 5, [&](std::uint64_t) { ++visits; });
+  EXPECT_EQ(visits, 0u);
+  generate_strided(0, 0, 256, 5, [&](std::uint64_t) { ++visits; });
+  EXPECT_EQ(visits, 0u);
+  SweepGenerator sweep(0, 0, 64, 5);
+  std::uint64_t buffer[8];
+  EXPECT_EQ(sweep.next_chunk(buffer, 8), 0u);
+}
+
+TEST(Generators, StrideLargerThanRegionVisitsBaseOncePerSweep) {
+  std::vector<std::uint64_t> addrs;
+  generate_strided(4096, 1000, 2048, 3, [&](std::uint64_t a) { addrs.push_back(a); });
+  EXPECT_EQ(addrs, (std::vector<std::uint64_t>{4096, 4096, 4096}));
+  // Same for a sweep whose line exceeds the region.
+  addrs.clear();
+  generate_sweep(0, 100, 256, 2, [&](std::uint64_t a) { addrs.push_back(a); });
+  EXPECT_EQ(addrs, (std::vector<std::uint64_t>{0, 0}));
+}
+
+// Property: every chunked generator must produce exactly the stream its
+// legacy callback adapter produces, independent of chunk capacity.
+TEST(Generators, ChunkedMatchesCallbackOnAllGenerators) {
+  const auto next = build_chase_permutation(64, 5);
+  const auto via_callback = [&](auto&& generate) {
+    std::vector<std::uint64_t> addrs;
+    generate([&](std::uint64_t a) { addrs.push_back(a); });
+    return addrs;
+  };
+  const auto drain = [](auto& gen, std::size_t capacity) {
+    std::vector<std::uint64_t> addrs;
+    std::vector<std::uint64_t> buffer(capacity);
+    for (std::size_t n; (n = gen.next_chunk(buffer.data(), capacity)) != 0;) {
+      addrs.insert(addrs.end(), buffer.begin(), buffer.begin() + static_cast<long>(n));
+    }
+    return addrs;
+  };
+  // Odd chunk capacities deliberately misaligned with sweep boundaries.
+  for (const std::size_t capacity : {std::size_t{1}, std::size_t{7}, kAddressChunk}) {
+    SweepGenerator sweep(128, 1000, 64, 3);
+    EXPECT_EQ(drain(sweep, capacity), via_callback([&](auto&& v) {
+                return generate_sweep(128, 1000, 64, 3, v);
+              }));
+    StridedGenerator strided(0, 5000, 192, 2);
+    EXPECT_EQ(drain(strided, capacity), via_callback([&](auto&& v) {
+                return generate_strided(0, 5000, 192, 2, v);
+              }));
+    UniformRandomGenerator random(64, 4096, 333, 17);
+    EXPECT_EQ(drain(random, capacity), via_callback([&](auto&& v) {
+                return generate_uniform_random(64, 4096, 333, 17, v);
+              }));
+    ChaseGenerator chase(0, next, 64, 200);
+    EXPECT_EQ(drain(chase, capacity), via_callback([&](auto&& v) {
+                return generate_chase(0, next, 64, 200, v);
+              }));
+  }
+}
+
+TEST(Generators, CollectAddressesGathersWholeStream) {
+  StridedGenerator gen(0, 1024, 256, 2);
+  const auto addrs = collect_addresses(gen);
+  EXPECT_EQ(addrs.size(), 8u);
+  EXPECT_EQ(addrs.front(), 0u);
+  EXPECT_EQ(addrs.back(), 768u);
 }
 
 }  // namespace
