@@ -1,20 +1,49 @@
 #include "workloads/gups.hpp"
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <bit>
 #include <stdexcept>
+#include <string>
 
 namespace knl::workloads {
 
 namespace {
 // HPCC RandomAccess polynomial for the GF(2) linear generator.
 constexpr std::uint64_t kPoly = 0x0000000000000007ull;
+
+// Column representation of a linear map over GF(2)^64: columns[j] is the
+// image of basis vector e_j, so applying the map is an xor over set bits.
+using Gf2Matrix = std::array<std::uint64_t, 64>;
+
+std::uint64_t apply_map(const Gf2Matrix& m, std::uint64_t x) {
+  std::uint64_t y = 0;
+  while (x != 0) {
+    y ^= m[static_cast<std::size_t>(std::countr_zero(x))];
+    x &= x - 1;
+  }
+  return y;
+}
 }  // namespace
 
 Gups::Gups(std::uint64_t table_bytes)
     : table_bytes_(table_bytes), entries_(table_bytes / sizeof(std::uint64_t)) {
   if (entries_ < 2 || !std::has_single_bit(entries_)) {
-    throw std::invalid_argument("Gups: table entries must be a power of two >= 2");
+    throw std::invalid_argument(
+        "Gups: table_bytes=" + std::to_string(table_bytes) + " holds " +
+        std::to_string(entries_) +
+        " 8-byte entries; HPCC requires a power-of-two entry count >= 2 "
+        "(i.e. table_bytes a power of two >= 16)");
   }
+}
+
+Gups Gups::from_footprint(std::uint64_t bytes) {
+  // Round down to the largest power-of-two entry count that fits, clamped to
+  // the constructor's 2-entry minimum.
+  const std::uint64_t entries =
+      std::max<std::uint64_t>(std::bit_floor(bytes / sizeof(std::uint64_t)), 2);
+  return Gups(entries * sizeof(std::uint64_t));
 }
 
 const WorkloadInfo& Gups::info() const {
@@ -55,6 +84,24 @@ std::uint64_t Gups::next_random(std::uint64_t ran) {
   return (ran << 1) ^ ((static_cast<std::int64_t>(ran) < 0) ? kPoly : 0);
 }
 
+std::uint64_t Gups::advance_random(std::uint64_t seed, std::uint64_t steps) {
+  // next_random is linear over GF(2) (shift xor a top-bit-conditional
+  // constant), so `steps` applications are the matrix power M^steps applied
+  // to the seed — square-and-multiply over 64-column bit matrices.
+  Gf2Matrix base;
+  for (std::size_t j = 0; j < 64; ++j) base[j] = next_random(1ull << j);
+  std::uint64_t result = seed;
+  while (steps != 0) {
+    if (steps & 1) result = apply_map(base, result);
+    steps >>= 1;
+    if (steps == 0) break;
+    Gf2Matrix squared;
+    for (std::size_t j = 0; j < 64; ++j) squared[j] = apply_map(base, base[j]);
+    base = squared;
+  }
+  return result;
+}
+
 void Gups::run_updates(std::vector<std::uint64_t>& table, std::uint64_t count,
                        std::uint64_t seed) {
   if (table.empty() || !std::has_single_bit(table.size())) {
@@ -66,6 +113,31 @@ void Gups::run_updates(std::vector<std::uint64_t>& table, std::uint64_t count,
     ran = next_random(ran);
     table[ran & mask] ^= ran;
   }
+}
+
+void Gups::run_updates_threaded(std::vector<std::uint64_t>& table, std::uint64_t count,
+                                std::uint64_t seed, core::ThreadPool& pool,
+                                std::uint64_t grain) {
+  if (table.empty() || !std::has_single_bit(table.size())) {
+    throw std::invalid_argument(
+        "Gups::run_updates_threaded: table size must be a power of two");
+  }
+  const std::uint64_t mask = table.size() - 1;
+  std::uint64_t* const slots = table.data();
+  core::parallel_for(
+      pool, 0, static_cast<std::size_t>(count), static_cast<std::size_t>(grain),
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        // Jump the stream to this chunk's start: the chunk then replays
+        // exactly the updates the serial loop performs at these indices.
+        std::uint64_t ran = advance_random(seed, chunk_begin);
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          ran = next_random(ran);
+          // Atomic xor: no update is lost under concurrency, and xor
+          // commutes, so the final table matches the serial order exactly.
+          std::atomic_ref<std::uint64_t>(slots[ran & mask])
+              .fetch_xor(ran, std::memory_order_relaxed);
+        }
+      });
 }
 
 void Gups::verify() const {

@@ -14,16 +14,6 @@
 
 namespace knl::workloads {
 
-namespace {
-
-std::uint64_t round_pow2(std::uint64_t bytes) {
-  std::uint64_t p = 1;
-  while (p * 2 <= bytes) p *= 2;
-  return p;
-}
-
-}  // namespace
-
 const std::vector<RegistryEntry>& registry() {
   static const std::vector<RegistryEntry> kRegistry = [] {
     std::vector<RegistryEntry> r;
@@ -34,7 +24,7 @@ const std::vector<RegistryEntry>& registry() {
                    return std::make_unique<MiniFe>(MiniFe::from_footprint(b));
                  }});
     r.push_back({Gups(1 << 20).info(), [](std::uint64_t b) -> std::unique_ptr<Workload> {
-                   return std::make_unique<Gups>(round_pow2(b));
+                   return std::make_unique<Gups>(Gups::from_footprint(b));
                  }});
     r.push_back({Graph500(8).info(), [](std::uint64_t b) -> std::unique_ptr<Workload> {
                    return std::make_unique<Graph500>(Graph500::from_footprint(b));

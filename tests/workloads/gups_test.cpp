@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "core/types.hpp"
 
@@ -59,6 +60,39 @@ TEST(Gups, TableMustBePowerOfTwo) {
   EXPECT_NO_THROW(Gups(1 << 20));
   EXPECT_THROW((void)Gups((1 << 20) + 8), std::invalid_argument);
   EXPECT_THROW((void)Gups(8), std::invalid_argument);  // one entry
+}
+
+TEST(Gups, ConstructorErrorNamesOffendingBytesAndRequirement) {
+  try {
+    Gups bad((1 << 20) + 8);
+    FAIL() << "constructor accepted a non-power-of-two table";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(std::to_string((1 << 20) + 8)), std::string::npos)
+        << "message should quote the offending byte count: " << message;
+    EXPECT_NE(message.find("power of two"), std::string::npos)
+        << "message should state the power-of-two requirement: " << message;
+  }
+}
+
+TEST(Gups, FromFootprintRoundsDownToPowerOfTwo) {
+  // Exact powers of two pass through unchanged...
+  EXPECT_EQ(Gups::from_footprint(1 << 20).footprint_bytes(), 1u << 20);
+  // ...everything else rounds *down* to the next power-of-two table.
+  EXPECT_EQ(Gups::from_footprint((1 << 20) + 1).footprint_bytes(), 1u << 20);
+  EXPECT_EQ(Gups::from_footprint((1 << 21) - 1).footprint_bytes(), 1u << 20);
+  EXPECT_EQ(Gups::from_footprint(3u << 20).footprint_bytes(), 2u << 20);
+  // Tiny requests clamp to the 2-entry minimum instead of throwing.
+  EXPECT_EQ(Gups::from_footprint(0).footprint_bytes(), 16u);
+  EXPECT_EQ(Gups::from_footprint(17).footprint_bytes(), 16u);
+}
+
+TEST(Gups, FromFootprintMatchesFactoryConvention) {
+  // Same shape as the other workloads' from_footprint: result is a valid
+  // instance whose footprint is <= the request (modulo the minimum).
+  const auto gups = Gups::from_footprint(100 * 1000 * 1000);
+  EXPECT_LE(gups.footprint_bytes(), 100u * 1000 * 1000);
+  EXPECT_GE(gups.footprint_bytes() * 2, 100u * 1000 * 1000);  // within one doubling
 }
 
 TEST(Gups, ProfileIsPureRandomReadModifyWrite) {

@@ -1,0 +1,258 @@
+// Threaded-vs-serial equivalence contracts for the parallel workload
+// execution engine: every threaded executor must reproduce its serial
+// reference — exactly for the integer kernels (GUPS table, Graph500 BFS
+// parents, XSBench hit counters), within an asserted FP-reduction bound for
+// DGEMM and MiniFE CG — at worker counts {1, 2, hardware}, mirroring the
+// serial-vs-sharded identity contract of ParallelReplay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "workloads/dgemm.hpp"
+#include "workloads/graph500.hpp"
+#include "workloads/gups.hpp"
+#include "workloads/minife.hpp"
+#include "workloads/xsbench.hpp"
+
+namespace knl::workloads {
+namespace {
+
+std::vector<unsigned> contract_worker_counts() {
+  // {1, 2, hardware} with duplicates removed — the ISSUE's minimum set —
+  // plus an odd count that never divides the chunk counts evenly.
+  std::vector<unsigned> counts{1, 2, core::ThreadPool::hardware_threads(), 7};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+// ---------------------------------------------------------------- DGEMM --
+
+TEST(ParallelDgemm, TiledMatchesNaiveWithinBound) {
+  const std::size_t n = 100;  // deliberately not a multiple of the 4x4 tile
+  std::vector<double> a(n * n), b(n * n), c_tiled(n * n), c_naive(n * n);
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+  Dgemm::multiply_tiled(a, b, c_tiled, n, 32);
+  Dgemm::multiply_naive(a, b, c_naive, n);
+  const double bound = 1e-9 * static_cast<double>(n);  // asserted FP bound
+  for (std::size_t i = 0; i < n * n; ++i) {
+    ASSERT_NEAR(c_tiled[i], c_naive[i], bound) << "element " << i;
+  }
+}
+
+TEST(ParallelDgemm, ThreadedBitIdenticalToTiledForAnyWorkerCount) {
+  const std::size_t n = 150;  // bands of 64 rows: 64 + 64 + 22 remainder
+  std::vector<double> a(n * n), b(n * n);
+  std::mt19937_64 rng(12);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+
+  std::vector<double> c_serial(n * n);
+  Dgemm::multiply_tiled(a, b, c_serial, n, 64);
+  for (const unsigned workers : contract_worker_counts()) {
+    core::ThreadPool pool(workers);
+    std::vector<double> c_threaded(n * n);
+    Dgemm::multiply_threaded(a, b, c_threaded, n, pool, 64);
+    EXPECT_EQ(c_threaded, c_serial) << "workers=" << workers;  // bit-for-bit
+  }
+}
+
+// ----------------------------------------------------------------- GUPS --
+
+TEST(ParallelGups, AdvanceRandomMatchesIteratedStream) {
+  std::uint64_t ran = 1;
+  for (std::uint64_t steps = 0; steps <= 300; ++steps) {
+    ASSERT_EQ(Gups::advance_random(1, steps), ran) << "steps=" << steps;
+    ran = Gups::next_random(ran);
+  }
+  // Arbitrary seeds, long jumps: jump-ahead composed of two hops equals one.
+  for (const std::uint64_t seed : {2ull, 0xdeadbeefull, 0x8000000000000001ull}) {
+    const std::uint64_t direct = Gups::advance_random(seed, 100'000);
+    const std::uint64_t hop = Gups::advance_random(Gups::advance_random(seed, 60'000), 40'000);
+    EXPECT_EQ(direct, hop);
+  }
+}
+
+TEST(ParallelGups, ThreadedTableBitIdenticalToSerial) {
+  const std::uint64_t entries = 1ull << 12;
+  std::vector<std::uint64_t> serial(entries);
+  for (std::uint64_t i = 0; i < entries; ++i) serial[i] = i * 0x9e3779b9ull;
+  std::vector<std::uint64_t> initial = serial;
+  const std::uint64_t count = 4 * entries;
+  Gups::run_updates(serial, count, /*seed=*/1);
+
+  for (const unsigned workers : contract_worker_counts()) {
+    core::ThreadPool pool(workers);
+    std::vector<std::uint64_t> threaded = initial;
+    Gups::run_updates_threaded(threaded, count, /*seed=*/1, pool, /*grain=*/1000);
+    EXPECT_EQ(threaded, serial) << "workers=" << workers;  // exact: integer kernel
+  }
+}
+
+// ------------------------------------------------------------- Graph500 --
+
+TEST(ParallelGraph500, BfsParentArrayIdenticalToSerial) {
+  const int scale = 11;
+  const auto edges = generate_kronecker(scale, 16, /*seed=*/4242);
+  const CsrGraph g = build_csr(1ull << scale, edges);
+
+  std::mt19937_64 rng(7);
+  int checked = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::uint64_t root = rng() % g.num_vertices;
+    if (g.offsets[root + 1] == g.offsets[root]) continue;
+    const auto serial = bfs(g, root);
+    for (const unsigned workers : contract_worker_counts()) {
+      core::ThreadPool pool(workers);
+      const auto parallel = bfs_parallel(g, root, pool, /*grain=*/64);
+      ASSERT_EQ(parallel, serial) << "root=" << root << " workers=" << workers;
+    }
+    ++checked;
+  }
+  ASSERT_GT(checked, 0) << "no connected roots sampled";
+}
+
+TEST(ParallelGraph500, BfsParallelTreeStillValidates) {
+  const int scale = 10;
+  const auto edges = generate_kronecker(scale, 16, /*seed=*/99);
+  const CsrGraph g = build_csr(1ull << scale, edges);
+  std::uint64_t root = 0;
+  while (g.offsets[root + 1] == g.offsets[root]) ++root;
+  core::ThreadPool pool(4);
+  const auto parent = bfs_parallel(g, root, pool, /*grain=*/32);
+  EXPECT_TRUE(validate_bfs(g, root, parent));
+}
+
+// --------------------------------------------------------------- MiniFE --
+
+TEST(ParallelMiniFe, SpmvThreadedBitIdenticalToSerial) {
+  const CsrMatrix a = assemble_27pt(14, 14, 14);
+  std::vector<double> x(a.rows);
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (auto& v : x) v = dist(rng);
+
+  std::vector<double> y_serial(a.rows), y_threaded(a.rows);
+  spmv(a, x, y_serial);
+  for (const unsigned workers : contract_worker_counts()) {
+    core::ThreadPool pool(workers);
+    std::fill(y_threaded.begin(), y_threaded.end(), 0.0);
+    spmv_threaded(a, x, y_threaded, pool, /*grain=*/500);
+    EXPECT_EQ(y_threaded, y_serial) << "workers=" << workers;  // row order preserved
+  }
+}
+
+TEST(ParallelMiniFe, DotThreadedDeterministicAcrossWorkerCounts) {
+  std::vector<double> a(20'000), b(20'000);
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+
+  double reference = 0.0;
+  bool first = true;
+  for (const unsigned workers : contract_worker_counts()) {
+    core::ThreadPool pool(workers);
+    const double value = dot_threaded(a, b, pool, /*grain=*/777);
+    if (first) {
+      reference = value;
+      first = false;
+    } else {
+      EXPECT_EQ(value, reference) << "workers=" << workers;  // bit-identical
+    }
+  }
+  // And within the FP-reassociation bound of the flat serial sum.
+  double serial = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) serial += a[i] * b[i];
+  EXPECT_NEAR(reference, serial, 1e-10 * static_cast<double>(a.size()));
+}
+
+TEST(ParallelMiniFe, ThreadedCgConvergesWithinAssertedBoundOfSerial) {
+  const std::uint32_t nx = 12;
+  const CsrMatrix a = assemble_27pt(nx, nx, nx);
+  const std::vector<double> b(a.rows, 1.0);  // A*ones = ones => solution is ones
+
+  std::vector<double> x_serial(a.rows, 0.0);
+  const CgResult serial = conjugate_gradient(a, b, x_serial, 500, 1e-10);
+  ASSERT_TRUE(serial.converged);
+
+  std::vector<double> reference;
+  for (const unsigned workers : contract_worker_counts()) {
+    core::ThreadPool pool(workers);
+    std::vector<double> x(a.rows, 0.0);
+    const CgResult threaded =
+        conjugate_gradient_threaded(a, b, x, 500, 1e-10, pool, /*grain=*/300);
+    ASSERT_TRUE(threaded.converged) << "workers=" << workers;
+    EXPECT_LT(threaded.final_residual_norm, 1e-10);
+    // FP-reduction bound: the chunked dots reassociate, so the iterates may
+    // drift from the serial solve, but both must land on the solution.
+    const double bound = 1e-6;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_NEAR(x[i], x_serial[i], bound) << "workers=" << workers << " i=" << i;
+    }
+    // Fixed grain => bit-identical iterates across worker counts.
+    if (reference.empty()) {
+      reference = x;
+    } else {
+      EXPECT_EQ(x, reference) << "workers=" << workers;
+    }
+  }
+}
+
+// -------------------------------------------------------------- XSBench --
+
+TEST(ParallelXsBench, ThreadedCountersExactChecksumBounded) {
+  const XsData data = build_xs_data(/*n_nuclides=*/24, /*gridpoints=*/120, /*seed=*/5);
+  const MaterialSet set = build_materials(data.n_nuclides, /*seed=*/6);
+  const std::uint64_t count = 20'000;
+
+  const LookupStats serial = run_lookups_indexed(data, set, count, /*seed=*/9);
+  ASSERT_EQ(serial.lookups, count);
+
+  LookupStats reference;
+  bool first = true;
+  for (const unsigned workers : contract_worker_counts()) {
+    core::ThreadPool pool(workers);
+    const LookupStats threaded =
+        run_lookups_threaded(data, set, count, /*seed=*/9, pool, /*grain=*/1024);
+    // Integer hit counters: exact.
+    EXPECT_EQ(threaded.lookups, serial.lookups) << "workers=" << workers;
+    EXPECT_EQ(threaded.material_hits, serial.material_hits) << "workers=" << workers;
+    // FP checksum: chunk-reassociated, bounded relative error vs serial.
+    EXPECT_NEAR(threaded.checksum, serial.checksum,
+                1e-12 * std::abs(serial.checksum) * static_cast<double>(count));
+    // And bit-identical across worker counts for a fixed grain.
+    if (first) {
+      reference = threaded;
+      first = false;
+    } else {
+      EXPECT_EQ(threaded.checksum, reference.checksum) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(ParallelXsBench, IndexedStreamIsReplayableFromAnyOffset) {
+  // The counter-based stream is a pure function of (seed, index): running
+  // [0, n) must equal running [0, k) and [k, n) summed — the property the
+  // partitioned loop relies on. Verified indirectly via a split run.
+  const XsData data = build_xs_data(/*n_nuclides=*/16, /*gridpoints=*/50, /*seed=*/2);
+  const MaterialSet set = build_materials(data.n_nuclides, /*seed=*/3);
+  const LookupStats whole = run_lookups_indexed(data, set, 1000, /*seed=*/4);
+  core::ThreadPool pool(1);
+  // grain=250: four chunks replayed independently, merged in order.
+  const LookupStats split = run_lookups_threaded(data, set, 1000, /*seed=*/4, pool, 250);
+  EXPECT_EQ(split.material_hits, whole.material_hits);
+  EXPECT_EQ(split.lookups, whole.lookups);
+  EXPECT_NEAR(split.checksum, whole.checksum, 1e-9);
+}
+
+}  // namespace
+}  // namespace knl::workloads
