@@ -1,29 +1,7 @@
-// Fig. 2 reproduction: STREAM triad bandwidth vs data size under the three
-// memory configurations (64 threads, one per core).
-#include <memory>
-
+// Fig. 2 reproduction: STREAM triad bandwidth vs data size, three memory configs — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "report/sweep.hpp"
-#include "workloads/stream.hpp"
 
 int main(int argc, char** argv) {
-  using namespace knl;
-  const bench::BenchOptions opts = bench::parse_args(argc, argv);
-  const bench::CacheSession cache(opts);
-  Machine machine;
-
-  const auto factory = [](std::uint64_t bytes) -> std::unique_ptr<workloads::Workload> {
-    return std::make_unique<workloads::StreamTriad>(bytes);
-  };
-  const report::SweepRun run = report::sweep_sizes_run(
-      machine, factory, bench::fig2_sizes(), /*threads=*/64, report::kAllConfigs,
-      report::Figure("Fig. 2: STREAM triad bandwidth vs size", "Size (GB)", "GB/s"),
-      bench::sweep_options(opts));
-
-  bench::print_figure(
-      "Fig. 2: STREAM peak bandwidth",
-      "DRAM ~77 GB/s flat; HBM ~330 GB/s, stops past 16 GB; cache mode tracks HBM "
-      "to ~8 GB (260 GB/s), drops to ~125 GB/s at 11.4 GB, below DRAM past ~24 GB",
-      run);
-  return 0;
+  return knl::bench::run_experiment_main("fig2_stream", argc, argv);
 }

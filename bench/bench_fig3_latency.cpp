@@ -1,38 +1,7 @@
-// Fig. 3 reproduction: dual random read latency vs block size for buffers
-// bound to DRAM and to HBM, with the DRAM-vs-HBM performance gap series.
-#include <cstdio>
-
+// Fig. 3 reproduction: dual random read latency vs block size, DRAM vs HBM — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "workloads/latency_probe.hpp"
 
 int main(int argc, char** argv) {
-  using namespace knl;
-  // Uniform CLI: the latency probe is analytic (no sweep), so --jobs and
-  // --cache are accepted for consistency but have nothing to accelerate.
-  const bench::BenchOptions opts = bench::parse_args(argc, argv);
-  const bench::CacheSession cache(opts);
-  Machine machine;
-
-  report::Figure figure("Fig. 3: dual random read latency vs block size",
-                        "Block (MiB)", "ns / access");
-  for (const std::uint64_t block : bench::fig3_blocks()) {
-    const workloads::LatencyProbe probe(block, /*chains=*/2);
-    const double d = probe.measured_latency_ns(machine, MemNode::DDR);
-    const double h = probe.measured_latency_ns(machine, MemNode::HBM);
-    const double x = static_cast<double>(block) / (1024.0 * 1024.0);
-    figure.add("DRAM", x, d);
-    figure.add("HBM", x, h);
-    figure.add("Gap (%)", x, (h - d) / d * 100.0);
-  }
-
-  bench::print_figure(
-      "Fig. 3: dual random read latency",
-      "three tiers: ~10 ns below 1 MB (local L2), ~200 ns to 64 MB, rising past "
-      "128 MB (TLB/page walk); DRAM 15-20% faster than HBM throughout",
-      figure);
-
-  std::printf("idle latency anchors (paper 130.4 / 154.0 ns): DRAM %.1f ns, HBM %.1f ns\n",
-              workloads::LatencyProbe::idle_latency_ns(machine, MemNode::DDR),
-              workloads::LatencyProbe::idle_latency_ns(machine, MemNode::HBM));
-  return 0;
+  return knl::bench::run_experiment_main("fig3_latency", argc, argv);
 }

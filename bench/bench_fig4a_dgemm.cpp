@@ -1,30 +1,7 @@
-// Fig. 4a reproduction: DGEMM GFLOPS vs array size, three memory configs,
-// plus the HBM-vs-DRAM improvement line (right axis of the paper's plot).
-#include <memory>
-
+// Fig. 4a reproduction: DGEMM GFLOPS vs array size — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "report/sweep.hpp"
-#include "workloads/dgemm.hpp"
 
 int main(int argc, char** argv) {
-  using namespace knl;
-  const bench::BenchOptions opts = bench::parse_args(argc, argv);
-  const bench::CacheSession cache(opts);
-  Machine machine;
-
-  const auto factory = [](std::uint64_t bytes) -> std::unique_ptr<workloads::Workload> {
-    return std::make_unique<workloads::Dgemm>(workloads::Dgemm::from_footprint(bytes));
-  };
-  report::SweepRun run = report::sweep_sizes_run(
-      machine, factory, bench::fig4a_sizes(), /*threads=*/64, report::kAllConfigs,
-      report::Figure("Fig. 4a: DGEMM", "Array Size (GB)", "GFLOPS"),
-      bench::sweep_options(opts));
-  report::add_ratio_series(run.figure, "HBM", "DRAM", "Improvement (x)");
-
-  bench::print_figure(
-      "Fig. 4a: DGEMM performance vs problem size",
-      "HBM best while it fits (no HBM bar at 24 GB); improvement grows ~1.4x at "
-      "0.1 GB to ~2.2x at 6 GB; cache mode between HBM and DRAM",
-      run);
-  return 0;
+  return knl::bench::run_experiment_main("fig4a_dgemm", argc, argv);
 }

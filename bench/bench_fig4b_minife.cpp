@@ -1,31 +1,7 @@
-// Fig. 4b reproduction: MiniFE CG MFLOPS vs matrix size, three configs,
-// plus the paper's two speedup lines (HBM w.r.t. DRAM, Cache w.r.t. DRAM).
-#include <memory>
-
+// Fig. 4b reproduction: MiniFE CG MFLOPS vs matrix size — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "report/sweep.hpp"
-#include "workloads/minife.hpp"
 
 int main(int argc, char** argv) {
-  using namespace knl;
-  const bench::BenchOptions opts = bench::parse_args(argc, argv);
-  const bench::CacheSession cache(opts);
-  Machine machine;
-
-  const auto factory = [](std::uint64_t bytes) -> std::unique_ptr<workloads::Workload> {
-    return std::make_unique<workloads::MiniFe>(workloads::MiniFe::from_footprint(bytes));
-  };
-  report::SweepRun run = report::sweep_sizes_run(
-      machine, factory, bench::fig4b_sizes(), /*threads=*/64, report::kAllConfigs,
-      report::Figure("Fig. 4b: MiniFE", "Matrix Size (GB)", "CG MFLOPS"),
-      bench::sweep_options(opts));
-  report::add_ratio_series(run.figure, "HBM", "DRAM", "Speedup by HBM w.r.t. DRAM");
-  report::add_ratio_series(run.figure, "Cache Mode", "DRAM", "Speedup by Cache w.r.t. DRAM");
-
-  bench::print_figure(
-      "Fig. 4b: MiniFE performance vs problem size",
-      "HBM ~3x DRAM while it fits; cache-mode speedup decays toward ~1.05x when "
-      "the matrix is nearly twice HBM capacity (28.8 GB)",
-      run);
-  return 0;
+  return knl::bench::run_experiment_main("fig4b_minife", argc, argv);
 }

@@ -1,29 +1,7 @@
-// Fig. 4c reproduction: GUPS vs table size under the three memory configs.
-#include <memory>
-
+// Fig. 4c reproduction: GUPS vs table size — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "report/sweep.hpp"
-#include "workloads/gups.hpp"
 
 int main(int argc, char** argv) {
-  using namespace knl;
-  const bench::BenchOptions opts = bench::parse_args(argc, argv);
-  const bench::CacheSession cache(opts);
-  Machine machine;
-
-  const auto factory = [](std::uint64_t bytes) -> std::unique_ptr<workloads::Workload> {
-    return std::make_unique<workloads::Gups>(bytes);  // fig4c sizes are powers of two
-  };
-  report::SweepRun run = report::sweep_sizes_run(
-      machine, factory, bench::fig4c_sizes(), /*threads=*/64, report::kAllConfigs,
-      report::Figure("Fig. 4c: GUPS", "Table Size (GiB)", "GUPS"),
-      bench::sweep_options(opts));
-  report::add_ratio_series(run.figure, "DRAM", "HBM", "DRAM advantage (x)");
-
-  bench::print_figure(
-      "Fig. 4c: GUPS vs table size",
-      "nearly flat; DRAM marginally best at every size (latency-bound, no benefit "
-      "from HBM); HBM series stops past 16 GB",
-      run);
-  return 0;
+  return knl::bench::run_experiment_main("fig4c_gups", argc, argv);
 }

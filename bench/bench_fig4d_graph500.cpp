@@ -1,29 +1,7 @@
-// Fig. 4d reproduction: Graph500 harmonic-mean TEPS vs graph size.
-#include <memory>
-
+// Fig. 4d reproduction: Graph500 harmonic-mean TEPS vs graph size — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "report/sweep.hpp"
-#include "workloads/graph500.hpp"
 
 int main(int argc, char** argv) {
-  using namespace knl;
-  const bench::BenchOptions opts = bench::parse_args(argc, argv);
-  const bench::CacheSession cache(opts);
-  Machine machine;
-
-  const auto factory = [](std::uint64_t bytes) -> std::unique_ptr<workloads::Workload> {
-    return std::make_unique<workloads::Graph500>(workloads::Graph500::from_footprint(bytes));
-  };
-  report::SweepRun run = report::sweep_sizes_run(
-      machine, factory, bench::fig4d_sizes(), /*threads=*/64, report::kAllConfigs,
-      report::Figure("Fig. 4d: Graph500", "Graph Size (GB)", "TEPS"),
-      bench::sweep_options(opts));
-  report::add_ratio_series(run.figure, "DRAM", "Cache Mode", "DRAM vs Cache (x)");
-
-  bench::print_figure(
-      "Fig. 4d: Graph500 vs graph size",
-      "DRAM best at every size; the gap grows with size — at 35 GB DRAM is ~1.3x "
-      "cache mode; HBM series stops past 16 GB",
-      run);
-  return 0;
+  return knl::bench::run_experiment_main("fig4d_graph500", argc, argv);
 }

@@ -1,29 +1,7 @@
-// Fig. 4e reproduction: XSBench lookups/s vs problem size.
-#include <memory>
-
+// Fig. 4e reproduction: XSBench lookups/s vs problem size — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "report/sweep.hpp"
-#include "workloads/xsbench.hpp"
 
 int main(int argc, char** argv) {
-  using namespace knl;
-  const bench::BenchOptions opts = bench::parse_args(argc, argv);
-  const bench::CacheSession cache(opts);
-  Machine machine;
-
-  const auto factory = [](std::uint64_t bytes) -> std::unique_ptr<workloads::Workload> {
-    return std::make_unique<workloads::XsBench>(workloads::XsBench::from_footprint(bytes));
-  };
-  report::SweepRun run = report::sweep_sizes_run(
-      machine, factory, bench::fig4e_sizes(), /*threads=*/64, report::kAllConfigs,
-      report::Figure("Fig. 4e: XSBench", "Problem Size (GB)", "Lookups/s"),
-      bench::sweep_options(opts));
-  report::add_ratio_series(run.figure, "DRAM", "HBM", "DRAM advantage (x)");
-
-  bench::print_figure(
-      "Fig. 4e: XSBench vs problem size",
-      "DRAM best at one thread/core; differences small at 5.6 GB and growing with "
-      "size; HBM series stops past 16 GB (paper's footprints reach 90 GB)",
-      run);
-  return 0;
+  return knl::bench::run_experiment_main("fig4e_xsbench", argc, argv);
 }

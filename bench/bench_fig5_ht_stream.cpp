@@ -1,91 +1,7 @@
-// Fig. 5 reproduction: STREAM bandwidth vs size for 1..4 hardware threads
-// per core, on DRAM and on HBM. The (size x ht x config) grid is evaluated
-// through the same memoized cell runner as the sweep engine, dispatched to a
-// work-stealing pool and merged in grid order so the output is identical to
-// a serial run.
-#include <cstdio>
-#include <future>
-#include <string>
-#include <vector>
-
+// Fig. 5 reproduction: STREAM bandwidth vs size for 1..4 hardware threads per core — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "core/thread_pool.hpp"
-#include "report/sweep.hpp"
-#include "workloads/stream.hpp"
-
-namespace {
-
-struct Cell {
-  double size_gb = 0.0;
-  int ht = 0;
-  knl::MemConfig config = knl::MemConfig::DRAM;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace knl;
-  const bench::BenchOptions opts = bench::parse_args(argc, argv);
-  const bench::CacheSession cache(opts);
-  Machine machine;
-
-  // Enumerate the grid up front so cells can run in any order.
-  std::vector<Cell> cells;
-  for (double size_gb = 2.0; size_gb <= 10.0; size_gb += 2.0) {
-    for (int ht = 1; ht <= 4; ++ht) {
-      for (const MemConfig config : {MemConfig::DRAM, MemConfig::HBM}) {
-        cells.push_back(Cell{size_gb, ht, config});
-      }
-    }
-  }
-
-  struct Outcome {
-    RunResult result;
-    double metric = 0.0;
-    bool cache_hit = false;
-  };
-  std::vector<Outcome> outcomes(cells.size());
-  const auto eval = [&](std::size_t i) {
-    const Cell& cell = cells[i];
-    const workloads::StreamTriad stream(bench::gb(cell.size_gb));
-    Outcome out;
-    out.result = report::cached_run(machine, stream.profile(),
-                                    RunConfig{cell.config, 64 * cell.ht},
-                                    &out.cache_hit);
-    out.metric = stream.metric(out.result);
-    outcomes[i] = out;
-  };
-
-  int jobs = opts.jobs;
-  if (jobs <= 0) jobs = static_cast<int>(core::ThreadPool::hardware_threads());
-  if (jobs <= 1) {
-    for (std::size_t i = 0; i < cells.size(); ++i) eval(i);
-  } else {
-    core::ThreadPool pool(static_cast<unsigned>(jobs));
-    std::vector<std::future<void>> pending;
-    pending.reserve(cells.size());
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      pending.push_back(pool.submit([&eval, i] { eval(i); }));
-    }
-    for (auto& f : pending) f.get();
-  }
-
-  // Merge in grid order: identical Figure regardless of --jobs.
-  report::Figure figure("Fig. 5: STREAM bandwidth vs hardware threads", "Size (GB)",
-                        "GB/s");
-  std::size_t hits = 0;
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (outcomes[i].cache_hit) ++hits;
-    if (!outcomes[i].result.feasible) continue;
-    figure.add(to_string(cells[i].config) + " (ht=" + std::to_string(cells[i].ht) + ")",
-               cells[i].size_gb, outcomes[i].metric);
-  }
-
-  bench::print_figure(
-      "Fig. 5: hardware-thread impact on STREAM bandwidth",
-      "HBM: 2 HT reaches ~1.27x the 1-HT bandwidth (330 -> ~420 GB/s, up to ~450); "
-      "DRAM: all four HT curves overlap at ~77 GB/s (already saturated)",
-      figure);
-  std::printf("grid: %zu cells, %zu cache hits, %d jobs\n", cells.size(), hits, jobs);
-  return 0;
+  return knl::bench::run_experiment_main("fig5_ht_stream", argc, argv);
 }

@@ -1,27 +1,7 @@
-// Fig. 6a reproduction: DGEMM GFLOPS vs hardware-thread count per config.
-// The paper's 256-thread DGEMM run failed to complete, so threads stop at
-// 192 — we reproduce the sweep points as published.
+// Fig. 6a reproduction: DGEMM GFLOPS vs hardware-thread count — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "report/sweep.hpp"
-#include "workloads/dgemm.hpp"
 
 int main(int argc, char** argv) {
-  using namespace knl;
-  const bench::BenchOptions opts = bench::parse_args(argc, argv);
-  const bench::CacheSession cache(opts);
-  Machine machine;
-
-  const auto dgemm = workloads::Dgemm::from_footprint(bench::gb(6.0));
-  report::SweepRun run = report::sweep_threads_run(
-      machine, dgemm, {64, 128, 192}, report::kAllConfigs,
-      report::Figure("Fig. 6a: DGEMM vs threads", "No. of Threads", "GFLOPS"),
-      bench::sweep_options(opts));
-  report::add_self_speedup_series(run.figure);
-
-  bench::print_figure(
-      "Fig. 6a: DGEMM vs hardware threads (6 GB problem)",
-      "HBM gains ~1.7x from 64 -> 192 threads; DRAM stays flat (bandwidth-bound, "
-      "hyper-threading cannot help)",
-      run);
-  return 0;
+  return knl::bench::run_experiment_main("fig6a_dgemm_ht", argc, argv);
 }

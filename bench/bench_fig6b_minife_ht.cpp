@@ -1,26 +1,7 @@
-// Fig. 6b reproduction: MiniFE CG MFLOPS vs hardware-thread count, with the
-// per-config self-speedup lines of the paper.
+// Fig. 6b reproduction: MiniFE CG MFLOPS vs hardware-thread count — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "report/sweep.hpp"
-#include "workloads/minife.hpp"
 
 int main(int argc, char** argv) {
-  using namespace knl;
-  const bench::BenchOptions opts = bench::parse_args(argc, argv);
-  const bench::CacheSession cache(opts);
-  Machine machine;
-
-  const auto minife = workloads::MiniFe::from_footprint(bench::gb(7.2));
-  report::SweepRun run = report::sweep_threads_run(
-      machine, minife, bench::fig6_threads(), report::kAllConfigs,
-      report::Figure("Fig. 6b: MiniFE vs threads", "No. of Threads", "CG MFLOPS"),
-      bench::sweep_options(opts));
-  report::add_self_speedup_series(run.figure);
-
-  bench::print_figure(
-      "Fig. 6b: MiniFE vs hardware threads (7.2 GB matrix)",
-      "HBM gains ~1.7x by 192 threads (3.8x vs DRAM@64 overall); DRAM flat; cache "
-      "mode tracks HBM while the matrix fits MCDRAM",
-      run);
-  return 0;
+  return knl::bench::run_experiment_main("fig6b_minife_ht", argc, argv);
 }

@@ -1,25 +1,7 @@
-// Fig. 6c reproduction: Graph500 TEPS vs hardware-thread count.
+// Fig. 6c reproduction: Graph500 TEPS vs hardware-thread count — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "report/sweep.hpp"
-#include "workloads/graph500.hpp"
 
 int main(int argc, char** argv) {
-  using namespace knl;
-  const bench::BenchOptions opts = bench::parse_args(argc, argv);
-  const bench::CacheSession cache(opts);
-  Machine machine;
-
-  const auto graph = workloads::Graph500::from_footprint(bench::gb(8.8));
-  report::SweepRun run = report::sweep_threads_run(
-      machine, graph, bench::fig6_threads(), report::kAllConfigs,
-      report::Figure("Fig. 6c: Graph500 vs threads", "No. of Threads", "TEPS"),
-      bench::sweep_options(opts));
-  report::add_self_speedup_series(run.figure);
-
-  bench::print_figure(
-      "Fig. 6c: Graph500 vs hardware threads (8.8 GB graph)",
-      "all configs gain ~1.5x, peaking at 128 threads; DRAM remains the best "
-      "configuration at every thread count",
-      run);
-  return 0;
+  return knl::bench::run_experiment_main("fig6c_graph500_ht", argc, argv);
 }

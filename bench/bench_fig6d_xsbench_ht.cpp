@@ -1,27 +1,7 @@
-// Fig. 6d reproduction: XSBench lookups/s vs hardware-thread count — the
-// paper's crossover experiment: with enough hardware threads HBM overtakes
-// DRAM even for this latency-bound code.
+// Fig. 6d reproduction: XSBench vs hardware-thread count (the paper's crossover) — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "report/sweep.hpp"
-#include "workloads/xsbench.hpp"
 
 int main(int argc, char** argv) {
-  using namespace knl;
-  const bench::BenchOptions opts = bench::parse_args(argc, argv);
-  const bench::CacheSession cache(opts);
-  Machine machine;
-
-  const auto xs = workloads::XsBench::from_footprint(bench::gb(5.6));
-  report::SweepRun run = report::sweep_threads_run(
-      machine, xs, bench::fig6_threads(), report::kAllConfigs,
-      report::Figure("Fig. 6d: XSBench vs threads", "No. of Threads", "Lookups/s"),
-      bench::sweep_options(opts));
-  report::add_self_speedup_series(run.figure);
-
-  bench::print_figure(
-      "Fig. 6d: XSBench vs hardware threads (5.6 GB problem)",
-      "all configs gain from threads; HBM/cache reach ~2.5x at 256 threads and "
-      "overtake DRAM (~1.5x), flipping the best configuration",
-      run);
-  return 0;
+  return knl::bench::run_experiment_main("fig6d_xsbench_ht", argc, argv);
 }

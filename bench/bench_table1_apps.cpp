@@ -1,24 +1,7 @@
-// Table I reproduction: the evaluated-application inventory.
-#include <cstdio>
-
+// Table I reproduction: the evaluated-application inventory — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "report/table.hpp"
-#include "workloads/registry.hpp"
 
 int main(int argc, char** argv) {
-  // Uniform bench CLI: no sweep here, flags accepted for consistency.
-  (void)knl::bench::parse_args(argc, argv);
-  using namespace knl;
-  std::printf("==== Table I: List of Evaluated Applications ====\n\n");
-
-  report::TextTable table({"Application", "Type", "Access Pattern", "Max. Scale"});
-  for (const auto& entry : workloads::registry()) {
-    if (entry.info.type == "Micro-benchmark") continue;
-    table.add_row({entry.info.name, entry.info.type, entry.info.access_pattern,
-                   report::format_gb(static_cast<double>(entry.info.max_scale_bytes))});
-  }
-  std::printf("%s\n", table.to_string().c_str());
-  std::printf("paper: DGEMM 24 GB / MiniFE 30 GB / GUPS 32 GB / Graph500 35 GB / "
-              "XSBench 90 GB\n");
-  return 0;
+  return knl::bench::run_experiment_main("table1_apps", argc, argv);
 }

@@ -1,22 +1,7 @@
-// Table II reproduction: `numactl --hardware` NUMA distances in flat and
-// cache mode.
-#include <cstdio>
-
+// Table II reproduction: numactl-style NUMA distances in flat and cache mode — thin wrapper over the src/repro/ experiment registry, where the
+// sweep grid, derived series, and expected shape are defined exactly once.
 #include "bench_util.hpp"
-#include "core/machine.hpp"
 
 int main(int argc, char** argv) {
-  // Uniform bench CLI: no sweep here, flags accepted for consistency.
-  (void)knl::bench::parse_args(argc, argv);
-  using namespace knl;
-  Machine machine;
-
-  std::printf("==== Table II: NUMA domain distances ====\n\n");
-  std::printf("-- HBM in flat mode (two nodes) --\n%s\n",
-              machine.topology(MemConfig::DRAM).hardware_string().c_str());
-  std::printf("-- HBM in cache mode (one node) --\n%s\n",
-              machine.topology(MemConfig::CacheMode).hardware_string().c_str());
-  std::printf("paper: flat mode shows nodes 0 (96 GB) and 1 (16 GB) with distances "
-              "10/31; cache mode shows a single node 0 (96 GB).\n");
-  return 0;
+  return knl::bench::run_experiment_main("table2_numa", argc, argv);
 }

@@ -1,8 +1,10 @@
-// Shared helpers for the figure/table reproduction benches: the paper's
-// exact sweep points, a uniform print format so EXPERIMENTS.md can quote
-// bench output directly, and the common CLI every bench binary speaks
-// (--jobs N for the parallel sweep engine, --cache FILE for the persistent
-// memoization cache).
+// Shared helpers for the bench binaries: a uniform print format so
+// EXPERIMENTS.md can quote bench output directly, the common CLI every
+// bench binary speaks (--jobs N for the parallel sweep engine, --cache FILE
+// for the persistent memoization cache), and the thin main() every
+// figure/table reproduction binary delegates to — the sweep grids and
+// expected shapes themselves live once, in the src/repro/ experiment
+// registry.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +16,8 @@
 #include "core/machine.hpp"
 #include "report/figure.hpp"
 #include "report/sweep.hpp"
+#include "repro/experiment.hpp"
+#include "repro/pipeline.hpp"
 
 namespace knl::bench {
 
@@ -93,40 +97,6 @@ class CacheSession {
 /// Decimal GB helper matching the paper's axis labels.
 constexpr std::uint64_t gb(double x) { return static_cast<std::uint64_t>(x * 1e9); }
 
-/// Fig. 2 sizes: 2..40 GB STREAM footprints.
-inline std::vector<std::uint64_t> fig2_sizes() {
-  std::vector<std::uint64_t> sizes;
-  for (double s = 2.0; s <= 40.0; s += 2.0) sizes.push_back(gb(s));
-  return sizes;
-}
-
-/// Fig. 3 block sizes: 128 KB .. 1 GB, powers of two.
-inline std::vector<std::uint64_t> fig3_blocks() {
-  std::vector<std::uint64_t> blocks;
-  for (std::uint64_t b = 128ull * 1024; b <= (1ull << 30); b *= 2) blocks.push_back(b);
-  return blocks;
-}
-
-inline std::vector<std::uint64_t> fig4a_sizes() {
-  return {gb(0.1), gb(0.4), gb(1.5), gb(6.0), gb(24.0)};
-}
-inline std::vector<std::uint64_t> fig4b_sizes() {
-  return {gb(0.1), gb(0.9), gb(1.8), gb(3.6), gb(7.2), gb(14.4), gb(28.8)};
-}
-inline std::vector<std::uint64_t> fig4c_sizes() {
-  std::vector<std::uint64_t> sizes;
-  for (std::uint64_t g = 1; g <= 32; g *= 2) sizes.push_back(g * (1ull << 30));
-  return sizes;
-}
-inline std::vector<std::uint64_t> fig4d_sizes() {
-  return {gb(1.1), gb(2.2), gb(4.4), gb(8.8), gb(17.5), gb(35.0)};
-}
-inline std::vector<std::uint64_t> fig4e_sizes() {
-  return {gb(5.6), gb(11.3), gb(22.5), gb(45.0), gb(90.0)};
-}
-
-inline std::vector<int> fig6_threads() { return {64, 128, 192, 256}; }
-
 /// Print a figure with a header naming the experiment and the paper's
 /// expectation for its shape.
 inline void print_figure(const std::string& experiment, const std::string& expectation,
@@ -142,6 +112,44 @@ inline void print_figure(const std::string& experiment, const std::string& expec
                          const report::SweepRun& run) {
   print_figure(experiment, expectation, run.figure);
   std::printf("%s\n", run.stats.summary().c_str());
+}
+
+/// The whole main() of a figure/table reproduction binary: parse the
+/// uniform CLI, execute the named registry experiment through the repro
+/// pipeline, and print the figure (or table), the paper's expected shape,
+/// the sweep accounting, and every shape-check outcome. Returns nonzero
+/// when a qualitative shape check fails, so a bench run doubles as a
+/// conformance probe.
+inline int run_experiment_main(const std::string& id, int argc, char** argv) {
+  const BenchOptions opts = parse_args(argc, argv);
+  const CacheSession cache(opts);
+
+  const repro::ExperimentSpec* spec = repro::find_experiment(id);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown experiment id '%s'\n", id.c_str());
+    return 2;
+  }
+  const Machine machine;
+  const repro::Pipeline pipeline(machine,
+                                 repro::PipelineOptions{.jobs = opts.jobs, .memoize = true});
+  const repro::ExperimentResult result = pipeline.run(*spec);
+
+  if (!result.table_text.empty()) {
+    std::printf("==== %s ====\n\n%s\n", spec->title.c_str(), result.table_text.c_str());
+    std::printf("paper: %s\n", spec->paper_shape.c_str());
+  } else {
+    print_figure(spec->title, spec->paper_shape, result.figure);
+    std::printf("%s\n", result.stats.summary().c_str());
+  }
+  if (!result.notes.empty()) std::printf("%s\n", result.notes.c_str());
+
+  bool ok = true;
+  for (const repro::CheckOutcome& outcome : result.checks) {
+    std::printf("check %s: %s (%s)\n", outcome.passed ? "ok" : "FAILED",
+                outcome.check.description.c_str(), outcome.detail.c_str());
+    ok = ok && outcome.passed;
+  }
+  return ok ? 0 : 1;
 }
 
 }  // namespace knl::bench

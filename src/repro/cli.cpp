@@ -1,0 +1,314 @@
+#include "repro/cli.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/machine.hpp"
+#include "repro/golden_diff.hpp"
+#include "repro/pipeline.hpp"
+
+namespace knl::repro {
+
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string out_dir = "repro-out";
+  std::string golden_dir = "golden";
+  std::string from_dir;  ///< diff: read artifacts instead of recomputing
+  int jobs = 0;
+  bool force = false;  ///< bless despite failing shape checks
+  std::vector<std::string> only;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: knl-repro <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  run    execute every registered figure/table experiment and write\n"
+        "         one schema-versioned JSON artifact per experiment plus a\n"
+        "         run manifest (default: repro-out/)\n"
+        "  diff   recompute the suite and compare against the golden\n"
+        "         baselines; exit 1 on any out-of-tolerance metric\n"
+        "  bless  rewrite the golden baselines from the current model\n"
+        "  list   print the experiment registry\n"
+        "\n"
+        "options:\n"
+        "  --out DIR      artifact directory for `run` (default repro-out)\n"
+        "  --golden DIR   baseline directory (default golden)\n"
+        "  --from DIR     diff pre-computed artifacts from DIR instead of\n"
+        "                 recomputing\n"
+        "  --jobs N       sweep worker threads (0 = hardware concurrency)\n"
+        "  --only a,b,c   restrict to the named experiments\n"
+        "  --force        bless even when a qualitative shape check fails\n";
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string part = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!part.empty()) parts.push_back(part);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+/// Parse argv[1..]; returns false (after printing) on a bad invocation.
+bool parse(const std::vector<std::string>& args, CliOptions& opts, std::ostream& err) {
+  if (args.empty()) {
+    usage(err);
+    return false;
+  }
+  opts.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto take_value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        err << flag << " requires a value\n";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (arg == "--out") {
+      const std::string* v = take_value("--out");
+      if (v == nullptr) return false;
+      opts.out_dir = *v;
+    } else if (arg == "--golden") {
+      const std::string* v = take_value("--golden");
+      if (v == nullptr) return false;
+      opts.golden_dir = *v;
+    } else if (arg == "--from") {
+      const std::string* v = take_value("--from");
+      if (v == nullptr) return false;
+      opts.from_dir = *v;
+    } else if (arg == "--jobs") {
+      const std::string* v = take_value("--jobs");
+      if (v == nullptr) return false;
+      opts.jobs = std::atoi(v->c_str());
+    } else if (arg == "--only") {
+      const std::string* v = take_value("--only");
+      if (v == nullptr) return false;
+      opts.only = split_csv(*v);
+    } else if (arg == "--force") {
+      opts.force = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opts.command = "help";
+    } else {
+      err << "unknown argument: " << arg << '\n';
+      usage(err);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Resolve --only (or the full registry) to specs; nullptr-free, in
+/// registry order. Returns false on an unknown id.
+bool select_specs(const CliOptions& opts, std::vector<const ExperimentSpec*>& specs,
+                  std::ostream& err) {
+  if (opts.only.empty()) {
+    for (const ExperimentSpec& spec : experiments()) specs.push_back(&spec);
+    return true;
+  }
+  for (const std::string& id : opts.only) {
+    const ExperimentSpec* spec = find_experiment(id);
+    if (spec == nullptr) {
+      err << "unknown experiment '" << id << "' (see `knl-repro list`)\n";
+      return false;
+    }
+    specs.push_back(spec);
+  }
+  return true;
+}
+
+void print_result_line(const ExperimentResult& result, std::ostream& out) {
+  std::size_t passed = 0;
+  for (const CheckOutcome& outcome : result.checks) {
+    if (outcome.passed) ++passed;
+  }
+  out << "  " << result.id << ": " << result.stats.cells << " cells ("
+      << result.stats.infeasible << " infeasible), " << result.figure.series().size()
+      << " series, checks " << passed << "/" << result.checks.size() << '\n';
+  for (const CheckOutcome& outcome : result.checks) {
+    if (!outcome.passed) {
+      out << "    FAILED check: " << outcome.check.description << " — "
+          << outcome.detail << '\n';
+    }
+  }
+}
+
+bool any_check_failed(const std::vector<ExperimentResult>& results) {
+  for (const ExperimentResult& result : results) {
+    if (!result.checks_passed()) return true;
+  }
+  return false;
+}
+
+int cmd_list(std::ostream& out) {
+  out << "registered experiments (schema v" << kSchemaVersion << "):\n";
+  for (const ExperimentSpec& spec : experiments()) {
+    out << "  " << spec.id << "  [" << to_string(spec.kind) << "]  " << spec.title
+        << "  (" << spec.checks.size() << " shape checks)\n";
+  }
+  return kExitSuccess;
+}
+
+int cmd_run(const CliOptions& opts, const std::vector<const ExperimentSpec*>& specs,
+            std::ostream& out, std::ostream& err) {
+  const Machine machine;
+  const Pipeline pipeline(machine, PipelineOptions{.jobs = opts.jobs, .memoize = true});
+  const std::vector<ExperimentResult> results = pipeline.run_all(specs);
+
+  std::string error;
+  if (!write_artifacts(results, machine, opts.out_dir, &error)) {
+    err << "error: " << error << '\n';
+    return kExitUsage;
+  }
+  out << "ran " << results.size() << " experiment(s) -> " << opts.out_dir << "/\n";
+  for (const ExperimentResult& result : results) print_result_line(result, out);
+  if (any_check_failed(results)) {
+    err << "error: a qualitative shape check failed — the model no longer "
+           "matches the paper\n";
+    return kExitConformance;
+  }
+  return kExitSuccess;
+}
+
+int cmd_diff(const CliOptions& opts, const std::vector<const ExperimentSpec*>& specs,
+             std::ostream& out, std::ostream& err) {
+  const Machine machine;
+  DiffReport report;
+
+  if (!opts.from_dir.empty()) {
+    // Compare two artifact directories file by file.
+    const std::filesystem::path golden_base(opts.golden_dir);
+    const std::filesystem::path from_base(opts.from_dir);
+    for (const ExperimentSpec* spec : specs) {
+      const std::string name = artifact_filename(spec->id);
+      std::string error;
+      const auto actual = load_json_file((from_base / name).string(), &error);
+      if (!actual) {
+        err << "error: " << error << '\n';
+        return kExitUsage;
+      }
+      const auto golden = load_json_file((golden_base / name).string(), &error);
+      if (!golden) {
+        ExperimentDiff diff;
+        diff.id = spec->id;
+        diff.structural.push_back("no golden baseline (" + error + "); re-bless");
+        report.experiments.push_back(std::move(diff));
+        continue;
+      }
+      report.experiments.push_back(
+          diff_artifact(spec->id, *golden, *actual, spec->tolerance));
+    }
+  } else {
+    const Pipeline pipeline(machine,
+                            PipelineOptions{.jobs = opts.jobs, .memoize = true});
+    const std::vector<ExperimentResult> results = pipeline.run_all(specs);
+    report = diff_against_dir(opts.golden_dir, results, machine,
+                              /*check_strays=*/opts.only.empty());
+    if (!report.global.empty() &&
+        report.global.front().find("does not exist") != std::string::npos) {
+      err << "error: " << report.global.front() << '\n';
+      return kExitUsage;
+    }
+  }
+
+  if (report.clean()) {
+    out << "conformance: PASS — " << report.experiments.size() << " experiment(s), "
+        << report.compared_metrics() << " metrics within tolerance\n";
+    return kExitSuccess;
+  }
+  out << report.render() << '\n';
+  out << "conformance: FAIL\n";
+  return kExitConformance;
+}
+
+int cmd_bless(const CliOptions& opts, const std::vector<const ExperimentSpec*>& specs,
+              std::ostream& out, std::ostream& err) {
+  const Machine machine;
+  const Pipeline pipeline(machine, PipelineOptions{.jobs = opts.jobs, .memoize = true});
+  const std::vector<ExperimentResult> results = pipeline.run_all(specs);
+
+  if (any_check_failed(results) && !opts.force) {
+    for (const ExperimentResult& result : results) {
+      if (!result.checks_passed()) print_result_line(result, err);
+    }
+    err << "error: refusing to bless a baseline that fails the paper's shape "
+           "checks (use --force to override)\n";
+    return kExitConformance;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(opts.golden_dir, ec);
+  if (ec) {
+    err << "error: could not create " << opts.golden_dir << ": " << ec.message()
+        << '\n';
+    return kExitUsage;
+  }
+  const std::filesystem::path base(opts.golden_dir);
+  for (const ExperimentResult& result : results) {
+    std::ofstream file(base / artifact_filename(result.id));
+    file << artifact_json(result, machine).dump() << '\n';
+    if (!file) {
+      err << "error: could not write " << artifact_filename(result.id) << '\n';
+      return kExitUsage;
+    }
+  }
+
+  // Manifest covers every registry experiment with a baseline on disk, so a
+  // subset bless never drops the others.
+  std::vector<std::string> ids;
+  for (const ExperimentSpec& spec : experiments()) {
+    if (std::filesystem::exists(base / artifact_filename(spec.id), ec)) {
+      ids.push_back(spec.id);
+    }
+  }
+  std::ofstream manifest(base / "manifest.json");
+  manifest << manifest_json(ids, machine).dump() << '\n';
+  if (!manifest) {
+    err << "error: could not write manifest.json\n";
+    return kExitUsage;
+  }
+  out << "blessed " << results.size() << " experiment(s) -> " << opts.golden_dir
+      << "/ (manifest covers " << ids.size() << ")\n";
+  return kExitSuccess;
+}
+
+}  // namespace
+
+int cli_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  CliOptions opts;
+  if (!parse(args, opts, err)) return kExitUsage;
+  if (opts.command == "help") {
+    usage(out);
+    return kExitSuccess;
+  }
+  if (opts.command == "list") return cmd_list(out);
+
+  std::vector<const ExperimentSpec*> specs;
+  if (!select_specs(opts, specs, err)) return kExitUsage;
+
+  try {
+    if (opts.command == "run") return cmd_run(opts, specs, out, err);
+    if (opts.command == "diff") return cmd_diff(opts, specs, out, err);
+    if (opts.command == "bless") return cmd_bless(opts, specs, out, err);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return kExitUsage;
+  }
+  err << "unknown command: " << opts.command << '\n';
+  usage(err);
+  return kExitUsage;
+}
+
+}  // namespace knl::repro

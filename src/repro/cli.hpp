@@ -1,0 +1,31 @@
+// knl-repro command-line driver, exposed as a library function so the exit
+// code contract is directly testable in-process.
+//
+// Subcommands:
+//   run   [--out DIR] [--jobs N] [--only id,...]    execute + write artifacts
+//   diff  [--golden DIR] [--from DIR] [--jobs N] [--only id,...]
+//   bless [--golden DIR] [--jobs N] [--only id,...] rewrite golden baselines
+//   list                                            print the registry
+//
+// Exit codes (the conformance-gate contract, covered by tests/repro/cli_test):
+//   0  success; for `diff`, every metric within tolerance
+//   1  conformance failure: out-of-tolerance metric, structural drift, or a
+//      failed qualitative shape check
+//   2  usage or I/O error (unknown flag/id, unreadable golden dir, ...)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace knl::repro {
+
+inline constexpr int kExitSuccess = 0;
+inline constexpr int kExitConformance = 1;
+inline constexpr int kExitUsage = 2;
+
+/// Run the CLI with `args` (argv[1..]); diagnostics go to `out`/`err`.
+int cli_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+
+}  // namespace knl::repro

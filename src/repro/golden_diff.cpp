@@ -1,0 +1,323 @@
+#include "repro/golden_diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+
+namespace knl::repro {
+
+namespace {
+
+std::string format_value(double v) { return json::format_number(v); }
+
+void compare_number(const std::string& location, double expected, double actual,
+                    const Tolerance& tolerance, ExperimentDiff& diff) {
+  ++diff.metrics_compared;
+  if (tolerance.accepts(expected, actual)) return;
+  MetricDiff metric;
+  metric.location = location;
+  metric.expected = expected;
+  metric.actual = actual;
+  metric.abs_err = std::fabs(actual - expected);
+  metric.rel_err = expected != 0.0 ? metric.abs_err / std::fabs(expected)
+                                   : std::numeric_limits<double>::infinity();
+  diff.metrics.push_back(std::move(metric));
+}
+
+void compare_string_field(const json::Value& golden, const json::Value& actual,
+                          const std::string& key, ExperimentDiff& diff) {
+  const json::Value* g = golden.find(key);
+  const json::Value* a = actual.find(key);
+  const std::string gs = g != nullptr ? g->as_string() : "";
+  const std::string as = a != nullptr ? a->as_string() : "";
+  if (gs != as) {
+    diff.structural.push_back(key + " differs: golden '" + gs + "' vs current '" + as +
+                              "'");
+  }
+}
+
+/// First line at which two rendered texts diverge, for table/notes drift.
+std::string first_divergence(const std::string& golden, const std::string& actual) {
+  std::istringstream gs(golden);
+  std::istringstream as(actual);
+  std::string gline;
+  std::string aline;
+  int line = 1;
+  while (true) {
+    const bool gok = static_cast<bool>(std::getline(gs, gline));
+    const bool aok = static_cast<bool>(std::getline(as, aline));
+    if (!gok && !aok) return "texts differ only in trailing whitespace";
+    if (gline != aline || gok != aok) {
+      return "line " + std::to_string(line) + ": golden '" + (gok ? gline : "<end>") +
+             "' vs current '" + (aok ? aline : "<end>") + "'";
+    }
+    ++line;
+  }
+}
+
+void compare_series(const json::Value& golden, const json::Value& actual,
+                    const Tolerance& tolerance, ExperimentDiff& diff) {
+  const json::Value* gseries = golden.find("series");
+  const json::Value* aseries = actual.find("series");
+  const json::Array& gs = gseries != nullptr ? gseries->as_array() : json::Array{};
+  const json::Array& as = aseries != nullptr ? aseries->as_array() : json::Array{};
+
+  // Index the current series by name; order changes are structural drift.
+  if (gs.size() != as.size()) {
+    diff.structural.push_back("series count differs: golden " +
+                              std::to_string(gs.size()) + " vs current " +
+                              std::to_string(as.size()));
+  }
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    const json::Value* gname = gs[i].find("name");
+    const std::string name = gname != nullptr ? gname->as_string() : "";
+    const json::Value* match = nullptr;
+    for (const json::Value& candidate : as) {
+      const json::Value* cname = candidate.find("name");
+      if (cname != nullptr && cname->as_string() == name) {
+        match = &candidate;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      diff.structural.push_back("series '" + name + "' missing from current run");
+      continue;
+    }
+    const json::Value* gpoints_v = gs[i].find("points");
+    const json::Value* apoints_v = match->find("points");
+    const json::Array& gpoints =
+        gpoints_v != nullptr ? gpoints_v->as_array() : json::Array{};
+    const json::Array& apoints =
+        apoints_v != nullptr ? apoints_v->as_array() : json::Array{};
+    if (gpoints.size() != apoints.size()) {
+      diff.structural.push_back(
+          "series '" + name + "' point count differs: golden " +
+          std::to_string(gpoints.size()) + " vs current " +
+          std::to_string(apoints.size()) +
+          " (feasibility or sweep-grid change)");
+      continue;
+    }
+    for (std::size_t p = 0; p < gpoints.size(); ++p) {
+      const json::Array& gpt = gpoints[p].as_array();
+      const json::Array& apt = apoints[p].as_array();
+      if (gpt.size() != 2 || apt.size() != 2) {
+        diff.structural.push_back("series '" + name + "' point " + std::to_string(p) +
+                                  " malformed");
+        continue;
+      }
+      const double gx = gpt[0].as_number();
+      compare_number("series '" + name + "' x[" + std::to_string(p) + "]",
+                     gx, apt[0].as_number(), tolerance, diff);
+      compare_number("series '" + name + "' y @ x=" + format_value(gx),
+                     gpt[1].as_number(), apt[1].as_number(), tolerance, diff);
+    }
+  }
+  for (const json::Value& candidate : as) {
+    const json::Value* cname = candidate.find("name");
+    const std::string name = cname != nullptr ? cname->as_string() : "";
+    bool known = false;
+    for (const json::Value& g : gs) {
+      const json::Value* gname = g.find("name");
+      if (gname != nullptr && gname->as_string() == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      diff.structural.push_back("series '" + name + "' not present in golden");
+    }
+  }
+}
+
+void compare_checks(const json::Value& golden, const json::Value& actual,
+                    ExperimentDiff& diff) {
+  const json::Value* gchecks_v = golden.find("checks");
+  const json::Value* achecks_v = actual.find("checks");
+  const json::Array& gchecks =
+      gchecks_v != nullptr ? gchecks_v->as_array() : json::Array{};
+  const json::Array& achecks =
+      achecks_v != nullptr ? achecks_v->as_array() : json::Array{};
+  if (gchecks.size() != achecks.size()) {
+    diff.structural.push_back("shape-check set changed (golden " +
+                              std::to_string(gchecks.size()) + ", current " +
+                              std::to_string(achecks.size()) + "); re-bless");
+    return;
+  }
+  for (std::size_t i = 0; i < gchecks.size(); ++i) {
+    const json::Value* gdesc = gchecks[i].find("description");
+    const json::Value* adesc = achecks[i].find("description");
+    const std::string desc = gdesc != nullptr ? gdesc->as_string() : "";
+    if (adesc == nullptr || adesc->as_string() != desc) {
+      diff.structural.push_back("shape check " + std::to_string(i) +
+                                " description changed; re-bless");
+      continue;
+    }
+    const json::Value* gpassed = gchecks[i].find("passed");
+    const json::Value* apassed = achecks[i].find("passed");
+    const bool was = gpassed != nullptr && gpassed->as_bool();
+    const bool now = apassed != nullptr && apassed->as_bool();
+    if (was && !now) {
+      const json::Value* adetail = achecks[i].find("detail");
+      diff.structural.push_back(
+          "shape check regressed: " + desc +
+          (adetail != nullptr ? " — " + adetail->as_string() : ""));
+    }
+  }
+}
+
+}  // namespace
+
+bool DiffReport::clean() const {
+  if (!global.empty()) return false;
+  for (const ExperimentDiff& diff : experiments) {
+    if (!diff.clean()) return false;
+  }
+  return true;
+}
+
+std::size_t DiffReport::flagged_metrics() const {
+  std::size_t n = 0;
+  for (const ExperimentDiff& diff : experiments) n += diff.metrics.size();
+  return n;
+}
+
+std::size_t DiffReport::compared_metrics() const {
+  std::size_t n = 0;
+  for (const ExperimentDiff& diff : experiments) n += diff.metrics_compared;
+  return n;
+}
+
+std::string DiffReport::render() const {
+  if (clean()) return "";
+  std::ostringstream os;
+  for (const std::string& problem : global) os << "error: " << problem << '\n';
+  std::size_t dirty = 0;
+  for (const ExperimentDiff& diff : experiments) {
+    if (diff.clean()) continue;
+    ++dirty;
+    os << "== " << diff.id << " ==\n";
+    for (const std::string& problem : diff.structural) {
+      os << "  structural: " << problem << '\n';
+    }
+    for (const MetricDiff& metric : diff.metrics) {
+      os << "  " << metric.location << ": expected " << format_value(metric.expected)
+         << ", got " << format_value(metric.actual) << " (abs err "
+         << format_value(metric.abs_err) << ", rel err " << format_value(metric.rel_err)
+         << ")\n";
+    }
+  }
+  os << "summary: " << dirty << "/" << experiments.size()
+     << " experiments out of tolerance, " << flagged_metrics() << " metric(s) flagged";
+  return os.str();
+}
+
+ExperimentDiff diff_artifact(const std::string& id, const json::Value& golden,
+                             const json::Value& actual, const Tolerance& tolerance) {
+  ExperimentDiff diff;
+  diff.id = id;
+
+  const json::Value* gschema = golden.find("schema_version");
+  const json::Value* aschema = actual.find("schema_version");
+  const double gv = gschema != nullptr ? gschema->as_number(-1) : -1;
+  const double av = aschema != nullptr ? aschema->as_number(-1) : -1;
+  if (gv != av) {
+    diff.structural.push_back("schema_version differs: golden " + format_value(gv) +
+                              " vs current " + format_value(av) + "; re-bless");
+    return diff;  // different schema: field-by-field comparison is meaningless
+  }
+
+  compare_string_field(golden, actual, "experiment", diff);
+  compare_string_field(golden, actual, "title", diff);
+  compare_string_field(golden, actual, "kind", diff);
+  compare_string_field(golden, actual, "machine_fingerprint", diff);
+
+  const json::Value* gcells = golden.find("cells");
+  const json::Value* acells = actual.find("cells");
+  if ((gcells != nullptr ? gcells->as_number(-1) : -1) !=
+      (acells != nullptr ? acells->as_number(-1) : -1)) {
+    diff.structural.push_back("sweep cell count changed (grid edited); re-bless");
+  }
+  const json::Value* ginf = golden.find("infeasible");
+  const json::Value* ainf = actual.find("infeasible");
+  if ((ginf != nullptr ? ginf->as_number(-1) : -1) !=
+      (ainf != nullptr ? ainf->as_number(-1) : -1)) {
+    diff.structural.push_back("infeasible cell count changed (capacity rule drift)");
+  }
+
+  compare_series(golden, actual, tolerance, diff);
+
+  const json::Value* gtable = golden.find("table_text");
+  const json::Value* atable = actual.find("table_text");
+  const std::string gt = gtable != nullptr ? gtable->as_string() : "";
+  const std::string at = atable != nullptr ? atable->as_string() : "";
+  if (gt != at) {
+    diff.structural.push_back("table text differs — " + first_divergence(gt, at));
+  }
+
+  const json::Value* gnotes = golden.find("notes");
+  const json::Value* anotes = actual.find("notes");
+  const std::string gn = gnotes != nullptr ? gnotes->as_string() : "";
+  const std::string an = anotes != nullptr ? anotes->as_string() : "";
+  if (gn != an) {
+    diff.structural.push_back("notes differ — " + first_divergence(gn, an));
+  }
+
+  compare_checks(golden, actual, diff);
+  return diff;
+}
+
+DiffReport diff_against_dir(const std::string& golden_dir,
+                            const std::vector<ExperimentResult>& results,
+                            const Machine& machine, bool check_strays) {
+  DiffReport report;
+  const std::filesystem::path base(golden_dir);
+
+  std::error_code ec;
+  if (!std::filesystem::is_directory(base, ec)) {
+    report.global.push_back("golden directory '" + golden_dir +
+                            "' does not exist (run `knl-repro bless` first)");
+    return report;
+  }
+
+  for (const ExperimentResult& result : results) {
+    const std::string path = (base / artifact_filename(result.id)).string();
+    std::string error;
+    const auto golden = load_json_file(path, &error);
+    if (!golden) {
+      ExperimentDiff diff;
+      diff.id = result.id;
+      diff.structural.push_back("no golden baseline (" + error + "); re-bless");
+      report.experiments.push_back(std::move(diff));
+      continue;
+    }
+    const ExperimentSpec* spec = find_experiment(result.id);
+    const Tolerance tolerance = spec != nullptr ? spec->tolerance : Tolerance{};
+    const json::Value actual = artifact_json(result, machine);
+    report.experiments.push_back(diff_artifact(result.id, *golden, actual, tolerance));
+  }
+
+  if (check_strays) {
+    for (const auto& entry : std::filesystem::directory_iterator(base, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name == "manifest.json" || entry.path().extension() != ".json") continue;
+      const std::string id = entry.path().stem().string();
+      bool known = false;
+      for (const ExperimentResult& result : results) {
+        if (result.id == id) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        report.global.push_back("stray golden artifact '" + name +
+                                "' has no registered experiment");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace knl::repro

@@ -1,0 +1,66 @@
+// GoldenDiff: tolerance-aware comparison of reproduction artifacts against
+// checked-in golden baselines.
+//
+// Structural drift (schema version, missing series, point-count changes,
+// table text, regressed shape checks) and metric drift (any x or y value
+// outside the experiment's absolute/relative tolerance) are reported
+// separately, per metric, in a readable report — the contract the
+// `knl-repro diff` conformance gate and its exit code are built on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "repro/experiment.hpp"
+#include "repro/json.hpp"
+#include "repro/pipeline.hpp"
+
+namespace knl::repro {
+
+/// One out-of-tolerance metric.
+struct MetricDiff {
+  std::string location;  ///< e.g. "series 'HBM' point 3 y (x=6)"
+  double expected = 0.0;
+  double actual = 0.0;
+  double abs_err = 0.0;
+  double rel_err = 0.0;
+};
+
+/// Everything that differs for one experiment.
+struct ExperimentDiff {
+  std::string id;
+  std::vector<std::string> structural;  ///< schema/series/table/check drift
+  std::vector<MetricDiff> metrics;      ///< out-of-tolerance values only
+  std::size_t metrics_compared = 0;
+
+  [[nodiscard]] bool clean() const { return structural.empty() && metrics.empty(); }
+};
+
+struct DiffReport {
+  std::vector<ExperimentDiff> experiments;
+  std::vector<std::string> global;  ///< manifest-level problems
+
+  [[nodiscard]] bool clean() const;
+  [[nodiscard]] std::size_t flagged_metrics() const;
+  [[nodiscard]] std::size_t compared_metrics() const;
+  /// Human-readable per-metric report ("" when clean).
+  [[nodiscard]] std::string render() const;
+};
+
+/// Compare one golden artifact against the current one under `tolerance`.
+[[nodiscard]] ExperimentDiff diff_artifact(const std::string& id,
+                                           const json::Value& golden,
+                                           const json::Value& actual,
+                                           const Tolerance& tolerance);
+
+/// Compare freshly-computed results against the artifacts in `golden_dir`.
+/// Per-experiment tolerances come from the registry. A missing golden file
+/// is a structural mismatch for that experiment; `check_strays` additionally
+/// flags artifact files in `golden_dir` with no corresponding result
+/// (full-suite runs only — subset diffs leave the rest of the dir alone).
+[[nodiscard]] DiffReport diff_against_dir(const std::string& golden_dir,
+                                          const std::vector<ExperimentResult>& results,
+                                          const Machine& machine, bool check_strays);
+
+}  // namespace knl::repro

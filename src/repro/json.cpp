@@ -1,0 +1,334 @@
+#include "repro/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+
+namespace knl::repro::json {
+
+namespace {
+
+const std::string kEmptyString;
+const Array kEmptyArray;
+const Object kEmptyObject;
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// ---------------------------------------------------------------------------
+// Parser: recursive descent over the raw buffer.
+// ---------------------------------------------------------------------------
+struct Parser {
+  const char* cur;
+  const char* end;
+  std::string error;
+
+  void skip_ws() {
+    while (cur < end && (*cur == ' ' || *cur == '\t' || *cur == '\n' || *cur == '\r')) {
+      ++cur;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (error.empty()) error = what;
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (static_cast<std::size_t>(end - cur) < n || std::strncmp(cur, word, n) != 0) {
+      return fail(std::string("expected '") + word + "'");
+    }
+    cur += n;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (cur >= end || *cur != '"') return fail("expected string");
+    ++cur;
+    out.clear();
+    while (cur < end && *cur != '"') {
+      if (*cur == '\\') {
+        if (++cur >= end) return fail("truncated escape");
+        switch (*cur) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (end - cur < 5) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = cur[i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            cur += 4;
+            // UTF-8 encode (artifacts only ever hold BMP text).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        ++cur;
+      } else {
+        out += *cur++;
+      }
+    }
+    if (cur >= end) return fail("unterminated string");
+    ++cur;  // closing quote
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (cur >= end) return fail("unexpected end of input");
+    switch (*cur) {
+      case 'n': if (!literal("null")) return false; out = Value(nullptr); return true;
+      case 't': if (!literal("true")) return false; out = Value(true); return true;
+      case 'f': if (!literal("false")) return false; out = Value(false); return true;
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Value(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++cur;
+        Array items;
+        skip_ws();
+        if (cur < end && *cur == ']') { ++cur; out = Value(std::move(items)); return true; }
+        while (true) {
+          Value item;
+          if (!parse_value(item)) return false;
+          items.push_back(std::move(item));
+          skip_ws();
+          if (cur < end && *cur == ',') { ++cur; continue; }
+          if (cur < end && *cur == ']') { ++cur; break; }
+          return fail("expected ',' or ']'");
+        }
+        out = Value(std::move(items));
+        return true;
+      }
+      case '{': {
+        ++cur;
+        Object members;
+        skip_ws();
+        if (cur < end && *cur == '}') { ++cur; out = Value(std::move(members)); return true; }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (cur >= end || *cur != ':') return fail("expected ':'");
+          ++cur;
+          Value value;
+          if (!parse_value(value)) return false;
+          members.emplace_back(std::move(key), std::move(value));
+          skip_ws();
+          if (cur < end && *cur == ',') { ++cur; continue; }
+          if (cur < end && *cur == '}') { ++cur; break; }
+          return fail("expected ',' or '}'");
+        }
+        out = Value(std::move(members));
+        return true;
+      }
+      default: {
+        char* num_end = nullptr;
+        const double v = std::strtod(cur, &num_end);
+        if (num_end == cur || num_end > end || !std::isfinite(v)) {
+          return fail("expected value");
+        }
+        cur = num_end;
+        out = Value(v);
+        return true;
+      }
+    }
+  }
+};
+
+void dump_value(const Value& v, std::string& out, int indent, int depth);
+
+void dump_container(const char open, const char close, std::size_t count,
+                    std::string& out, int indent, int depth,
+                    const std::function<void(std::size_t)>& item) {
+  out += open;
+  if (count == 0) {
+    out += close;
+    return;
+  }
+  const std::string pad(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth + 1), ' ');
+  const std::string pad_close(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+  for (std::size_t i = 0; i < count; ++i) {
+    if (indent > 0) {
+      out += '\n';
+      out += pad;
+    }
+    item(i);
+    if (i + 1 < count) out += indent > 0 ? "," : ", ";
+  }
+  if (indent > 0) {
+    out += '\n';
+    out += pad_close;
+  }
+  out += close;
+}
+
+void dump_value(const Value& v, std::string& out, int indent, int depth) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    out += format_number(v.as_number());
+  } else if (v.is_string()) {
+    append_escaped(out, v.as_string());
+  } else if (v.is_array()) {
+    const Array& items = v.as_array();
+    dump_container('[', ']', items.size(), out, indent, depth,
+                   [&](std::size_t i) { dump_value(items[i], out, indent, depth + 1); });
+  } else {
+    const Object& members = v.as_object();
+    dump_container('{', '}', members.size(), out, indent, depth,
+                   [&](std::size_t i) {
+                     append_escaped(out, members[i].first);
+                     out += ": ";
+                     dump_value(members[i].second, out, indent, depth + 1);
+                   });
+  }
+}
+
+}  // namespace
+
+bool Value::as_bool(bool fallback) const {
+  const bool* b = std::get_if<bool>(&data_);
+  return b != nullptr ? *b : fallback;
+}
+
+double Value::as_number(double fallback) const {
+  const double* d = std::get_if<double>(&data_);
+  return d != nullptr ? *d : fallback;
+}
+
+const std::string& Value::as_string() const {
+  const std::string* s = std::get_if<std::string>(&data_);
+  return s != nullptr ? *s : kEmptyString;
+}
+
+const Array& Value::as_array() const {
+  const Array* a = std::get_if<Array>(&data_);
+  return a != nullptr ? *a : kEmptyArray;
+}
+
+const Object& Value::as_object() const {
+  const Object* o = std::get_if<Object>(&data_);
+  return o != nullptr ? *o : kEmptyObject;
+}
+
+const Value* Value::find(const std::string& key) const {
+  const Object* o = std::get_if<Object>(&data_);
+  if (o == nullptr) return nullptr;
+  for (const Member& m : *o) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+void Value::set(const std::string& key, Value value) {
+  if (!is_object()) data_ = Object{};
+  Object& o = std::get<Object>(data_);
+  for (Member& m : o) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return;
+    }
+  }
+  o.emplace_back(key, std::move(value));
+}
+
+void Value::push_back(Value value) {
+  if (!is_array()) data_ = Array{};
+  std::get<Array>(data_).push_back(std::move(value));
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  return out;
+}
+
+std::optional<Value> Value::parse(const std::string& text, std::string* error) {
+  Parser p{text.data(), text.data() + text.size(), {}};
+  Value v;
+  if (!p.parse_value(v)) {
+    if (error != nullptr) {
+      *error = p.error + " at offset " + std::to_string(p.cur - text.data());
+    }
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.cur != p.end) {
+    if (error != nullptr) {
+      *error = "trailing characters at offset " + std::to_string(p.cur - text.data());
+    }
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::string format_number(double v) {
+  char buf[40];
+  // Integral values print as plain integers ("350", not the shortest-%g
+  // "3.5e+02"), keeping golden artifacts readable; %.0f round-trips exactly
+  // for magnitudes below 2^53.
+  if (v == std::floor(v) && std::fabs(v) < 9007199254740992.0) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace knl::repro::json

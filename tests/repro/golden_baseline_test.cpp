@@ -1,0 +1,105 @@
+// Hygiene tests for the checked-in golden baselines under golden/ (path
+// injected by the build as KNLMEM_GOLDEN_DIR): every registry spec has a
+// baseline artifact, every artifact and manifest entry corresponds to a
+// spec, and all schema versions match the code's kSchemaVersion — so a spec
+// added without `knl-repro bless`, or a stale baseline left behind after a
+// spec is removed, fails the build's own test suite rather than surfacing
+// later as a confusing conformance diff.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "core/machine.hpp"
+#include "repro/experiment.hpp"
+#include "repro/golden_diff.hpp"
+#include "repro/pipeline.hpp"
+
+#ifndef KNLMEM_GOLDEN_DIR
+#error "build must define KNLMEM_GOLDEN_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace knl::repro {
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kGoldenDir = KNLMEM_GOLDEN_DIR;
+
+TEST(GoldenBaselines, DirectoryExists) {
+  ASSERT_TRUE(fs::is_directory(kGoldenDir))
+      << kGoldenDir << " missing — run `knl-repro bless` and commit golden/";
+}
+
+TEST(GoldenBaselines, EverySpecHasABaselineArtifact) {
+  for (const ExperimentSpec& spec : experiments()) {
+    EXPECT_TRUE(fs::exists(kGoldenDir / artifact_filename(spec.id)))
+        << "no golden baseline for spec '" << spec.id
+        << "' — run `knl-repro bless` and commit the new artifact";
+  }
+}
+
+TEST(GoldenBaselines, EveryBaselineArtifactHasASpec) {
+  for (const fs::directory_entry& entry : fs::directory_iterator(kGoldenDir)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.path().extension() != ".json" || name == "manifest.json") continue;
+    const std::string id = entry.path().stem().string();
+    EXPECT_NE(find_experiment(id), nullptr)
+        << "stray baseline " << name << " has no registry spec — delete it "
+        << "or restore the spec";
+  }
+}
+
+TEST(GoldenBaselines, SchemaVersionsMatchTheCode) {
+  for (const fs::directory_entry& entry : fs::directory_iterator(kGoldenDir)) {
+    if (entry.path().extension() != ".json") continue;
+    std::string error;
+    const auto artifact = load_json_file(entry.path().string(), &error);
+    ASSERT_TRUE(artifact.has_value()) << entry.path() << ": " << error;
+    const json::Value* version = artifact->find("schema_version");
+    ASSERT_NE(version, nullptr) << entry.path();
+    EXPECT_DOUBLE_EQ(version->as_number(), kSchemaVersion)
+        << entry.path() << " was blessed under a different schema — re-bless";
+  }
+}
+
+TEST(GoldenBaselines, ManifestCoversExactlyTheSpecs) {
+  std::string error;
+  const auto manifest = load_json_file((kGoldenDir / "manifest.json").string(), &error);
+  ASSERT_TRUE(manifest.has_value()) << error;
+  std::set<std::string> listed;
+  for (const json::Value& id : manifest->find("experiments")->as_array()) {
+    EXPECT_TRUE(listed.insert(id.as_string()).second)
+        << "duplicate manifest entry " << id.as_string();
+    EXPECT_NE(find_experiment(id.as_string()), nullptr)
+        << "manifest lists unknown experiment " << id.as_string();
+  }
+  for (const ExperimentSpec& spec : experiments()) {
+    EXPECT_TRUE(listed.count(spec.id) == 1)
+        << "manifest missing spec '" << spec.id << "'";
+  }
+}
+
+TEST(GoldenBaselines, FullSuiteMatchesTheBaselines) {
+  // The in-process twin of the CI conformance gate (`knl-repro run && diff`):
+  // execute every registry experiment and compare against golden/ with
+  // per-experiment tolerances.
+  const Machine machine;
+  const Pipeline pipeline(machine);
+  std::vector<const ExperimentSpec*> specs;
+  for (const ExperimentSpec& spec : experiments()) specs.push_back(&spec);
+  const std::vector<ExperimentResult> results = pipeline.run_all(specs);
+
+  const DiffReport report =
+      diff_against_dir(kGoldenDir.string(), results, machine, /*check_strays=*/true);
+  EXPECT_TRUE(report.clean()) << report.render();
+  EXPECT_GT(report.compared_metrics(), 100u);
+
+  for (const ExperimentResult& result : results) {
+    EXPECT_TRUE(result.checks_passed()) << result.id;
+  }
+}
+
+}  // namespace
+}  // namespace knl::repro

@@ -1,0 +1,159 @@
+// Tests for the GoldenDiff comparator: identical artifacts are clean,
+// within-tolerance drift passes, out-of-tolerance drift is flagged per
+// metric with location/expected/actual, and structural divergence (schema
+// version, missing series, point counts, table text, regressed checks) is
+// reported separately from metric drift.
+#include "repro/golden_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace knl::repro {
+namespace {
+
+json::Value sample_artifact() {
+  const std::string text = R"({
+    "schema_version": 1,
+    "experiment": "fig2_stream",
+    "kind": "size_sweep",
+    "title": "Fig. 2",
+    "machine_fingerprint": "abc123",
+    "cells": 4,
+    "infeasible": 1,
+    "series": [
+      {"name": "DRAM", "points": [[2, 80.5], [4, 81.25]]},
+      {"name": "HBM", "points": [[2, 350.0], [4, 352.5]]}
+    ],
+    "checks": [
+      {"description": "HBM/DRAM >= 3.5 at x=4", "passed": true, "detail": "4.3"}
+    ]
+  })";
+  auto parsed = json::Value::parse(text);
+  EXPECT_TRUE(parsed.has_value());
+  return *parsed;
+}
+
+TEST(GoldenDiff, IdenticalArtifactsAreClean) {
+  const json::Value artifact = sample_artifact();
+  const ExperimentDiff diff = diff_artifact("fig2_stream", artifact, artifact, Tolerance{});
+  EXPECT_TRUE(diff.clean());
+  // 4 points x 2 coordinates x 2 series, plus cells/infeasible counts.
+  EXPECT_GE(diff.metrics_compared, 8u);
+}
+
+TEST(GoldenDiff, WithinToleranceDriftPasses) {
+  const json::Value golden = sample_artifact();
+  json::Value actual = sample_artifact();
+  // 81.25 -> 81.250001: rel err ~1.2e-8, inside the default rel=1e-6.
+  auto text = actual.dump();
+  const auto pos = text.find("81.25");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "81.250001");
+  actual = *json::Value::parse(text);
+  EXPECT_TRUE(diff_artifact("fig2_stream", golden, actual, Tolerance{}).clean());
+}
+
+TEST(GoldenDiff, OutOfToleranceMetricIsFlaggedWithLocationAndValues) {
+  const json::Value golden = sample_artifact();
+  auto text = sample_artifact().dump();
+  const auto pos = text.find("350");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, "340");  // ~2.9% drift on HBM y at x=2
+  const json::Value actual = *json::Value::parse(text);
+
+  const ExperimentDiff diff = diff_artifact("fig2_stream", golden, actual, Tolerance{});
+  EXPECT_TRUE(diff.structural.empty());
+  ASSERT_EQ(diff.metrics.size(), 1u);
+  const MetricDiff& m = diff.metrics[0];
+  EXPECT_NE(m.location.find("HBM"), std::string::npos) << m.location;
+  EXPECT_DOUBLE_EQ(m.expected, 350.0);
+  EXPECT_DOUBLE_EQ(m.actual, 340.0);
+  EXPECT_GT(m.rel_err, 0.02);
+
+  DiffReport report;
+  report.experiments.push_back(diff);
+  EXPECT_FALSE(report.clean());
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("fig2_stream"), std::string::npos);
+  EXPECT_NE(rendered.find("350"), std::string::npos);
+  EXPECT_NE(rendered.find("340"), std::string::npos);
+}
+
+TEST(GoldenDiff, LooserToleranceAcceptsTheSameDrift) {
+  const json::Value golden = sample_artifact();
+  auto text = sample_artifact().dump();
+  text.replace(text.find("350"), 3, "340");
+  const json::Value actual = *json::Value::parse(text);
+  Tolerance loose;
+  loose.rel = 0.05;
+  EXPECT_TRUE(diff_artifact("fig2_stream", golden, actual, loose).clean());
+}
+
+TEST(GoldenDiff, SchemaVersionMismatchIsStructural) {
+  const json::Value golden = sample_artifact();
+  auto text = sample_artifact().dump();
+  text.replace(text.find("\"schema_version\": 1"), 19, "\"schema_version\": 2");
+  const json::Value actual = *json::Value::parse(text);
+  const ExperimentDiff diff = diff_artifact("fig2_stream", golden, actual, Tolerance{});
+  ASSERT_FALSE(diff.structural.empty());
+  EXPECT_NE(diff.structural[0].find("schema"), std::string::npos);
+}
+
+TEST(GoldenDiff, MissingSeriesAndPointCountChangesAreStructural) {
+  const json::Value golden = sample_artifact();
+
+  json::Value rebuilt = sample_artifact();  // drop the HBM series
+  json::Value series = json::Value::array();
+  series.push_back(rebuilt.find("series")->as_array()[0]);
+  rebuilt.set("series", std::move(series));
+  const ExperimentDiff dropped =
+      diff_artifact("fig2_stream", golden, rebuilt, Tolerance{});
+  ASSERT_FALSE(dropped.structural.empty());
+  const bool names_hbm = std::any_of(
+      dropped.structural.begin(), dropped.structural.end(),
+      [](const std::string& s) { return s.find("HBM") != std::string::npos; });
+  EXPECT_TRUE(names_hbm);
+
+  json::Value truncated = sample_artifact();
+  json::Value one_point = json::Value::array();
+  one_point.push_back(truncated.find("series")->as_array()[0]
+                          .find("points")->as_array()[0]);
+  json::Value dram = truncated.find("series")->as_array()[0];
+  dram.set("points", std::move(one_point));
+  json::Value new_series = json::Value::array();
+  new_series.push_back(std::move(dram));
+  new_series.push_back(truncated.find("series")->as_array()[1]);
+  truncated.set("series", std::move(new_series));
+  const ExperimentDiff trunc =
+      diff_artifact("fig2_stream", golden, truncated, Tolerance{});
+  EXPECT_FALSE(trunc.structural.empty());
+}
+
+TEST(GoldenDiff, RegressedShapeCheckIsStructural) {
+  const json::Value golden = sample_artifact();
+  auto text = sample_artifact().dump();
+  const auto pos = text.find("\"passed\": true");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 14, "\"passed\": false");
+  const json::Value actual = *json::Value::parse(text);
+  const ExperimentDiff diff = diff_artifact("fig2_stream", golden, actual, Tolerance{});
+  ASSERT_FALSE(diff.structural.empty());
+  EXPECT_NE(diff.structural[0].find("check"), std::string::npos);
+}
+
+TEST(GoldenDiff, CleanReportRendersEmpty) {
+  DiffReport report;
+  ExperimentDiff clean_diff;
+  clean_diff.id = "fig2_stream";
+  clean_diff.metrics_compared = 10;
+  report.experiments.push_back(clean_diff);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.flagged_metrics(), 0u);
+  EXPECT_EQ(report.compared_metrics(), 10u);
+  EXPECT_EQ(report.render(), "");
+}
+
+}  // namespace
+}  // namespace knl::repro

@@ -1,0 +1,115 @@
+// Tests for the reproduction pipeline: registry integrity, artifact schema,
+// and determinism of the executed experiments.
+#include "repro/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/machine.hpp"
+#include "repro/experiment.hpp"
+
+namespace knl::repro {
+namespace {
+
+TEST(ExperimentRegistry, IdsAreUniqueAndResolvable) {
+  std::set<std::string> seen;
+  for (const ExperimentSpec& spec : experiments()) {
+    EXPECT_TRUE(seen.insert(spec.id).second) << "duplicate id " << spec.id;
+    EXPECT_EQ(find_experiment(spec.id), &spec);
+    EXPECT_FALSE(spec.title.empty()) << spec.id;
+    EXPECT_FALSE(spec.paper_shape.empty()) << spec.id;
+  }
+  EXPECT_EQ(find_experiment("no_such_experiment"), nullptr);
+  EXPECT_GE(experiments().size(), 14u) << "paper covers Figs. 2-6 + Tables 1-2";
+}
+
+TEST(ExperimentRegistry, SpecsAreInternallyConsistent) {
+  for (const ExperimentSpec& spec : experiments()) {
+    switch (spec.kind) {
+      case ExperimentKind::SizeSweep:
+      case ExperimentKind::HtGrid:
+        EXPECT_FALSE(spec.sizes_bytes.empty()) << spec.id;
+        EXPECT_FALSE(spec.workload.empty()) << spec.id;
+        break;
+      case ExperimentKind::ThreadSweep:
+        EXPECT_FALSE(spec.thread_counts.empty()) << spec.id;
+        EXPECT_GT(spec.fixed_bytes, 0u) << spec.id;
+        break;
+      case ExperimentKind::Latency:
+      case ExperimentKind::Table:
+        break;
+    }
+    for (const RatioSeries& r : spec.ratios) {
+      EXPECT_FALSE(r.name.empty()) << spec.id;
+    }
+    EXPECT_GT(spec.tolerance.rel, 0.0) << spec.id;
+  }
+}
+
+TEST(Pipeline, ArtifactCarriesSchemaAndEverySeriesPoint) {
+  const Machine machine;
+  const Pipeline pipeline(machine, PipelineOptions{.jobs = 1, .memoize = false});
+  const ExperimentSpec* spec = find_experiment("fig2_stream");
+  ASSERT_NE(spec, nullptr);
+  const ExperimentResult result = pipeline.run(*spec);
+
+  const json::Value artifact = artifact_json(result, machine);
+  EXPECT_DOUBLE_EQ(artifact.find("schema_version")->as_number(), kSchemaVersion);
+  EXPECT_EQ(artifact.find("experiment")->as_string(), "fig2_stream");
+  EXPECT_EQ(artifact.find("kind")->as_string(), "size_sweep");
+  EXPECT_FALSE(artifact.find("machine_fingerprint")->as_string().empty());
+
+  const json::Value* series = artifact.find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->as_array().size(), result.figure.series().size());
+  for (std::size_t i = 0; i < result.figure.series().size(); ++i) {
+    const auto& produced = result.figure.series()[i];
+    const json::Value& emitted = series->as_array()[i];
+    EXPECT_EQ(emitted.find("name")->as_string(), produced.name);
+    ASSERT_EQ(emitted.find("points")->as_array().size(), produced.points.size());
+  }
+  const json::Value* checks = artifact.find("checks");
+  ASSERT_NE(checks, nullptr);
+  EXPECT_EQ(checks->as_array().size(), spec->checks.size());
+}
+
+TEST(Pipeline, RerunsAreBitIdentical) {
+  // The analytic model is deterministic; two in-process runs of the same
+  // spec must serialize to the identical artifact (the property the golden
+  // baselines and the default tolerances rely on).
+  const Machine machine;
+  const Pipeline pipeline(machine, PipelineOptions{.jobs = 0, .memoize = false});
+  for (const std::string id : {"fig4b_minife", "fig6d_xsbench_ht", "table2_numa"}) {
+    const ExperimentSpec* spec = find_experiment(id);
+    ASSERT_NE(spec, nullptr);
+    const json::Value a = artifact_json(pipeline.run(*spec), machine);
+    const json::Value b = artifact_json(pipeline.run(*spec), machine);
+    EXPECT_EQ(a.dump(), b.dump()) << id;
+  }
+}
+
+TEST(Pipeline, ValueNearPicksNearestX) {
+  report::Figure fig("t", "x", "y");
+  fig.add("s", 1.0, 10.0);
+  fig.add("s", 4.0, 40.0);
+  fig.add("s", 8.0, 80.0);
+  EXPECT_DOUBLE_EQ(*value_near(fig, "s", 3.9), 40.0);
+  EXPECT_DOUBLE_EQ(*value_near(fig, "s", 100.0), 80.0);
+  EXPECT_FALSE(value_near(fig, "absent", 1.0).has_value());
+}
+
+TEST(Pipeline, ManifestListsEveryExperiment) {
+  const Machine machine;
+  const std::vector<std::string> ids = {"fig2_stream", "table1_apps"};
+  const json::Value manifest = manifest_json(ids, machine);
+  EXPECT_DOUBLE_EQ(manifest.find("schema_version")->as_number(), kSchemaVersion);
+  const json::Value* listed = manifest.find("experiments");
+  ASSERT_NE(listed, nullptr);
+  ASSERT_EQ(listed->as_array().size(), 2u);
+  EXPECT_EQ(listed->as_array()[0].as_string(), "fig2_stream");
+}
+
+}  // namespace
+}  // namespace knl::repro

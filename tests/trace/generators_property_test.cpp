@@ -1,0 +1,158 @@
+// Property tests for the address-stream generators: across randomized
+// parameters (footprints, strides, seeds), the chunked generators and the
+// legacy per-address callback adapters must emit bit-identical streams, and
+// every emitted address must stay inside the declared footprint.  The
+// parameters themselves come from a seeded RNG so a failure names the trial
+// seed and reproduces deterministically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "trace/generators.hpp"
+
+namespace knl::trace {
+namespace {
+
+std::vector<std::uint64_t> collect_legacy(const std::function<void(const AddressVisitor&)>& gen) {
+  std::vector<std::uint64_t> out;
+  gen([&](std::uint64_t a) { out.push_back(a); });
+  return out;
+}
+
+/// Drain a chunked generator with a deliberately awkward chunk capacity so
+/// chunk-boundary bookkeeping is exercised, not just the full-buffer path.
+template <typename Generator>
+std::vector<std::uint64_t> collect_chunked(Generator gen, std::size_t capacity) {
+  std::vector<std::uint64_t> out;
+  std::vector<std::uint64_t> buffer(capacity);
+  for (std::size_t n; (n = gen.next_chunk(buffer.data(), capacity)) != 0;) {
+    out.insert(out.end(), buffer.begin(),
+               buffer.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  return out;
+}
+
+void expect_within(const std::vector<std::uint64_t>& addrs, std::uint64_t base,
+                   std::uint64_t bytes, std::uint64_t trial_seed) {
+  for (const std::uint64_t a : addrs) {
+    ASSERT_GE(a, base) << "trial seed " << trial_seed;
+    ASSERT_LT(a, base + bytes) << "trial seed " << trial_seed;
+  }
+}
+
+constexpr std::uint64_t kMetaSeeds[] = {1, 42, 0xDEADBEEF};
+
+TEST(GeneratorsProperty, SweepChunkedMatchesLegacyAndStaysInFootprint) {
+  for (const std::uint64_t meta : kMetaSeeds) {
+    std::mt19937_64 rng(meta);
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::uint64_t base = rng() % (1ull << 40);
+      const std::uint64_t line = 1ull << (4 + rng() % 4);  // 16..128 B
+      const std::uint64_t bytes = line * (1 + rng() % 300);
+      const int sweeps = 1 + static_cast<int>(rng() % 3);
+
+      SweepGenerator gen(base, bytes, line, sweeps);
+      const auto chunked = collect_chunked(std::move(gen), 1 + rng() % 97);
+      const auto legacy = collect_legacy([&](const AddressVisitor& v) {
+        generate_sweep(base, bytes, line, sweeps, v);
+      });
+      ASSERT_EQ(chunked, legacy) << "trial seed " << meta << "/" << trial;
+      expect_within(chunked, base, bytes, meta);
+      ASSERT_EQ(chunked.size(),
+                static_cast<std::size_t>(sweeps) * ((bytes + line - 1) / line));
+    }
+  }
+}
+
+TEST(GeneratorsProperty, StridedChunkedMatchesLegacyAndStaysInFootprint) {
+  for (const std::uint64_t meta : kMetaSeeds) {
+    std::mt19937_64 rng(meta + 7);
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::uint64_t base = rng() % (1ull << 40);
+      const std::uint64_t stride = 1 + rng() % 500;
+      const std::uint64_t bytes = stride + rng() % 10000;
+      const int sweeps = 1 + static_cast<int>(rng() % 3);
+
+      StridedGenerator gen(base, bytes, stride, sweeps);
+      const auto chunked = collect_chunked(std::move(gen), 1 + rng() % 97);
+      const auto legacy = collect_legacy([&](const AddressVisitor& v) {
+        generate_strided(base, bytes, stride, sweeps, v);
+      });
+      ASSERT_EQ(chunked, legacy) << "trial seed " << meta << "/" << trial;
+      expect_within(chunked, base, bytes, meta);
+    }
+  }
+}
+
+TEST(GeneratorsProperty, UniformRandomChunkedMatchesLegacyAndStaysInFootprint) {
+  for (const std::uint64_t meta : kMetaSeeds) {
+    std::mt19937_64 rng(meta + 13);
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::uint64_t base = rng() % (1ull << 40);
+      const std::uint64_t bytes = 1 + rng() % (1ull << 20);
+      const std::uint64_t count = rng() % 20000;
+      const std::uint64_t seed = rng();
+
+      UniformRandomGenerator gen(base, bytes, count, seed);
+      const auto chunked = collect_chunked(std::move(gen), 1 + rng() % 97);
+      const auto legacy = collect_legacy([&](const AddressVisitor& v) {
+        generate_uniform_random(base, bytes, count, seed, v);
+      });
+      ASSERT_EQ(chunked, legacy) << "trial seed " << meta << "/" << trial;
+      ASSERT_EQ(chunked.size(), count);
+      expect_within(chunked, base, bytes, meta);
+    }
+  }
+}
+
+TEST(GeneratorsProperty, ChaseChunkedMatchesLegacyAndStaysInFootprint) {
+  for (const std::uint64_t meta : kMetaSeeds) {
+    std::mt19937_64 rng(meta + 29);
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::uint64_t base = rng() % (1ull << 40);
+      const std::uint32_t slots = 2 + static_cast<std::uint32_t>(rng() % 600);
+      const std::uint64_t slot_bytes = 1ull << (3 + rng() % 5);  // 8..128 B
+      const std::uint64_t count = rng() % 5000;
+      const std::uint64_t seed = rng();
+      const auto next = build_chase_permutation(slots, seed);
+
+      ChaseGenerator gen(base, next, slot_bytes, count);
+      const auto chunked = collect_chunked(std::move(gen), 1 + rng() % 97);
+      const auto legacy = collect_legacy([&](const AddressVisitor& v) {
+        generate_chase(base, next, slot_bytes, count, v);
+      });
+      ASSERT_EQ(chunked, legacy) << "trial seed " << meta << "/" << trial;
+      ASSERT_EQ(chunked.size(), count);
+      expect_within(chunked, base, slots * slot_bytes, meta);
+    }
+  }
+}
+
+TEST(GeneratorsProperty, ChasePermutationIsSingleCycle) {
+  // Sattolo's algorithm must produce one Hamiltonian cycle: following next[]
+  // from slot 0 visits every slot exactly once before returning.
+  for (const std::uint64_t meta : kMetaSeeds) {
+    std::mt19937_64 rng(meta + 31);
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::uint32_t slots = 2 + static_cast<std::uint32_t>(rng() % 1000);
+      const auto next = build_chase_permutation(slots, rng());
+      ASSERT_EQ(next.size(), slots);
+      std::vector<bool> seen(slots, false);
+      std::uint32_t cursor = 0;
+      for (std::uint32_t step = 0; step < slots; ++step) {
+        ASSERT_FALSE(seen[cursor]) << "cycle shorter than " << slots << " slots";
+        seen[cursor] = true;
+        cursor = next[cursor];
+        ASSERT_LT(cursor, slots);
+      }
+      EXPECT_EQ(cursor, 0u) << "walk did not return to the start";
+      EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace knl::trace

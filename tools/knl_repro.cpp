@@ -1,0 +1,13 @@
+// knl-repro: the paper-reproduction pipeline CLI (run / diff / bless / list).
+// All logic lives in repro/cli.cpp so the exit-code contract is unit-tested;
+// this translation unit only adapts argv.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "repro/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return knl::repro::cli_main(args, std::cout, std::cerr);
+}
