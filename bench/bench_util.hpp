@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "core/fault/error.hpp"
+#include "core/fault/fault_injection.hpp"
 #include "core/machine.hpp"
 #include "report/figure.hpp"
 #include "report/sweep.hpp"
@@ -124,6 +126,14 @@ inline int run_experiment_main(const std::string& id, int argc, char** argv) {
   const BenchOptions opts = parse_args(argc, argv);
   const CacheSession cache(opts);
 
+  // Honor $KNL_FAULT_PLAN so a bench binary can run under the same chaos
+  // schedule as the repro pipeline; a malformed plan is a usage error.
+  std::string plan_error;
+  if (!fault::arm_from_env(&plan_error)) {
+    std::fprintf(stderr, "error: %s\n", plan_error.c_str());
+    return 2;
+  }
+
   const repro::ExperimentSpec* spec = repro::find_experiment(id);
   if (spec == nullptr) {
     std::fprintf(stderr, "unknown experiment id '%s'\n", id.c_str());
@@ -132,7 +142,16 @@ inline int run_experiment_main(const std::string& id, int argc, char** argv) {
   const Machine machine;
   const repro::Pipeline pipeline(machine,
                                  repro::PipelineOptions{.jobs = opts.jobs, .memoize = true});
-  const repro::ExperimentResult result = pipeline.run(*spec);
+  repro::ExperimentResult result;
+  try {
+    result = pipeline.run(*spec);
+  } catch (const Error& e) {
+    // Unabsorbed cells (retry budget exhausted, substrate failure): report
+    // the full casualty list the sweep collected, exit as an execution
+    // failure — distinct from the shape-check exit 1.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
   if (!result.table_text.empty()) {
     std::printf("==== %s ====\n\n%s\n", spec->title.c_str(), result.table_text.c_str());

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/fault/error.hpp"
+
 namespace knl::cluster {
 
 namespace comm {
@@ -135,7 +137,8 @@ CapacityPlan CapacityPlanner::plan(const NodeWorkloadFactory& factory,
     }
   }
   if (!have_best) {
-    throw std::runtime_error("CapacityPlanner: no feasible configuration found");
+    throw Error::resource("cluster/no-feasible-config",
+                          "CapacityPlanner: no feasible configuration found");
   }
   return best;
 }

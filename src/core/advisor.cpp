@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/fault/error.hpp"
+
 namespace knl {
 
 trace::AccessProfile Advisor::synthesize(const AppCharacteristics& app) {
@@ -54,8 +56,9 @@ Advice Advisor::advise(const AppCharacteristics& app) const {
   // Baseline the paper normalizes against: DRAM with one thread per core.
   const RunResult base = machine_.run(profile, RunConfig{MemConfig::DRAM, 64, 0.0});
   if (!base.feasible || base.seconds <= 0.0) {
-    throw std::runtime_error("Advisor: baseline DRAM run infeasible — footprint " +
-                             std::to_string(app.footprint_bytes) + " B exceeds DDR");
+    throw Error::resource("advisor/baseline-infeasible",
+                          "Advisor: baseline DRAM run infeasible — footprint " +
+                              std::to_string(app.footprint_bytes) + " B exceeds DDR");
   }
 
   Advice advice;

@@ -1,0 +1,120 @@
+#include "core/fault/atomic_io.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "core/fault/fault_injection.hpp"
+#include "core/fault/retry.hpp"
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace knl::io {
+
+namespace {
+
+std::uint64_t basename_key(const std::string& path) {
+  return fault::site_key(std::filesystem::path(path).filename().string());
+}
+
+bool fsync_file(std::FILE* file) {
+#ifdef _WIN32
+  return _commit(_fileno(file)) == 0;
+#else
+  return ::fsync(fileno(file)) == 0;
+#endif
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, const std::string& text,
+                       std::string* error) {
+  fault::maybe_inject(fault::kSiteJsonWrite, basename_key(path));
+
+  const std::string temp = path + ".tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = "could not open " + temp + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  const bool written =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size() &&
+      std::fflush(file) == 0 && fsync_file(file);
+  if (std::fclose(file) != 0 || !written) {
+    if (error != nullptr) *error = "could not write " + temp;
+    std::remove(temp.c_str());
+    return false;
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "could not rename " + temp + " -> " + path + ": " +
+               std::strerror(errno);
+    }
+    std::remove(temp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> read_text_file(const std::string& path,
+                                          std::string* error) {
+  fault::maybe_inject(fault::kSiteJsonRead, basename_key(path));
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = "could not open " + path + ": " + std::strerror(errno);
+    }
+    return std::nullopt;
+  }
+  std::string text;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    text.append(buffer, got);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    if (error != nullptr) *error = "could not read " + path;
+    return std::nullopt;
+  }
+  return text;
+}
+
+bool write_file_with_retry(const std::string& path, const std::string& text,
+                           std::string* error) {
+  return fault::with_retry(fault::RetryPolicy{}, basename_key(path),
+                           [&] { return atomic_write_file(path, text, error); });
+}
+
+std::optional<std::string> read_file_with_retry(const std::string& path,
+                                                std::string* error) {
+  return fault::with_retry(fault::RetryPolicy{}, basename_key(path),
+                           [&] { return read_text_file(path, error); });
+}
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string fnv1a_hex(std::string_view text) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, fnv1a(text));
+  return buf;
+}
+
+}  // namespace knl::io

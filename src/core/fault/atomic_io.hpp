@@ -1,0 +1,48 @@
+// Crash-safe file IO: write-temp-fsync-rename, so a reader (or a crashed
+// writer) never observes a half-written artifact or golden baseline.
+//
+// Both helpers double as fault-injection points: atomic_write_file passes
+// through the "json-write" site and read_text_file through "json-read",
+// keyed by the FNV hash of the file's basename — so an injected transient
+// IO fault targets the same files on every run, whatever the write order.
+// When a plan is armed these helpers may therefore throw knl::Error
+// (Transient by default); real IO failures are reported via the bool/
+// optional returns, never exceptions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace knl::io {
+
+/// Atomically replace `path` with `text`: write `path`+".tmp", flush,
+/// fsync, then rename over the destination. Returns false (with *error)
+/// on IO failure; the temp file is removed on any failure path.
+[[nodiscard]] bool atomic_write_file(const std::string& path,
+                                     const std::string& text,
+                                     std::string* error);
+
+/// Read a whole file; nullopt (with *error) when missing or unreadable.
+[[nodiscard]] std::optional<std::string> read_text_file(const std::string& path,
+                                                        std::string* error);
+
+/// Retrying variants for production call sites: absorb Transient
+/// knl::Errors (injected IO faults, flaky filesystems) with the default
+/// bounded backoff, keyed by the file's basename so the schedule is
+/// deterministic. Non-transient errors and exhausted budgets propagate;
+/// real IO failures still report via the bool/optional returns.
+[[nodiscard]] bool write_file_with_retry(const std::string& path,
+                                         const std::string& text,
+                                         std::string* error);
+[[nodiscard]] std::optional<std::string> read_file_with_retry(
+    const std::string& path, std::string* error);
+
+/// FNV-1a 64 content hash — the artifact digest the run journal records.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view text) noexcept;
+
+/// fnv1a as a fixed-width 16-char lowercase hex string.
+[[nodiscard]] std::string fnv1a_hex(std::string_view text);
+
+}  // namespace knl::io

@@ -1,0 +1,84 @@
+#include "core/fault/error.hpp"
+
+#include <utility>
+
+namespace knl {
+
+namespace {
+
+std::string render_what(ErrorCategory category, const std::string& code,
+                        const std::string& message,
+                        const std::vector<std::string>& context) {
+  std::string what = "[";
+  what += to_string(category);
+  what += "] ";
+  what += code;
+  what += ": ";
+  what += message;
+  if (!context.empty()) {
+    what += " (in";
+    for (const std::string& frame : context) {
+      what += ' ';
+      what += frame;
+      what += ';';
+    }
+    what.back() = ')';
+  }
+  return what;
+}
+
+}  // namespace
+
+const char* to_string(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::Transient:
+      return "transient";
+    case ErrorCategory::CorruptInput:
+      return "corrupt-input";
+    case ErrorCategory::Resource:
+      return "resource";
+    case ErrorCategory::Internal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+Error::Error(ErrorCategory category, std::string code, std::string message)
+    : Error(category, std::move(code), std::move(message), {}) {}
+
+Error::Error(ErrorCategory category, std::string code, std::string message,
+             std::vector<std::string> context)
+    : std::runtime_error(render_what(category, code, message, context)),
+      category_(category),
+      code_(std::move(code)),
+      message_(std::move(message)),
+      context_(std::move(context)) {}
+
+Error Error::with_context(std::string frame) const {
+  std::vector<std::string> context = context_;
+  context.push_back(std::move(frame));
+  return Error(category_, code_, message_, std::move(context));
+}
+
+Error Error::transient(std::string code, std::string message) {
+  return Error(ErrorCategory::Transient, std::move(code), std::move(message));
+}
+
+Error Error::corrupt_input(std::string code, std::string message) {
+  return Error(ErrorCategory::CorruptInput, std::move(code), std::move(message));
+}
+
+Error Error::resource(std::string code, std::string message) {
+  return Error(ErrorCategory::Resource, std::move(code), std::move(message));
+}
+
+Error Error::internal(std::string code, std::string message) {
+  return Error(ErrorCategory::Internal, std::move(code), std::move(message));
+}
+
+bool Error::is_transient(const std::exception& e) noexcept {
+  const auto* error = dynamic_cast<const Error*>(&e);
+  return error != nullptr && error->category() == ErrorCategory::Transient;
+}
+
+}  // namespace knl

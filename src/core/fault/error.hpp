@@ -1,0 +1,77 @@
+// knl::Error — the structured error taxonomy of the whole library.
+//
+// Every failure the execution stack can surface is classified into one of
+// four categories, because the *category* decides the recovery policy, not
+// the message:
+//
+//   | category      | meaning                                | recovery        |
+//   |---------------|----------------------------------------|-----------------|
+//   | Transient     | would likely succeed if retried        | retry + backoff |
+//   | CorruptInput  | malformed artifact/golden/plan on disk | readable error  |
+//   | Resource      | substrate failure (pool, capacity, IO) | serial fallback |
+//   | Internal      | invariant violation, model bug         | abort + report  |
+//
+// Error derives from std::runtime_error so every pre-taxonomy catch site
+// (and test expectation) keeps working; new code should catch knl::Error
+// and branch on category(). Errors carry a stable machine-readable code
+// slug ("sweep/cells-failed") and a context chain built with
+// with_context(), so a failure deep in a sweep cell surfaces with the
+// experiment and cell that hit it.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace knl {
+
+enum class ErrorCategory : std::uint8_t {
+  Transient,     ///< retriable: injected fault, flaky IO, contention
+  CorruptInput,  ///< unreadable/unparseable input: golden, journal, plan
+  Resource,      ///< execution substrate failed: pool dispatch, capacity
+  Internal,      ///< invariant violation: verify divergence, model bug
+};
+
+/// Stable lower-case name ("transient", "corrupt-input", "resource",
+/// "internal") — the spelling the fault-plan grammar and reports use.
+[[nodiscard]] const char* to_string(ErrorCategory category);
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCategory category, std::string code, std::string message);
+
+  [[nodiscard]] ErrorCategory category() const noexcept { return category_; }
+  /// Stable slug identifying the failure site, e.g. "fault/injected".
+  [[nodiscard]] const std::string& code() const noexcept { return code_; }
+  /// The bare message, without category/code/context decoration.
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+  /// Context frames, innermost first (what() renders them outermost-last).
+  [[nodiscard]] const std::vector<std::string>& context() const noexcept {
+    return context_;
+  }
+
+  /// A copy of this error with one more context frame, e.g.
+  /// `throw e.with_context("experiment 'fig2_stream'")`.
+  [[nodiscard]] Error with_context(std::string frame) const;
+
+  [[nodiscard]] static Error transient(std::string code, std::string message);
+  [[nodiscard]] static Error corrupt_input(std::string code, std::string message);
+  [[nodiscard]] static Error resource(std::string code, std::string message);
+  [[nodiscard]] static Error internal(std::string code, std::string message);
+
+  /// True when `e` is a knl::Error of category Transient — the single
+  /// predicate every retry loop keys on.
+  [[nodiscard]] static bool is_transient(const std::exception& e) noexcept;
+
+ private:
+  Error(ErrorCategory category, std::string code, std::string message,
+        std::vector<std::string> context);
+
+  ErrorCategory category_;
+  std::string code_;
+  std::string message_;
+  std::vector<std::string> context_;
+};
+
+}  // namespace knl

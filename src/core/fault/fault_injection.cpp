@@ -1,0 +1,255 @@
+#include "core/fault/fault_injection.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace knl::fault {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a_step(std::uint64_t h, std::uint64_t byte) noexcept {
+  h ^= byte & 0xffu;
+  h *= kFnvPrime;
+  return h;
+}
+
+/// Pure selection hash over (seed, site, key): deterministic for any
+/// execution order, thread count, or platform.
+std::uint64_t selection_hash(std::uint64_t seed, std::string_view site,
+                             std::uint64_t key) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (int i = 0; i < 8; ++i) h = fnv1a_step(h, seed >> (8 * i));
+  for (const char c : site) h = fnv1a_step(h, static_cast<unsigned char>(c));
+  for (int i = 0; i < 8; ++i) h = fnv1a_step(h, key >> (8 * i));
+  // One xorshift finalization round: FNV alone keeps low bits too regular
+  // for rate thresholds on sequential keys.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+bool selected_by(const FaultSite& site_spec, std::uint64_t seed,
+                 std::string_view site, std::uint64_t key) noexcept {
+  if (site_spec.site != site) return false;
+  if (site_spec.key >= 0) return key == static_cast<std::uint64_t>(site_spec.key);
+  if (site_spec.every > 0) return key % site_spec.every == 0;
+  if (site_spec.rate > 0.0) {
+    const double u = static_cast<double>(selection_hash(seed, site, key)) /
+                     18446744073709551616.0;  // 2^64
+    return u < site_spec.rate;
+  }
+  return false;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find(sep, start);
+    parts.push_back(text.substr(
+        start, pos == std::string::npos ? std::string::npos : pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return parts;
+}
+
+Error bad_plan(const std::string& detail) {
+  return Error::corrupt_input("fault/bad-plan",
+                              "malformed fault plan: " + detail);
+}
+
+ErrorCategory parse_kind(const std::string& value) {
+  if (value == "transient") return ErrorCategory::Transient;
+  if (value == "corrupt-input") return ErrorCategory::CorruptInput;
+  if (value == "resource") return ErrorCategory::Resource;
+  if (value == "internal") return ErrorCategory::Internal;
+  throw bad_plan("unknown kind '" + value +
+                 "' (want transient|corrupt-input|resource|internal)");
+}
+
+double parse_double(const std::string& value, const std::string& field) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    throw bad_plan(field + "=" + value + " is not a number");
+  }
+  return parsed;
+}
+
+std::uint64_t parse_uint(const std::string& value, const std::string& field) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    throw bad_plan(field + "=" + value + " is not an integer");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+std::uint64_t site_key(std::string_view text) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : text) h = fnv1a_step(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) throw bad_plan("empty spec");
+  for (const std::string& clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+    const std::vector<std::string> fields = split(clause, ',');
+    // A bare "seed=N" clause sets the plan seed; everything else is a site.
+    if (fields.size() == 1 && fields[0].rfind("seed=", 0) == 0) {
+      plan.seed = parse_uint(fields[0].substr(5), "seed");
+      continue;
+    }
+    FaultSite site;
+    for (const std::string& field : fields) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        throw bad_plan("field '" + field + "' has no '='");
+      }
+      const std::string name = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (value.empty()) throw bad_plan("field '" + name + "' has no value");
+      if (name == "site") {
+        site.site = value;
+      } else if (name == "rate") {
+        site.rate = parse_double(value, "rate");
+        if (site.rate <= 0.0 || site.rate > 1.0) {
+          throw bad_plan("rate must be in (0, 1], got " + value);
+        }
+      } else if (name == "every") {
+        site.every = parse_uint(value, "every");
+        if (site.every == 0) throw bad_plan("every must be >= 1");
+      } else if (name == "key") {
+        site.key = static_cast<std::int64_t>(parse_uint(value, "key"));
+      } else if (name == "attempts") {
+        site.attempts = static_cast<int>(parse_uint(value, "attempts"));
+        if (site.attempts < 1) throw bad_plan("attempts must be >= 1");
+      } else if (name == "kind") {
+        site.kind = parse_kind(value);
+      } else {
+        throw bad_plan("unknown field '" + name + "'");
+      }
+    }
+    if (site.site.empty()) {
+      throw bad_plan("clause '" + clause + "' names no site");
+    }
+    if (site.rate == 0.0 && site.every == 0 && site.key < 0) {
+      throw bad_plan("site '" + site.site +
+                     "' has no selector (rate=, every=, or key=)");
+    }
+    plan.sites.push_back(std::move(site));
+  }
+  if (plan.sites.empty()) throw bad_plan("no site clauses");
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string spec = "seed=" + std::to_string(seed);
+  for (const FaultSite& site : sites) {
+    spec += ";site=" + site.site;
+    if (site.key >= 0) {
+      spec += ",key=" + std::to_string(site.key);
+    } else if (site.every > 0) {
+      spec += ",every=" + std::to_string(site.every);
+    } else {
+      char rate[32];
+      std::snprintf(rate, sizeof rate, "%.17g", site.rate);
+      spec += ",rate=" + std::string(rate);
+    }
+    spec += ",attempts=" + std::to_string(site.attempts);
+    spec += ",kind=" + std::string(knl::to_string(site.kind));
+  }
+  return spec;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(FaultPlan plan) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = std::move(plan);
+  consumed_.clear();
+  injected_.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+  plan_ = FaultPlan{};
+  consumed_.clear();
+}
+
+void FaultInjector::reset_schedule() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  consumed_.clear();
+  injected_.store(0, std::memory_order_relaxed);
+}
+
+const FaultSite* FaultInjector::match(std::string_view site,
+                                      std::uint64_t key) const {
+  for (const FaultSite& candidate : plan_.sites) {
+    if (selected_by(candidate, plan_.seed, site, key)) return &candidate;
+  }
+  return nullptr;
+}
+
+void FaultInjector::maybe_inject(std::string_view site, std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  const FaultSite* spec = match(site, key);
+  if (spec == nullptr) return;
+  const std::size_t site_index =
+      static_cast<std::size_t>(spec - plan_.sites.data());
+  int& used = consumed_[{site_index, key}];
+  if (used >= spec->attempts) return;  // budget exhausted: key now succeeds
+  ++used;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  throw Error(spec->kind, "fault/injected",
+              "injected " + std::string(knl::to_string(spec->kind)) +
+                  " fault at site '" + std::string(site) + "' key " +
+                  std::to_string(key) + " (attempt " + std::to_string(used) +
+                  "/" + std::to_string(spec->attempts) + ")");
+}
+
+bool FaultInjector::fires(std::string_view site, std::uint64_t key) {
+  try {
+    maybe_inject(site, key);
+  } catch (const Error&) {
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::selects(std::string_view site, std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  return match(site, key) != nullptr;
+}
+
+bool arm_from_env(std::string* error) {
+  const char* spec = std::getenv(kFaultPlanEnvVar);
+  if (spec == nullptr || *spec == '\0') return true;
+  try {
+    FaultInjector::instance().arm(FaultPlan::parse(spec));
+  } catch (const Error& e) {
+    if (error != nullptr) {
+      *error = std::string(kFaultPlanEnvVar) + ": " + e.what();
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace knl::fault

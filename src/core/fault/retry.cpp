@@ -1,0 +1,42 @@
+#include "core/fault/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace knl::fault {
+
+namespace {
+
+/// splitmix64 over (seed ^ key ^ attempt): cheap, well-mixed, and a pure
+/// function of its inputs — the jitter determinism with_retry promises.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double backoff_delay_ms(const RetryPolicy& policy, int attempt,
+                        std::uint64_t key) noexcept {
+  const int step = attempt < 1 ? 0 : attempt - 1;
+  const double raw =
+      policy.base_delay_ms * std::pow(policy.multiplier, static_cast<double>(step));
+  const double capped = std::min(raw, policy.max_delay_ms);
+  if (policy.jitter <= 0.0) return capped;
+  const std::uint64_t h =
+      mix(policy.seed ^ mix(key) ^ static_cast<std::uint64_t>(attempt));
+  const double unit = static_cast<double>(h) / 18446744073709551616.0;  // [0,1)
+  // Scale into [1 - jitter, 1 + jitter].
+  return capped * (1.0 + policy.jitter * (2.0 * unit - 1.0));
+}
+
+void sleep_for_ms(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace knl::fault

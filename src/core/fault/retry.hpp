@@ -1,0 +1,63 @@
+// Bounded-exponential-backoff retry for transient faults.
+//
+// with_retry() re-invokes a callable while it throws knl::Error of category
+// Transient, sleeping a deterministic backoff between attempts: delays grow
+// geometrically from base_delay_ms, are capped at max_delay_ms, and carry a
+// *seeded* jitter — a pure function of (policy seed, key, attempt), so two
+// runs of the same plan back off identically and retry counters are exact,
+// while distinct keys still decorrelate (no thundering herd on shared IO).
+// Non-transient errors and exhausted budgets propagate unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "core/fault/error.hpp"
+
+namespace knl::fault {
+
+struct RetryPolicy {
+  int max_attempts = 3;        ///< total tries (1 = no retry)
+  double base_delay_ms = 1.0;  ///< first backoff delay
+  double multiplier = 2.0;     ///< geometric growth per retry
+  double max_delay_ms = 50.0;  ///< backoff cap
+  double jitter = 0.25;        ///< +/- fraction of the delay, deterministic
+  std::uint64_t seed = 0x6b6e6c6d656dull;  ///< jitter seed ("knlmem")
+};
+
+/// Deterministic backoff before retry number `attempt` (1-based) of `key`:
+/// min(base * multiplier^(attempt-1), max) scaled by the seeded jitter.
+[[nodiscard]] double backoff_delay_ms(const RetryPolicy& policy, int attempt,
+                                      std::uint64_t key) noexcept;
+
+/// Sleep helper (std::this_thread); exposed for the journal's IO retries.
+void sleep_for_ms(double ms);
+
+/// Attempt accounting for exact retry counters in sweep stats.
+struct RetryStats {
+  int attempts = 0;  ///< tries made (success or final failure included)
+  [[nodiscard]] int retries() const noexcept {
+    return attempts > 1 ? attempts - 1 : 0;
+  }
+};
+
+/// Invoke fn(); on a Transient knl::Error retry up to policy.max_attempts
+/// total tries with backoff. Any other exception — and the last transient
+/// failure once the budget is spent — propagates to the caller.
+template <typename F>
+auto with_retry(const RetryPolicy& policy, std::uint64_t key, F&& fn,
+                RetryStats* stats = nullptr) -> decltype(fn()) {
+  for (int attempt = 1;; ++attempt) {
+    if (stats != nullptr) stats->attempts = attempt;
+    try {
+      return fn();
+    } catch (const Error& e) {
+      if (e.category() != ErrorCategory::Transient ||
+          attempt >= policy.max_attempts) {
+        throw;
+      }
+      sleep_for_ms(backoff_delay_ms(policy, attempt, key));
+    }
+  }
+}
+
+}  // namespace knl::fault

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <future>
@@ -34,6 +35,8 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "core/fault/fault_injection.hpp"
 
 namespace knl::core {
 
@@ -57,10 +60,22 @@ class ThreadPool {
   /// Enqueue `fn` for execution on some worker. Returns a future that
   /// yields fn's return value, or rethrows the exception fn threw.
   /// Thread-safe: any thread (including a worker) may submit.
+  ///
+  /// Task dispatch is a fault-injection site ("thread-pool-dispatch",
+  /// keyed by this pool's submission sequence number — deterministic,
+  /// since submission order is the caller's program order). An injected
+  /// fault fires inside the task wrapper, so it lands in the returned
+  /// future, never in a worker loop; when no plan is armed the check is
+  /// one relaxed atomic load.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
-    std::packaged_task<R()> task(std::forward<F>(fn));
+    const std::uint64_t seq = submit_seq_.fetch_add(1, std::memory_order_relaxed);
+    std::packaged_task<R()> task(
+        [fn = std::forward<F>(fn), seq]() mutable -> R {
+          fault::maybe_inject(fault::kSiteThreadPoolDispatch, seq);
+          return fn();
+        });
     std::future<R> future = task.get_future();
     // packaged_task<R()>::operator() returns void (the result lands in the
     // shared state), so it slots directly into the type-erased queue entry.
@@ -87,6 +102,7 @@ class ThreadPool {
   void worker_loop(std::size_t index);
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> submit_seq_{0};  // fault-injection dispatch key
   std::atomic<std::size_t> next_{0};    // round-robin submission cursor
   std::atomic<std::size_t> queued_{0};  // tasks enqueued but not yet popped
   std::atomic<bool> stop_{false};

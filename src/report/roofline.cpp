@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/fault/error.hpp"
 #include "sim/knl_params.hpp"
 
 namespace knl::report {
@@ -25,7 +26,8 @@ Roofline::Roofline(const Machine& machine, MemConfig config, int threads)
   probe.add(phase);
   const RunResult r = machine_.run(probe, RunConfig{config_, threads_});
   if (!r.feasible || r.seconds <= 0.0) {
-    throw std::runtime_error("Roofline: streaming probe infeasible");
+    throw Error::resource("roofline/probe-infeasible",
+                          "Roofline: streaming probe infeasible");
   }
   stream_bw_gbs_ = phase.logical_bytes / (r.seconds * 1e9);
 }

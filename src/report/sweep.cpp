@@ -45,6 +45,12 @@ double seconds_since(Clock::time_point start) {
 // Grid dispatch: evaluate `cells` independent cells, inline for jobs == 1,
 // on a work-stealing pool otherwise. Results land in slot order, so the
 // caller's merge is deterministic regardless of completion order.
+//
+// Resilience discipline: every cell evaluation runs behind a retry loop
+// (Transient errors back off and re-try up to the budget), a failed cell is
+// *captured* into its outcome instead of aborting the grid, a substrate
+// (pool-dispatch) fault triggers a whole-grid serial fallback, and an armed
+// watchdog deadline re-runs overdue parallel cells serially.
 // ---------------------------------------------------------------------------
 struct CellOutcome {
   bool feasible = false;
@@ -52,27 +58,99 @@ struct CellOutcome {
   double x = 0.0;
   double y = 0.0;
   double seconds = 0.0;
+  bool ok = true;            ///< false => error captured below, no point
+  int attempts = 1;          ///< tries made (retries = attempts - 1)
+  ErrorCategory category = ErrorCategory::Internal;
+  std::string message;
 };
 
 int resolve_jobs(int jobs) {
   return jobs <= 0 ? static_cast<int>(core::ThreadPool::hardware_threads()) : jobs;
 }
 
+/// One cell through the retry loop, errors captured instead of thrown. The
+/// injection point sits *inside* the retried callable, keyed by the cell
+/// index, so the outcome (and exact attempt count) is a pure function of
+/// the armed plan — never of job count or scheduling.
 template <typename Eval>
-std::vector<CellOutcome> run_grid(int jobs, std::size_t cells, const Eval& eval) {
+CellOutcome guarded_eval(const SweepOptions& options, std::size_t index,
+                         const Eval& eval) {
+  CellOutcome cell;
+  fault::RetryStats tries;
+  try {
+    cell = fault::with_retry(
+        options.retry, index,
+        [&] {
+          fault::maybe_inject(fault::kSiteSweepCell, index);
+          return eval(index);
+        },
+        &tries);
+  } catch (const Error& e) {
+    cell = CellOutcome{};
+    cell.ok = false;
+    cell.category = e.category();
+    cell.message = e.what();
+  } catch (const std::exception& e) {
+    cell = CellOutcome{};
+    cell.ok = false;
+    cell.category = ErrorCategory::Internal;
+    cell.message = e.what();
+  }
+  cell.attempts = tries.attempts;
+  return cell;
+}
+
+template <typename Eval>
+std::vector<CellOutcome> run_grid(const SweepOptions& options, std::size_t cells,
+                                  const Eval& eval, SweepStats& stats) {
   std::vector<CellOutcome> out(cells);
-  const auto workers = static_cast<std::size_t>(resolve_jobs(jobs));
+  const auto workers = static_cast<std::size_t>(resolve_jobs(options.jobs));
   if (workers <= 1 || cells <= 1) {
-    for (std::size_t i = 0; i < cells; ++i) out[i] = eval(i);
+    for (std::size_t i = 0; i < cells; ++i) out[i] = guarded_eval(options, i, eval);
     return out;
   }
-  core::ThreadPool pool(static_cast<unsigned>(std::min(workers, cells)));
-  std::vector<std::future<void>> futures;
-  futures.reserve(cells);
-  for (std::size_t i = 0; i < cells; ++i) {
-    futures.push_back(pool.submit([&out, &eval, i] { out[i] = eval(i); }));
+
+  bool substrate_fault = false;
+  {
+    core::ThreadPool pool(static_cast<unsigned>(std::min(workers, cells)));
+    std::vector<std::future<void>> futures;
+    futures.reserve(cells);
+    for (std::size_t i = 0; i < cells; ++i) {
+      futures.push_back(
+          pool.submit([&out, &options, &eval, i] { out[i] = guarded_eval(options, i, eval); }));
+    }
+    // Cell errors are captured inside guarded_eval; anything surfacing here
+    // came from the substrate itself (e.g. an injected dispatch fault fires
+    // in the task wrapper, before the cell body runs). Drain every future —
+    // never abandon the rest of the grid on the first failure.
+    for (auto& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        substrate_fault = true;
+      }
+    }
   }
-  for (auto& future : futures) future.get();  // rethrow cell exceptions
+
+  if (substrate_fault) {
+    // Graceful parallel -> serial fallback: re-evaluate the whole grid
+    // inline, exactly what jobs=1 would have computed.
+    ++stats.serial_fallbacks;
+    for (std::size_t i = 0; i < cells; ++i) out[i] = guarded_eval(options, i, eval);
+    return out;
+  }
+
+  if (options.cell_deadline_ms > 0.0) {
+    // Watchdog: a parallel cell that overran its deadline was likely starved
+    // by siblings — re-run it serially, where it has the machine to itself.
+    // Deterministic cells recompute to bit-identical results.
+    for (std::size_t i = 0; i < cells; ++i) {
+      if (out[i].ok && out[i].seconds * 1e3 > options.cell_deadline_ms) {
+        ++stats.watchdog_trips;
+        out[i] = guarded_eval(options, i, eval);
+      }
+    }
+  }
   return out;
 }
 
@@ -80,13 +158,28 @@ std::vector<CellOutcome> run_grid(int jobs, std::size_t cells, const Eval& eval)
 /// caller, which knows the series naming).
 void account(SweepStats& stats, const CellOutcome& cell) {
   ++stats.cells;
+  if (cell.attempts > 1) stats.retries += static_cast<std::size_t>(cell.attempts - 1);
+  stats.cell_seconds += cell.seconds;
+  if (!cell.ok) {
+    ++stats.failed;
+    return;
+  }
   if (cell.cache_hit) {
     ++stats.cache_hits;
   } else {
     ++stats.evaluated;
   }
   if (!cell.feasible) ++stats.infeasible;
-  stats.cell_seconds += cell.seconds;
+}
+
+/// Human label of one failed cell, e.g. "1073741824 B / HBM @ 64 threads".
+std::string size_cell_label(std::uint64_t bytes, MemConfig config, int threads) {
+  return std::to_string(bytes) + " B / " + std::string(to_string(config)) + " @ " +
+         std::to_string(threads) + " threads";
+}
+
+std::string thread_cell_label(int threads, MemConfig config) {
+  return "threads=" + std::to_string(threads) + " / " + std::string(to_string(config));
 }
 
 }  // namespace
@@ -261,12 +354,19 @@ SweepRun sweep_sizes_run(const Machine& machine, const WorkloadFactory& factory,
     return cell;
   };
 
-  const std::vector<CellOutcome> outcomes = run_grid(options.jobs, cells, eval);
+  SweepRun run{std::move(figure), {}, {}};
+  const std::vector<CellOutcome> outcomes = run_grid(options, cells, eval, run.stats);
 
-  SweepRun run{std::move(figure), {}};
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const CellOutcome& cell = outcomes[i];
     account(run.stats, cell);
+    if (!cell.ok) {
+      run.failures.push_back({i,
+                              size_cell_label(sizes_bytes[i / configs.size()],
+                                              configs[i % configs.size()], threads),
+                              cell.category, cell.message});
+      continue;
+    }
     if (!cell.feasible) continue;  // paper: no bar when HBM can't hold it
     run.figure.add(to_string(configs[i % configs.size()]), cell.x, cell.y);
   }
@@ -302,12 +402,19 @@ SweepRun sweep_threads_run(const Machine& machine, const workloads::Workload& wo
     return cell;
   };
 
-  const std::vector<CellOutcome> outcomes = run_grid(options.jobs, cells, eval);
+  SweepRun run{std::move(figure), {}, {}};
+  const std::vector<CellOutcome> outcomes = run_grid(options, cells, eval, run.stats);
 
-  SweepRun run{std::move(figure), {}};
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const CellOutcome& cell = outcomes[i];
     account(run.stats, cell);
+    if (!cell.ok) {
+      run.failures.push_back({i,
+                              thread_cell_label(thread_counts[i / configs.size()],
+                                                configs[i % configs.size()]),
+                              cell.category, cell.message});
+      continue;
+    }
     if (!cell.feasible) continue;
     run.figure.add(to_string(configs[i % configs.size()]), cell.x, cell.y);
   }
@@ -338,15 +445,28 @@ SweepStats& SweepStats::operator+=(const SweepStats& other) {
   infeasible += other.infeasible;
   cell_seconds += other.cell_seconds;
   wall_seconds += other.wall_seconds;
+  retries += other.retries;
+  failed += other.failed;
+  watchdog_trips += other.watchdog_trips;
+  serial_fallbacks += other.serial_fallbacks;
   return *this;
 }
 
 std::string SweepStats::summary() const {
-  char buffer[192];
-  std::snprintf(buffer, sizeof(buffer),
-                "sweep: %zu cells (%zu evaluated, %zu cache hits, %zu infeasible), "
-                "cell time %.4f s, wall %.4f s",
-                cells, evaluated, cache_hits, infeasible, cell_seconds, wall_seconds);
+  char buffer[320];
+  int n = std::snprintf(
+      buffer, sizeof(buffer),
+      "sweep: %zu cells (%zu evaluated, %zu cache hits, %zu infeasible), "
+      "cell time %.4f s, wall %.4f s",
+      cells, evaluated, cache_hits, infeasible, cell_seconds, wall_seconds);
+  // Fault accounting only when something fired, keeping clean-run logs clean.
+  if (n > 0 && (retries != 0 || failed != 0 || watchdog_trips != 0 ||
+                serial_fallbacks != 0)) {
+    std::snprintf(buffer + n, sizeof(buffer) - static_cast<std::size_t>(n),
+                  ", faults: %zu retries, %zu failed, %zu watchdog trips, "
+                  "%zu serial fallbacks",
+                  retries, failed, watchdog_trips, serial_fallbacks);
+  }
   return buffer;
 }
 

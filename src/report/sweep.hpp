@@ -20,6 +20,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/fault/error.hpp"
+#include "core/fault/retry.hpp"
 #include "core/machine.hpp"
 #include "report/figure.hpp"
 #include "workloads/workload.hpp"
@@ -42,6 +44,15 @@ struct SweepOptions {
   /// unchanged either way (the model is deterministic); turning this off
   /// only forces re-evaluation.
   bool memoize = true;
+  /// Per-cell retry of Transient knl::Errors (injected faults, flaky IO):
+  /// bounded exponential backoff with deterministic jitter, keyed by cell
+  /// index so retry counters are exact for any job count.
+  fault::RetryPolicy retry{};
+  /// Watchdog: > 0 arms a per-cell wall-time deadline (milliseconds). A
+  /// cell that overruns it on the parallel path is re-evaluated serially
+  /// (where it has the machine to itself) — the graceful parallel->serial
+  /// fallback; 0 disables the watchdog.
+  double cell_deadline_ms = 0.0;
 };
 
 /// Counters describing how a sweep call spent its time. `cells` is the full
@@ -57,6 +68,16 @@ struct SweepStats {
   double cell_seconds = 0.0;
   /// Wall time of the whole sweep call, dispatch and merge included.
   double wall_seconds = 0.0;
+  /// Transient-fault retries performed (exact: keyed injection makes this a
+  /// pure function of the armed fault plan, not of the job count).
+  std::size_t retries = 0;
+  /// Cells that still failed after the retry budget; their errors are in
+  /// SweepRun::failures, the surviving cells' points are in the figure.
+  std::size_t failed = 0;
+  /// Cells that overran the watchdog deadline (timing-dependent by nature).
+  std::size_t watchdog_trips = 0;
+  /// Whole-grid parallel->serial fallbacks after a substrate (pool) fault.
+  std::size_t serial_fallbacks = 0;
 
   /// One-line human-readable rendering for bench logs / EXPERIMENTS.md.
   [[nodiscard]] std::string summary() const;
@@ -66,10 +87,26 @@ struct SweepStats {
   SweepStats& operator+=(const SweepStats& other);
 };
 
-/// A completed sweep: the figure plus the engine's accounting.
+/// One cell that failed for good (retry budget exhausted or non-transient
+/// error). The sweep keeps going: every failure is collected, never just the
+/// first, and the surviving cells' points still land in the figure.
+struct CellFailure {
+  /// Grid index of the cell (row-major over the outer x × config grid).
+  std::size_t index = 0;
+  /// Human label, e.g. "stream @ 1 GiB / HBM" or "threads=16 / CacheMode".
+  std::string label;
+  ErrorCategory category = ErrorCategory::Internal;
+  std::string message;
+};
+
+/// A completed sweep: the figure plus the engine's accounting. `failures`
+/// is empty on a clean run; callers that must not tolerate holes check it
+/// (the repro pipeline turns a non-empty list into one aggregate error
+/// naming every failed cell).
 struct SweepRun {
   Figure figure;
   SweepStats stats;
+  std::vector<CellFailure> failures;
 };
 
 /// Memoization key of one grid cell. The profile hash covers every

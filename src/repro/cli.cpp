@@ -1,24 +1,38 @@
 #include "repro/cli.hpp"
 
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 
+#include "core/fault/atomic_io.hpp"
+#include "core/fault/fault_injection.hpp"
 #include "core/machine.hpp"
 #include "repro/golden_diff.hpp"
+#include "repro/journal.hpp"
 #include "repro/pipeline.hpp"
 
 namespace knl::repro {
 
 namespace {
 
+/// Async-signal-safe interrupt flag (see cli.hpp).
+volatile std::sig_atomic_t g_interrupt = 0;
+
 struct CliOptions {
   std::string command;
   std::string out_dir = "repro-out";
+  bool out_dir_set = false;  ///< --out given explicitly (resume otherwise
+                             ///< restores the journaled directory)
   std::string golden_dir = "golden";
   std::string from_dir;  ///< diff: read artifacts instead of recomputing
+  std::string runs_dir = "runs";
+  std::string run_id;     ///< name of a fresh journaled run
+  std::string resume_id;  ///< resume this run's journal instead
+  std::string fault_plan;  ///< KNL_FAULT_PLAN grammar, overrides the env
   int jobs = 0;
   bool force = false;  ///< bless despite failing shape checks
   std::vector<std::string> only;
@@ -43,7 +57,17 @@ void usage(std::ostream& os) {
         "                 recomputing\n"
         "  --jobs N       sweep worker threads (0 = hardware concurrency)\n"
         "  --only a,b,c   restrict to the named experiments\n"
-        "  --force        bless even when a qualitative shape check fails\n";
+        "  --force        bless even when a qualitative shape check fails\n"
+        "  --runs-dir DIR journal directory for `run` (default runs)\n"
+        "  --run-id ID    name this run's journal (default: derived)\n"
+        "  --resume ID    resume a journaled run, skipping experiments whose\n"
+        "                 artifacts are already on disk and intact; writes to\n"
+        "                 the run's original --out unless --out is repeated\n"
+        "  --fault-plan S arm the deterministic fault injector with plan S\n"
+        "                 (overrides $KNL_FAULT_PLAN)\n"
+        "\n"
+        "exit codes: 0 success, 1 conformance failure, 2 usage/IO error,\n"
+        "            3 interrupted (resume with `run --resume <id>`)\n";
 }
 
 std::vector<std::string> split_csv(const std::string& csv) {
@@ -80,6 +104,7 @@ bool parse(const std::vector<std::string>& args, CliOptions& opts, std::ostream&
       const std::string* v = take_value("--out");
       if (v == nullptr) return false;
       opts.out_dir = *v;
+      opts.out_dir_set = true;
     } else if (arg == "--golden") {
       const std::string* v = take_value("--golden");
       if (v == nullptr) return false;
@@ -96,6 +121,22 @@ bool parse(const std::vector<std::string>& args, CliOptions& opts, std::ostream&
       const std::string* v = take_value("--only");
       if (v == nullptr) return false;
       opts.only = split_csv(*v);
+    } else if (arg == "--runs-dir") {
+      const std::string* v = take_value("--runs-dir");
+      if (v == nullptr) return false;
+      opts.runs_dir = *v;
+    } else if (arg == "--run-id") {
+      const std::string* v = take_value("--run-id");
+      if (v == nullptr) return false;
+      opts.run_id = *v;
+    } else if (arg == "--resume") {
+      const std::string* v = take_value("--resume");
+      if (v == nullptr) return false;
+      opts.resume_id = *v;
+    } else if (arg == "--fault-plan") {
+      const std::string* v = take_value("--fault-plan");
+      if (v == nullptr) return false;
+      opts.fault_plan = *v;
     } else if (arg == "--force") {
       opts.force = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -160,18 +201,134 @@ int cmd_list(std::ostream& out) {
   return kExitSuccess;
 }
 
+/// Exact on-disk bytes of one artifact (dump + trailing newline), the text
+/// both the atomic writer and the journal hash cover.
+std::string artifact_text(const ExperimentResult& result, const Machine& machine) {
+  return artifact_json(result, machine).dump() + '\n';
+}
+
+std::string default_run_id() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto seconds = std::chrono::duration_cast<std::chrono::seconds>(now).count();
+  return "run-" + std::to_string(seconds);
+}
+
 int cmd_run(const CliOptions& opts, const std::vector<const ExperimentSpec*>& specs,
             std::ostream& out, std::ostream& err) {
   const Machine machine;
   const Pipeline pipeline(machine, PipelineOptions{.jobs = opts.jobs, .memoize = true});
-  const std::vector<ExperimentResult> results = pipeline.run_all(specs);
+
+  const bool resuming = !opts.resume_id.empty();
+  const std::string run_id =
+      resuming ? opts.resume_id
+               : (opts.run_id.empty() ? default_run_id() : opts.run_id);
+
+  // Resume: trust the journal only where the artifact on disk still matches
+  // the recorded hash — a deleted or drifted artifact re-runs.
+  RunJournal prior;
+  if (resuming) {
+    std::string error;
+    auto loaded = load_journal(opts.runs_dir, run_id, &error);
+    if (!loaded) {
+      err << "error: cannot resume: " << error << '\n';
+      return kExitUsage;
+    }
+    prior = std::move(*loaded);
+    if (prior.truncated_tail) {
+      out << "journal for '" << run_id
+          << "' has a torn trailing record (crash mid-append); "
+          << prior.completed.size() << " completed experiment(s) salvaged\n";
+    }
+  }
+
+  // Resume writes where the original run did — the printed `--resume <id>`
+  // hint must work verbatim — unless --out is explicitly repeated.
+  const std::string out_dir = (resuming && !opts.out_dir_set && !prior.out_dir.empty())
+                                  ? prior.out_dir
+                                  : opts.out_dir;
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    err << "error: could not create " << out_dir << ": " << ec.message() << '\n';
+    return kExitUsage;
+  }
 
   std::string error;
-  if (!write_artifacts(results, machine, opts.out_dir, &error)) {
+  auto writer = resuming
+                    ? JournalWriter::append_to(opts.runs_dir, run_id, &error)
+                    : JournalWriter::create(opts.runs_dir, run_id, out_dir, &error);
+  if (!writer) {
     err << "error: " << error << '\n';
     return kExitUsage;
   }
-  out << "ran " << results.size() << " experiment(s) -> " << opts.out_dir << "/\n";
+
+  const std::filesystem::path base(out_dir);
+  std::vector<ExperimentResult> results;
+  std::vector<std::string> completed_ids;
+  std::size_t skipped = 0;
+  bool interrupted = false;
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ExperimentSpec& spec = *specs[i];
+    // Both interrupt paths land here, *between* experiments: the signal
+    // handler's flag and the deterministic injected interrupt (keyed by
+    // experiment index) — the journal stays consistent either way.
+    if (interrupt_requested() ||
+        fault::fires(fault::kSitePipelineInterrupt, i)) {
+      interrupted = true;
+      break;
+    }
+
+    const std::string artifact_path = (base / artifact_filename(spec.id)).string();
+    if (const JournalEntry* entry = prior.find(spec.id)) {
+      const auto text = io::read_file_with_retry(artifact_path, nullptr);
+      if (text && io::fnv1a_hex(*text) == entry->sha) {
+        completed_ids.push_back(spec.id);
+        ++skipped;
+        continue;
+      }
+      out << "  " << spec.id << ": journaled artifact missing or drifted — "
+          << "re-running\n";
+    }
+
+    ExperimentResult result = pipeline.run(spec);
+    const std::string text = artifact_text(result, machine);
+    if (!io::write_file_with_retry(artifact_path, text, &error)) {
+      err << "error: " << error << '\n';
+      return kExitUsage;
+    }
+    // Journal only after the artifact is durably on disk; a crash between
+    // the two re-runs the experiment, never trusts a phantom artifact.
+    if (!writer->record_done({spec.id, artifact_filename(spec.id),
+                              io::fnv1a_hex(text)},
+                             &error)) {
+      err << "error: " << error << '\n';
+      return kExitUsage;
+    }
+    completed_ids.push_back(spec.id);
+    results.push_back(std::move(result));
+  }
+
+  // The manifest covers exactly the completed set, so a resumed run's final
+  // manifest is identical to an uninterrupted one.
+  if (!io::write_file_with_retry((base / "manifest.json").string(),
+                                 manifest_json(completed_ids, machine).dump() + '\n',
+                                 &error)) {
+    err << "error: " << error << '\n';
+    return kExitUsage;
+  }
+
+  if (interrupted) {
+    out << "interrupted after " << completed_ids.size() << "/" << specs.size()
+        << " experiment(s); resume with: knl-repro run --resume " << run_id
+        << (opts.runs_dir == "runs" ? "" : " --runs-dir " + opts.runs_dir) << '\n';
+    return kExitInterrupted;
+  }
+
+  out << "ran " << results.size() << " experiment(s)";
+  if (skipped != 0) out << " (" << skipped << " resumed from journal)";
+  out << " -> " << out_dir << "/ [run " << run_id << "]\n";
   for (const ExperimentResult& result : results) print_result_line(result, out);
   if (any_check_failed(results)) {
     err << "error: a qualitative shape check failed — the model no longer "
@@ -183,6 +340,17 @@ int cmd_run(const CliOptions& opts, const std::vector<const ExperimentSpec*>& sp
 
 int cmd_diff(const CliOptions& opts, const std::vector<const ExperimentSpec*>& specs,
              std::ostream& out, std::ostream& err) {
+  // Startup integrity pass: a truncated or unparseable baseline is an I/O
+  // problem with a readable cure, not a tolerance failure.
+  for (const std::string& dir : {opts.golden_dir, opts.from_dir}) {
+    if (dir.empty()) continue;
+    const std::vector<std::string> problems = golden_integrity_problems(dir);
+    if (!problems.empty()) {
+      for (const std::string& problem : problems) err << "error: " << problem << '\n';
+      return kExitUsage;
+    }
+  }
+
   const Machine machine;
   DiffReport report;
 
@@ -254,12 +422,16 @@ int cmd_bless(const CliOptions& opts, const std::vector<const ExperimentSpec*>& 
         << '\n';
     return kExitUsage;
   }
+  // Crash-safe bless: every baseline goes down atomically (temp-fsync-
+  // rename), so a bless killed mid-way leaves each golden either old or
+  // new — never torn, and the startup integrity pass stays quiet.
   const std::filesystem::path base(opts.golden_dir);
+  std::string error;
   for (const ExperimentResult& result : results) {
-    std::ofstream file(base / artifact_filename(result.id));
-    file << artifact_json(result, machine).dump() << '\n';
-    if (!file) {
-      err << "error: could not write " << artifact_filename(result.id) << '\n';
+    const std::string text = artifact_json(result, machine).dump() + '\n';
+    if (!io::write_file_with_retry((base / artifact_filename(result.id)).string(),
+                                   text, &error)) {
+      err << "error: " << error << '\n';
       return kExitUsage;
     }
   }
@@ -272,10 +444,9 @@ int cmd_bless(const CliOptions& opts, const std::vector<const ExperimentSpec*>& 
       ids.push_back(spec.id);
     }
   }
-  std::ofstream manifest(base / "manifest.json");
-  manifest << manifest_json(ids, machine).dump() << '\n';
-  if (!manifest) {
-    err << "error: could not write manifest.json\n";
+  if (!io::write_file_with_retry((base / "manifest.json").string(),
+                                 manifest_json(ids, machine).dump() + '\n', &error)) {
+    err << "error: " << error << '\n';
     return kExitUsage;
   }
   out << "blessed " << results.size() << " experiment(s) -> " << opts.golden_dir
@@ -284,6 +455,10 @@ int cmd_bless(const CliOptions& opts, const std::vector<const ExperimentSpec*>& 
 }
 
 }  // namespace
+
+void request_interrupt() noexcept { g_interrupt = 1; }
+bool interrupt_requested() noexcept { return g_interrupt != 0; }
+void clear_interrupt() noexcept { g_interrupt = 0; }
 
 int cli_main(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
@@ -298,10 +473,31 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
   std::vector<const ExperimentSpec*> specs;
   if (!select_specs(opts, specs, err)) return kExitUsage;
 
+  // Arm the deterministic fault injector for the duration of the command:
+  // --fault-plan wins over $KNL_FAULT_PLAN; arming resets the attempt
+  // ledger, so repeated invocations replay the identical schedule.
+  std::string plan_spec = opts.fault_plan;
+  if (plan_spec.empty()) {
+    const char* env = std::getenv(fault::kFaultPlanEnvVar);
+    if (env != nullptr) plan_spec = env;
+  }
+  std::optional<fault::ScopedFaultPlan> scoped_plan;
+  if (!plan_spec.empty()) {
+    try {
+      scoped_plan.emplace(fault::FaultPlan::parse(plan_spec));
+    } catch (const Error& e) {
+      err << "error: " << e.what() << '\n';
+      return kExitUsage;
+    }
+  }
+
   try {
     if (opts.command == "run") return cmd_run(opts, specs, out, err);
     if (opts.command == "diff") return cmd_diff(opts, specs, out, err);
     if (opts.command == "bless") return cmd_bless(opts, specs, out, err);
+  } catch (const Error& e) {
+    err << "error: " << e.what() << '\n';
+    return kExitUsage;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << '\n';
     return kExitUsage;

@@ -2,7 +2,9 @@
 // code contract is directly testable in-process.
 //
 // Subcommands:
-//   run   [--out DIR] [--jobs N] [--only id,...]    execute + write artifacts
+//   run   [--out DIR] [--jobs N] [--only id,...] [--run-id ID]
+//         [--resume ID] [--runs-dir DIR] [--fault-plan SPEC]
+//         execute + write artifacts, journaling completed experiments
 //   diff  [--golden DIR] [--from DIR] [--jobs N] [--only id,...]
 //   bless [--golden DIR] [--jobs N] [--only id,...] rewrite golden baselines
 //   list                                            print the registry
@@ -11,7 +13,11 @@
 //   0  success; for `diff`, every metric within tolerance
 //   1  conformance failure: out-of-tolerance metric, structural drift, or a
 //      failed qualitative shape check
-//   2  usage or I/O error (unknown flag/id, unreadable golden dir, ...)
+//   2  usage or I/O error (unknown flag/id, unreadable or corrupt golden
+//      dir, execution failure)
+//   3  interrupted, resumable: `run` stopped between experiments (SIGINT or
+//      an injected pipeline interrupt) after journaling completed work —
+//      `knl-repro run --resume <id>` finishes the remainder
 #pragma once
 
 #include <iosfwd>
@@ -23,6 +29,16 @@ namespace knl::repro {
 inline constexpr int kExitSuccess = 0;
 inline constexpr int kExitConformance = 1;
 inline constexpr int kExitUsage = 2;
+inline constexpr int kExitInterrupted = 3;
+
+/// Cooperative interrupt flag. The knl-repro binary's SIGINT/SIGTERM
+/// handlers call request_interrupt() (it is async-signal-safe); `run`
+/// checks the flag between experiments and exits kExitInterrupted after
+/// journaling the work already done. Tests drive the same path directly.
+/// cli_main never clears the flag itself — the embedding decides.
+void request_interrupt() noexcept;
+[[nodiscard]] bool interrupt_requested() noexcept;
+void clear_interrupt() noexcept;
 
 /// Run the CLI with `args` (argv[1..]); diagnostics go to `out`/`err`.
 int cli_main(const std::vector<std::string>& args, std::ostream& out,

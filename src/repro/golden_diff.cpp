@@ -1,5 +1,6 @@
 #include "repro/golden_diff.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -266,6 +267,54 @@ ExperimentDiff diff_artifact(const std::string& id, const json::Value& golden,
 
   compare_checks(golden, actual, diff);
   return diff;
+}
+
+std::vector<std::string> golden_integrity_problems(const std::string& golden_dir) {
+  std::vector<std::string> problems;
+  const std::filesystem::path base(golden_dir);
+  std::error_code ec;
+  if (!std::filesystem::is_directory(base, ec)) return problems;
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(base, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const std::filesystem::path& path : files) {
+    const std::string name = path.filename().string();
+    std::string error;
+    const auto value = load_json_file(path.string(), &error);
+    if (!value) {
+      problems.push_back(golden_dir + "/" + name + ": truncated or unparseable — " +
+                         error + "; re-bless or restore from git");
+      continue;
+    }
+    if (!value->is_object()) {
+      problems.push_back(golden_dir + "/" + name +
+                         ": not a JSON object; re-bless or restore from git");
+      continue;
+    }
+    const json::Value* schema = value->find("schema_version");
+    if (schema == nullptr ||
+        static_cast<int>(schema->as_number(-1)) != kSchemaVersion) {
+      problems.push_back(golden_dir + "/" + name +
+                         ": schema_version is not the current " +
+                         std::to_string(kSchemaVersion) + "; re-bless");
+      continue;
+    }
+    if (name == "manifest.json") continue;
+    const json::Value* experiment = value->find("experiment");
+    const std::string id = path.stem().string();
+    if (experiment == nullptr || experiment->as_string() != id) {
+      problems.push_back(golden_dir + "/" + name + ": declares experiment '" +
+                         (experiment != nullptr ? experiment->as_string() : "") +
+                         "', filename says '" + id + "'; re-bless");
+    }
+  }
+  return problems;
 }
 
 DiffReport diff_against_dir(const std::string& golden_dir,

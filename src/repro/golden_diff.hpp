@@ -54,6 +54,15 @@ struct DiffReport {
                                            const json::Value& actual,
                                            const Tolerance& tolerance);
 
+/// Startup integrity pass over a golden/artifact directory: every `.json`
+/// file must parse, carry the current schema version, and declare the
+/// experiment matching its filename. Returns one readable problem string
+/// per damaged file ("golden/fig2_stream.json: truncated or unparseable —
+/// ...; re-bless or restore from git"), empty when the directory is sound.
+/// A missing directory is not a problem here (diff reports that itself).
+[[nodiscard]] std::vector<std::string> golden_integrity_problems(
+    const std::string& golden_dir);
+
 /// Compare freshly-computed results against the artifacts in `golden_dir`.
 /// Per-experiment tolerances come from the registry. A missing golden file
 /// is a structural mismatch for that experiment; `check_strays` additionally

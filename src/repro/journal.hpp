@@ -1,0 +1,95 @@
+// Run journal: the crash-safe record that makes `knl-repro run` resumable.
+//
+// Each run owns a directory `<runs_dir>/<run_id>/` holding
+// `journal.jsonl` — a header line followed by one line per *completed*
+// experiment, appended (and fsynced) only after the experiment's artifact
+// has been atomically written to disk. A run killed mid-flight therefore
+// leaves a journal whose "done" lines are exactly the experiments whose
+// artifacts are trustworthy; `knl-repro run --resume <id>` replays the
+// journal, verifies each recorded artifact hash, and re-executes only the
+// remainder.
+//
+// The format is deliberately line-oriented JSON (jsonl): appends are a
+// single write, a torn final line (crash mid-append) is detected and
+// dropped on load, and the file remains greppable.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace knl::repro {
+
+/// One completed experiment, as journaled.
+struct JournalEntry {
+  std::string id;        ///< experiment id, e.g. "fig2_stream"
+  std::string artifact;  ///< artifact filename ("<id>.json")
+  std::string sha;       ///< FNV-1a hex of the artifact file's exact bytes
+
+  friend bool operator==(const JournalEntry&, const JournalEntry&) = default;
+};
+
+/// A loaded journal: which experiments a previous run finished.
+struct RunJournal {
+  std::string run_id;
+  /// Artifact directory the original run wrote to ("out" header field) —
+  /// `--resume` restores it so the printed hint works without re-stating
+  /// `--out`. Empty when the header predates the field.
+  std::string out_dir;
+  std::vector<JournalEntry> completed;
+  /// True when the file ended in a torn (unparseable) line — the signature
+  /// of a crash mid-append. The torn line is dropped; everything before it
+  /// is trusted.
+  bool truncated_tail = false;
+
+  [[nodiscard]] const JournalEntry* find(const std::string& id) const;
+};
+
+/// `<runs_dir>/<run_id>` and `<runs_dir>/<run_id>/journal.jsonl`.
+[[nodiscard]] std::string run_dir(const std::string& runs_dir,
+                                  const std::string& run_id);
+[[nodiscard]] std::string journal_path(const std::string& runs_dir,
+                                       const std::string& run_id);
+
+/// Load and validate a journal. Returns nullopt (with *error) when the file
+/// is missing, its header is malformed, or it belongs to a different
+/// schema. A torn final line is tolerated (see RunJournal::truncated_tail).
+[[nodiscard]] std::optional<RunJournal> load_journal(const std::string& runs_dir,
+                                                     const std::string& run_id,
+                                                     std::string* error);
+
+/// Append-only journal writer. Every record is written, flushed and fsynced
+/// before record_done returns — after a crash, the journal never claims an
+/// experiment the artifact directory cannot back.
+class JournalWriter {
+ public:
+  /// Create `<runs_dir>/<run_id>/journal.jsonl` with a fresh header
+  /// recording the run's artifact directory (truncating any previous
+  /// journal of the same id).
+  [[nodiscard]] static std::optional<JournalWriter> create(
+      const std::string& runs_dir, const std::string& run_id,
+      const std::string& out_dir, std::string* error);
+
+  /// Open an existing journal for appending (resume).
+  [[nodiscard]] static std::optional<JournalWriter> append_to(
+      const std::string& runs_dir, const std::string& run_id, std::string* error);
+
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Record one completed experiment; durable on return.
+  [[nodiscard]] bool record_done(const JournalEntry& entry, std::string* error);
+
+ private:
+  explicit JournalWriter(std::FILE* file) : file_(file) {}
+
+  [[nodiscard]] bool write_line(const std::string& line, std::string* error);
+
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace knl::repro

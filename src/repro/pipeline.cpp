@@ -4,10 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/fault/atomic_io.hpp"
 #include "report/table.hpp"
 #include "workloads/latency_probe.hpp"
 #include "workloads/registry.hpp"
@@ -23,7 +23,26 @@ std::string hex_fingerprint(const Machine& machine) {
 }
 
 report::SweepOptions sweep_options(const PipelineOptions& options) {
-  return report::SweepOptions{.jobs = options.jobs, .memoize = options.memoize};
+  return report::SweepOptions{.jobs = options.jobs,
+                              .memoize = options.memoize,
+                              .retry = options.retry,
+                              .cell_deadline_ms = options.cell_deadline_ms};
+}
+
+/// Turn a sweep's collected cell failures into one aggregate error naming
+/// every failed cell — the pipeline must not emit an artifact with silent
+/// holes, but callers still deserve the full casualty list, not just the
+/// first.
+void require_no_failures(const std::string& id, const report::SweepRun& run) {
+  if (run.failures.empty()) return;
+  std::string detail = std::to_string(run.failures.size()) + " of " +
+                       std::to_string(run.stats.cells) + " cells failed:";
+  for (const report::CellFailure& failure : run.failures) {
+    detail += "\n  cell " + std::to_string(failure.index) + " (" + failure.label +
+              ") [" + to_string(failure.category) + "]: " + failure.message;
+  }
+  throw Error::internal("sweep/cells-failed", std::move(detail))
+      .with_context("experiment '" + id + "'");
 }
 
 std::string render_table1() {
@@ -71,6 +90,7 @@ ExperimentResult Pipeline::run(const ExperimentSpec& spec) const {
           machine_, entry.make, spec.sizes_bytes, spec.fixed_threads, spec.configs,
           report::Figure(spec.title, spec.x_label, spec.y_label),
           sweep_options(options_));
+      require_no_failures(spec.id, run);
       result.figure = std::move(run.figure);
       result.stats = run.stats;
       break;
@@ -84,6 +104,7 @@ ExperimentResult Pipeline::run(const ExperimentSpec& spec) const {
           machine_, *workload, spec.thread_counts, spec.configs,
           report::Figure(spec.title, spec.x_label, spec.y_label),
           sweep_options(options_));
+      require_no_failures(spec.id, run);
       result.figure = std::move(run.figure);
       result.stats = run.stats;
       break;
@@ -101,6 +122,7 @@ ExperimentResult Pipeline::run(const ExperimentSpec& spec) const {
         report::SweepRun sub = report::sweep_sizes_run(
             machine_, entry.make, spec.sizes_bytes, 64 * ht, spec.configs,
             report::Figure("", "", ""), sweep_options(options_));
+        require_no_failures(spec.id, sub);
         result.stats += sub.stats;
         for (const report::Series& series : sub.figure.series()) {
           const std::string name = series.name + " (ht=" + std::to_string(ht) + ")";
@@ -319,16 +341,13 @@ json::Value manifest_json(const std::vector<std::string>& ids, const Machine& ma
 
 namespace {
 
+// Artifacts are the resume journal's ground truth, so they go to disk
+// atomically (write-temp-fsync-rename): a crash mid-write leaves either the
+// previous artifact or none — never a torn file. The byte format is
+// unchanged: dump() plus a trailing newline.
 bool write_text_file(const std::filesystem::path& path, const std::string& text,
                      std::string* error) {
-  std::ofstream out(path);
-  out << text << '\n';
-  out.close();
-  if (!out) {
-    if (error != nullptr) *error = "could not write " + path.string();
-    return false;
-  }
-  return true;
+  return io::write_file_with_retry(path.string(), text + '\n', error);
 }
 
 }  // namespace
@@ -354,15 +373,10 @@ bool write_artifacts(const std::vector<ExperimentResult>& results,
 }
 
 std::optional<json::Value> load_json_file(const std::string& path, std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    if (error != nullptr) *error = "could not open " + path;
-    return std::nullopt;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+  const auto text = io::read_file_with_retry(path, error);
+  if (!text) return std::nullopt;
   std::string parse_error;
-  auto value = json::Value::parse(buffer.str(), &parse_error);
+  auto value = json::Value::parse(*text, &parse_error);
   if (!value && error != nullptr) *error = path + ": " + parse_error;
   return value;
 }

@@ -27,6 +27,12 @@ struct PipelineOptions {
   /// Consult/populate the process-wide SweepCache (results are unchanged
   /// either way; the model is deterministic).
   bool memoize = true;
+  /// Per-cell retry budget for transient faults (forwarded to the sweep
+  /// engine; see report::SweepOptions::retry).
+  fault::RetryPolicy retry{};
+  /// Per-cell watchdog deadline in ms, 0 = disabled (forwarded to the
+  /// sweep engine; see report::SweepOptions::cell_deadline_ms).
+  double cell_deadline_ms = 0.0;
 };
 
 /// Outcome of one ShapeCheck against the produced figure.

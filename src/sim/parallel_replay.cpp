@@ -4,6 +4,8 @@
 #include <future>
 #include <stdexcept>
 
+#include "core/fault/fault_injection.hpp"
+
 namespace knl::sim {
 
 ParallelReplay::ParallelReplay() : ParallelReplay(ParallelReplayConfig{}) {}
@@ -103,6 +105,11 @@ ParallelReplayStats ParallelReplay::replay(
 
   for (std::size_t epoch_start = 0; epoch_start < max_remaining;
        epoch_start += config_.epoch_accesses) {
+    // Fault-injection site at the epoch boundary (keyed by epoch index —
+    // deterministic for any worker count). An injected fault aborts the
+    // replay mid-epoch; call reset() before reusing this instance.
+    fault::maybe_inject(fault::kSiteReplayEpoch,
+                        epoch_start / config_.epoch_accesses);
     const std::size_t epoch_end =
         std::min(max_remaining, epoch_start + config_.epoch_accesses);
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/fault/error.hpp"
 #include "core/types.hpp"
 
 namespace knl::workloads {
@@ -225,7 +226,8 @@ void Dgemm::verify() const {
   multiply_naive(a, b, c_naive, n);
   for (std::size_t i = 0; i < n * n; ++i) {
     if (std::abs(c_blocked[i] - c_naive[i]) > 1e-9 * n) {
-      throw std::runtime_error("Dgemm::verify: blocked result diverges from reference");
+      throw Error::internal("dgemm/verify",
+                            "Dgemm::verify: blocked result diverges from reference");
     }
   }
 }

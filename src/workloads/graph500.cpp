@@ -7,6 +7,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/fault/error.hpp"
 #include "core/types.hpp"
 
 namespace knl::workloads {
@@ -372,12 +373,14 @@ void Graph500::verify() const {
     if (g.offsets[root + 1] == g.offsets[root]) continue;  // isolated vertex
     const auto parent = bfs(g, root);
     if (!validate_bfs(g, root, parent)) {
-      throw std::runtime_error("Graph500::verify: BFS tree failed validation");
+      throw Error::internal("graph500/verify",
+                            "Graph500::verify: BFS tree failed validation");
     }
     ++checked;
   }
   if (checked == 0) {
-    throw std::runtime_error("Graph500::verify: no connected roots sampled");
+    throw Error::internal("graph500/verify",
+                          "Graph500::verify: no connected roots sampled");
   }
 }
 

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/fault/error.hpp"
+
 namespace knl::workloads {
 
 namespace {
@@ -152,7 +154,7 @@ void Gups::verify() const {
   run_updates(table, count, /*seed=*/1);
   for (std::uint64_t i = 0; i < n; ++i) {
     if (table[i] != i) {
-      throw std::runtime_error("Gups::verify: table not restored after replay");
+      throw Error::internal("gups/verify", "Gups::verify: table not restored after replay");
     }
   }
 }

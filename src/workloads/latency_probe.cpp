@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/fault/error.hpp"
 #include "trace/generators.hpp"
 
 namespace knl::workloads {
@@ -81,11 +82,17 @@ void LatencyProbe::verify() const {
   std::vector<bool> seen(n, false);
   std::uint32_t cur = 0;
   for (std::uint32_t i = 0; i < n; ++i) {
-    if (seen[cur]) throw std::runtime_error("LatencyProbe::verify: chase short-cycled");
+    if (seen[cur]) {
+      throw Error::internal("latency-probe/verify",
+                            "LatencyProbe::verify: chase short-cycled");
+    }
     seen[cur] = true;
     cur = next[cur];
   }
-  if (cur != 0) throw std::runtime_error("LatencyProbe::verify: chase not a cycle");
+  if (cur != 0) {
+    throw Error::internal("latency-probe/verify",
+                          "LatencyProbe::verify: chase not a cycle");
+  }
 }
 
 }  // namespace knl::workloads

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/fault/error.hpp"
 #include "core/types.hpp"
 
 namespace knl::workloads {
@@ -344,7 +345,7 @@ void MiniFe::verify() const {
   spmv(a, ones, row_sums);
   for (std::uint64_t i = 0; i < n; ++i) {
     if (std::abs(row_sums[i] - 1.0) > 1e-12) {
-      throw std::runtime_error("MiniFe::verify: stencil row-sum check failed");
+      throw Error::internal("minife/verify", "MiniFe::verify: stencil row-sum check failed");
     }
   }
 
@@ -352,10 +353,12 @@ void MiniFe::verify() const {
   std::vector<double> b(n, 1.0);
   std::vector<double> x(n, 0.0);
   const CgResult cg = conjugate_gradient(a, b, x, 500, 1e-10);
-  if (!cg.converged) throw std::runtime_error("MiniFe::verify: CG did not converge");
+  if (!cg.converged) {
+    throw Error::internal("minife/verify", "MiniFe::verify: CG did not converge");
+  }
   for (std::uint64_t i = 0; i < n; ++i) {
     if (std::abs(x[i] - 1.0) > 1e-6) {
-      throw std::runtime_error("MiniFe::verify: CG solution wrong");
+      throw Error::internal("minife/verify", "MiniFe::verify: CG solution wrong");
     }
   }
 }

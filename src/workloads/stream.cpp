@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/fault/error.hpp"
+
 namespace knl::workloads {
 
 std::string to_string(StreamKernel kernel) {
@@ -166,26 +168,32 @@ void StreamBench::verify() const {
     case StreamKernel::Copy:
       stream_copy(c, a);
       for (std::size_t i = 0; i < n; ++i) {
-        if (c[i] != a[i]) throw std::runtime_error("StreamBench: copy mismatch");
+        if (c[i] != a[i]) {
+          throw Error::internal("stream/verify", "StreamBench: copy mismatch");
+        }
       }
       break;
     case StreamKernel::Scale:
       stream_scale(b, a, scalar);
       for (std::size_t i = 0; i < n; ++i) {
-        if (b[i] != scalar * a[i]) throw std::runtime_error("StreamBench: scale mismatch");
+        if (b[i] != scalar * a[i]) {
+          throw Error::internal("stream/verify", "StreamBench: scale mismatch");
+        }
       }
       break;
     case StreamKernel::Add:
       stream_add(c, a, b);
       for (std::size_t i = 0; i < n; ++i) {
-        if (c[i] != a[i] + b[i]) throw std::runtime_error("StreamBench: add mismatch");
+        if (c[i] != a[i] + b[i]) {
+          throw Error::internal("stream/verify", "StreamBench: add mismatch");
+        }
       }
       break;
     case StreamKernel::Triad:
       StreamTriad::triad(c, a, b, scalar);
       for (std::size_t i = 0; i < n; ++i) {
         if (c[i] != a[i] + scalar * b[i]) {
-          throw std::runtime_error("StreamBench: triad mismatch");
+          throw Error::internal("stream/verify", "StreamBench: triad mismatch");
         }
       }
       break;
@@ -205,8 +213,8 @@ void StreamTriad::verify() const {
   for (std::size_t i = 0; i < n; ++i) {
     const double want = b[i] + scalar * c[i];
     if (std::abs(a[i] - want) > 1e-12) {
-      throw std::runtime_error("StreamTriad::verify: element mismatch at " +
-                               std::to_string(i));
+      throw Error::internal("stream/verify", "StreamTriad::verify: element mismatch at " +
+                                                  std::to_string(i));
     }
   }
 }

@@ -6,6 +6,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/fault/error.hpp"
 #include "core/types.hpp"
 
 namespace knl::workloads {
@@ -318,7 +319,9 @@ void XsBench::verify() const {
     lookup_macro_xs_direct(data, e, material, b);
     for (int ch = 0; ch < 5; ++ch) {
       if (std::abs(a[ch] - b[ch]) > 1e-9) {
-        throw std::runtime_error("XsBench::verify: unionized lookup diverges from oracle");
+        throw Error::internal(
+            "xsbench/verify",
+            "XsBench::verify: unionized lookup diverges from oracle");
       }
     }
   }

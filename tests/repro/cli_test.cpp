@@ -156,6 +156,50 @@ TEST_F(CliTest, SubsetBlessLeavesOtherBaselinesInManifest) {
   EXPECT_NE(std::find(listed.begin(), listed.end(), "fig4c_gups"), listed.end());
 }
 
+TEST_F(CliTest, TruncatedGoldenFailsDiffWithIntegrityError) {
+  ASSERT_EQ(run_cli({"bless", "--golden", golden_dir(), "--only", kSubset}),
+            kExitSuccess);
+
+  // Truncate one baseline mid-JSON — the signature of a torn write. The
+  // startup integrity pass must name the file and the cure, and exit 2
+  // (an I/O problem), not 1 (a tolerance failure).
+  const fs::path artifact = fs::path(golden_dir()) / "fig2_stream.json";
+  std::ofstream(artifact, std::ios::binary | std::ios::trunc) << "{\"schema_ver";
+
+  EXPECT_EQ(run_cli({"diff", "--golden", golden_dir(), "--only", kSubset}),
+            kExitUsage);
+  EXPECT_NE(err_.str().find("fig2_stream.json"), std::string::npos) << err_.str();
+  EXPECT_NE(err_.str().find("truncated or unparseable"), std::string::npos);
+  EXPECT_NE(err_.str().find("re-bless"), std::string::npos);
+}
+
+TEST_F(CliTest, AbsorbedTransientFaultPlanLeavesZeroDrift) {
+  // The CI chaos contract: a plan whose transient faults are fully absorbed
+  // by the retry budget must leave run and diff at exit 0 with no drift.
+  constexpr const char* kChaos =
+      "seed=42;site=sweep-cell,rate=0.3,kind=transient,attempts=1;"
+      "site=json-write,rate=0.5,kind=transient,attempts=1";
+  ASSERT_EQ(run_cli({"bless", "--golden", golden_dir(), "--only", kSubset}),
+            kExitSuccess)
+      << err_.str();
+  const fs::path out_dir = dir_ / "out";
+  ASSERT_EQ(run_cli({"run", "--out", out_dir.string(), "--only", kSubset,
+                     "--fault-plan", kChaos}),
+            kExitSuccess)
+      << err_.str();
+  EXPECT_EQ(run_cli({"diff", "--golden", golden_dir(), "--from", out_dir.string(),
+                     "--only", kSubset}),
+            kExitSuccess)
+      << out_.str() << err_.str();
+  EXPECT_NE(out_.str().find("PASS"), std::string::npos);
+}
+
+TEST_F(CliTest, MalformedFaultPlanExitsUsage) {
+  EXPECT_EQ(run_cli({"run", "--fault-plan", "site=x", "--only", kSubset}),
+            kExitUsage);
+  EXPECT_NE(err_.str().find("fault/bad-plan"), std::string::npos) << err_.str();
+}
+
 TEST_F(CliTest, ListNamesEveryRegistryExperiment) {
   EXPECT_EQ(run_cli({"list"}), kExitSuccess);
   const std::string text = out_.str();

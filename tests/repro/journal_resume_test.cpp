@@ -1,0 +1,227 @@
+// The crash-safe resume contract: journal round trips and torn-tail
+// tolerance, the exit-3 "interrupted, resumable" CLI path (both the
+// cooperative signal flag and the deterministic injected interrupt), and
+// `run --resume` re-executing only what the journal cannot vouch for.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "repro/cli.hpp"
+#include "repro/journal.hpp"
+#include "repro/json.hpp"
+#include "repro/pipeline.hpp"
+
+namespace knl::repro {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("knl_journal_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    clear_interrupt();
+  }
+  void TearDown() override {
+    clear_interrupt();
+    fs::remove_all(dir_);
+  }
+
+  int run_cli(const std::vector<std::string>& args) {
+    out_.str("");
+    err_.str("");
+    return cli_main(args, out_, err_);
+  }
+
+  [[nodiscard]] std::string runs_dir() const { return (dir_ / "runs").string(); }
+  [[nodiscard]] std::string out_dir() const { return (dir_ / "out").string(); }
+
+  [[nodiscard]] static std::string slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  }
+
+  fs::path dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+constexpr const char* kSubset = "fig2_stream,table2_numa";
+
+// ---------------------------------------------------------------------------
+// Journal file format
+// ---------------------------------------------------------------------------
+
+TEST_F(JournalResumeTest, WriterAndLoaderRoundTrip) {
+  std::string error;
+  auto writer = JournalWriter::create(runs_dir(), "r1", out_dir(), &error);
+  ASSERT_TRUE(writer.has_value()) << error;
+  const JournalEntry a{"fig2_stream", "fig2_stream.json", "00000000deadbeef"};
+  const JournalEntry b{"table2_numa", "table2_numa.json", "00000000cafef00d"};
+  ASSERT_TRUE(writer->record_done(a, &error)) << error;
+  ASSERT_TRUE(writer->record_done(b, &error)) << error;
+  writer.reset();  // close
+
+  const auto journal = load_journal(runs_dir(), "r1", &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+  EXPECT_EQ(journal->run_id, "r1");
+  EXPECT_EQ(journal->out_dir, out_dir());  // resume restores this directory
+  EXPECT_FALSE(journal->truncated_tail);
+  ASSERT_EQ(journal->completed.size(), 2u);
+  EXPECT_EQ(journal->completed[0], a);
+  EXPECT_EQ(journal->completed[1], b);
+  ASSERT_NE(journal->find("table2_numa"), nullptr);
+  EXPECT_EQ(journal->find("table2_numa")->sha, b.sha);
+  EXPECT_EQ(journal->find("no_such_id"), nullptr);
+}
+
+TEST_F(JournalResumeTest, TornTrailingLineIsDroppedNotFatal) {
+  std::string error;
+  auto writer = JournalWriter::create(runs_dir(), "r1", out_dir(), &error);
+  ASSERT_TRUE(writer.has_value()) << error;
+  ASSERT_TRUE(writer->record_done({"fig2_stream", "fig2_stream.json", "aa"}, &error));
+  writer.reset();
+
+  // Simulate a crash mid-append: an incomplete record with no newline.
+  std::FILE* file = std::fopen(journal_path(runs_dir(), "r1").c_str(), "ab");
+  ASSERT_NE(file, nullptr);
+  std::fputs("{\"event\":\"done\",\"experiment\":\"tab", file);
+  std::fclose(file);
+
+  const auto journal = load_journal(runs_dir(), "r1", &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+  EXPECT_TRUE(journal->truncated_tail);
+  ASSERT_EQ(journal->completed.size(), 1u);  // everything before the tear
+  EXPECT_EQ(journal->completed[0].id, "fig2_stream");
+}
+
+TEST_F(JournalResumeTest, MissingJournalFailsWithReadableError) {
+  std::string error;
+  EXPECT_FALSE(load_journal(runs_dir(), "never-ran", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(JournalResumeTest, RunIdMismatchInHeaderIsRejected) {
+  std::string error;
+  auto writer = JournalWriter::create(runs_dir(), "original", out_dir(), &error);
+  ASSERT_TRUE(writer.has_value()) << error;
+  ASSERT_TRUE(writer->record_done({"fig2_stream", "fig2_stream.json", "aa"}, &error));
+  writer.reset();
+
+  // A journal copied under another id must not be trusted.
+  fs::rename(run_dir(runs_dir(), "original"), run_dir(runs_dir(), "imposter"));
+  EXPECT_FALSE(load_journal(runs_dir(), "imposter", &error).has_value());
+  EXPECT_NE(error.find("original"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CLI: interrupt, exit 3, resume
+// ---------------------------------------------------------------------------
+
+TEST_F(JournalResumeTest, InjectedInterruptExitsThreeThenResumeCompletes) {
+  // The deterministic SIGINT stand-in: the pipeline-interrupt site fires at
+  // experiment index 1, so the run completes fig2_stream and stops.
+  ASSERT_EQ(run_cli({"run", "--out", out_dir(), "--runs-dir", runs_dir(),
+                     "--run-id", "r1", "--only", kSubset, "--fault-plan",
+                     "seed=1;site=pipeline-interrupt,key=1,kind=transient"}),
+            kExitInterrupted)
+      << err_.str();
+  EXPECT_NE(out_.str().find("--resume r1"), std::string::npos) << out_.str();
+  EXPECT_TRUE(fs::exists(fs::path(out_dir()) / "fig2_stream.json"));
+  EXPECT_FALSE(fs::exists(fs::path(out_dir()) / "table2_numa.json"));
+
+  std::string error;
+  const auto journal = load_journal(runs_dir(), "r1", &error);
+  ASSERT_TRUE(journal.has_value()) << error;
+  EXPECT_EQ(journal->completed.size(), 1u);
+
+  // Resume finishes the remainder without re-running the journaled part.
+  // No --out: the printed hint must work verbatim, so resume restores the
+  // original artifact directory from the journal header.
+  ASSERT_EQ(run_cli({"run", "--runs-dir", runs_dir(), "--resume", "r1",
+                     "--only", kSubset}),
+            kExitSuccess)
+      << err_.str();
+  EXPECT_NE(out_.str().find("1 resumed from journal"), std::string::npos)
+      << out_.str();
+  EXPECT_TRUE(fs::exists(fs::path(out_dir()) / "table2_numa.json"));
+
+  // The resumed run's output is indistinguishable from an uninterrupted one:
+  // same artifact bytes, same manifest coverage.
+  const fs::path fresh = dir_ / "fresh";
+  ASSERT_EQ(run_cli({"run", "--out", fresh.string(), "--runs-dir", runs_dir(),
+                     "--run-id", "r2", "--only", kSubset}),
+            kExitSuccess);
+  for (const char* name : {"fig2_stream.json", "table2_numa.json", "manifest.json"}) {
+    EXPECT_EQ(slurp(fs::path(out_dir()) / name), slurp(fresh / name)) << name;
+  }
+}
+
+TEST_F(JournalResumeTest, ResumeReVerifiesArtifactHashesAndRerunsDrift) {
+  ASSERT_EQ(run_cli({"run", "--out", out_dir(), "--runs-dir", runs_dir(),
+                     "--run-id", "r1", "--only", kSubset}),
+            kExitSuccess)
+      << err_.str();
+  const fs::path artifact = fs::path(out_dir()) / "fig2_stream.json";
+  const std::string good = slurp(artifact);
+
+  // Tamper with a journaled artifact: the journal hash no longer matches,
+  // so resume must re-run that experiment instead of trusting the file.
+  std::ofstream(artifact, std::ios::binary) << "{\"corrupted\": true}\n";
+  ASSERT_EQ(run_cli({"run", "--out", out_dir(), "--runs-dir", runs_dir(),
+                     "--resume", "r1", "--only", kSubset}),
+            kExitSuccess)
+      << err_.str();
+  EXPECT_NE(out_.str().find("re-running"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("1 resumed from journal"), std::string::npos);
+  EXPECT_EQ(slurp(artifact), good);  // restored, byte for byte
+}
+
+TEST_F(JournalResumeTest, ResumeOfUnknownRunIdExitsUsage) {
+  EXPECT_EQ(run_cli({"run", "--out", out_dir(), "--runs-dir", runs_dir(),
+                     "--resume", "never-ran", "--only", kSubset}),
+            kExitUsage);
+  EXPECT_NE(err_.str().find("cannot resume"), std::string::npos) << err_.str();
+}
+
+TEST_F(JournalResumeTest, CooperativeInterruptFlagStopsBetweenExperiments) {
+  // The flag a real SIGINT sets: already pending when the run starts, so it
+  // exits 3 before executing anything — and the run is still resumable.
+  request_interrupt();
+  ASSERT_EQ(run_cli({"run", "--out", out_dir(), "--runs-dir", runs_dir(),
+                     "--run-id", "r1", "--only", kSubset}),
+            kExitInterrupted)
+      << err_.str();
+  EXPECT_NE(out_.str().find("0/2"), std::string::npos) << out_.str();
+  EXPECT_FALSE(fs::exists(fs::path(out_dir()) / "fig2_stream.json"));
+
+  clear_interrupt();
+  ASSERT_EQ(run_cli({"run", "--out", out_dir(), "--runs-dir", runs_dir(),
+                     "--resume", "r1", "--only", kSubset}),
+            kExitSuccess)
+      << err_.str();
+  EXPECT_TRUE(fs::exists(fs::path(out_dir()) / "fig2_stream.json"));
+  EXPECT_TRUE(fs::exists(fs::path(out_dir()) / "table2_numa.json"));
+
+  // Manifest after resume covers the full subset.
+  std::string error;
+  const auto manifest =
+      load_json_file((fs::path(out_dir()) / "manifest.json").string(), &error);
+  ASSERT_TRUE(manifest.has_value()) << error;
+  EXPECT_EQ(manifest->find("experiments")->as_array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace knl::repro
