@@ -1,0 +1,351 @@
+// bench_service: replay a synthetic request log against the placement
+// service at N simulated clients and report p50/p99 latency and throughput.
+//
+// Two transports share the same deterministic log:
+//   --mode inproc  call PlacementService::handle_text directly (default:
+//                  measures the service engine + SweepCache, no sockets)
+//   --mode http    full loopback HTTP round-trips; targets an external
+//                  daemon with --port (CI's service-smoke job) or a
+//                  self-hosted HttpServer otherwise
+//
+// Clients are *simulated*: a fixed pool of driver threads interleaves the
+// per-client request sequences, so `--clients 10000` exercises 10k distinct
+// request streams without 10k OS threads. The log mix (placement / what-if /
+// sweep / stats) is a pure function of (client, request index) — every run
+// replays the identical log.
+//
+// The default run is deliberately small: the measurement harness executes
+// every binary in build/bench/ with no arguments. Regenerate the checked-in
+// baseline with `cmake --build build --target bench_service_json`
+// (10k clients), or gate CI with --check-p99-ms / zero-error enforcement.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "repro/json.hpp"
+#include "service/http.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using knl::repro::json::Value;
+
+struct BenchOptions {
+  std::size_t clients = 200;
+  std::size_t requests = 1000;  ///< total, spread across the clients
+  std::string mode = "inproc";
+  std::uint16_t port = 0;  ///< http mode: external daemon; 0 = self-host
+  int drivers = 0;         ///< driver threads; 0 = min(hw, 32)
+  std::string out;         ///< write the JSON report here ("" = stdout only)
+  double check_p99_ms = 0.0;  ///< > 0: exit 1 when p99 exceeds this bound
+  bool check_errors = false;  ///< exit 1 on any non-2xx except 429
+};
+
+/// SplitMix64: the deterministic request-log generator.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+const char* kWorkloads[] = {"STREAM", "GUPS", "DGEMM", "MiniFE", "XSBench",
+                            "Graph500"};
+const char* kConfigs[] = {"DRAM", "HBM", "Cache Mode"};
+
+struct Request {
+  std::string method;
+  std::string target;
+  std::string body;
+};
+
+/// The synthetic log: (client, index) -> request. Footprints are drawn from
+/// a small palette so the run settles into a realistic cache-hit regime
+/// while still forcing misses early on.
+Request synth_request(std::uint64_t client, std::uint64_t index) {
+  const std::uint64_t r = mix64(client * 0x100000001b3ull + index);
+  const std::uint64_t kind = r % 100;
+  const std::uint64_t bytes = (64ull + 64ull * ((r >> 8) % 24)) << 20;  // 64MiB..1.5GiB
+  const char* workload = kWorkloads[(r >> 16) % 6];
+  const int threads = static_cast<int>(16u << ((r >> 24) % 4));  // 16..128
+
+  if (kind < 40) {
+    Value body = Value::object();
+    body.set("name", "bench-app");
+    body.set("footprint_bytes", static_cast<double>(bytes));
+    body.set("regular_fraction", static_cast<double>((r >> 32) % 101) / 100.0);
+    body.set("flops_per_byte", static_cast<double>((r >> 40) % 8));
+    return {"POST", "/placement", body.dump(0)};
+  }
+  if (kind < 80) {
+    Value body = Value::object();
+    body.set("workload", workload);
+    body.set("bytes", static_cast<double>(bytes));
+    body.set("threads", threads);
+    body.set("config", kConfigs[(r >> 48) % 3]);
+    return {"POST", "/whatif", body.dump(0)};
+  }
+  if (kind < 90) {
+    Value body = Value::object();
+    body.set("workload", workload);
+    body.set("threads", threads);
+    Value sizes = Value::array();
+    for (int i = 0; i < 3; ++i) {
+      sizes.push_back(static_cast<double>(
+          (128ull + 128ull * (static_cast<std::uint64_t>(i) + (r >> 52) % 3)) << 20));
+    }
+    body.set("sizes_bytes", std::move(sizes));
+    return {"POST", "/sweep", body.dump(0)};
+  }
+  if (kind < 99) return {"GET", "/stats", ""};
+  return {"GET", "/healthz", ""};
+}
+
+/// Minimal loopback HTTP client: one connection per request (no keep-alive
+/// bookkeeping; measures the full accept/parse/respond path).
+int http_round_trip(std::uint16_t port, const Request& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  std::string wire = request.method + " " + request.target + " HTTP/1.1\r\n";
+  wire += "Host: 127.0.0.1\r\nConnection: close\r\n";
+  wire += "Content-Length: " + std::to_string(request.body.size()) + "\r\n\r\n";
+  wire += request.body;
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    reply.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  // "HTTP/1.1 NNN ..."
+  if (reply.size() < 12 || reply.compare(0, 9, "HTTP/1.1 ") != 0) return -1;
+  return std::stoi(reply.substr(9, 3));
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+bool parse_size(const std::string& text, std::size_t& out) {
+  try {
+    std::size_t consumed = 0;
+    const long long v = std::stoll(text, &consumed);
+    if (consumed != text.size() || v < 0) return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&]() -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::cerr << "bench_service: " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    std::size_t n = 0;
+    if (arg == "--clients") {
+      const std::string* v = value();
+      if (v == nullptr || !parse_size(*v, n) || n == 0) return 2;
+      options.clients = n;
+    } else if (arg == "--requests") {
+      const std::string* v = value();
+      if (v == nullptr || !parse_size(*v, n) || n == 0) return 2;
+      options.requests = n;
+    } else if (arg == "--mode") {
+      const std::string* v = value();
+      if (v == nullptr || (*v != "inproc" && *v != "http")) return 2;
+      options.mode = *v;
+    } else if (arg == "--port") {
+      const std::string* v = value();
+      if (v == nullptr || !parse_size(*v, n) || n > 65535) return 2;
+      options.port = static_cast<std::uint16_t>(n);
+    } else if (arg == "--drivers") {
+      const std::string* v = value();
+      if (v == nullptr || !parse_size(*v, n)) return 2;
+      options.drivers = static_cast<int>(n);
+    } else if (arg == "--out") {
+      const std::string* v = value();
+      if (v == nullptr) return 2;
+      options.out = *v;
+    } else if (arg == "--check-p99-ms") {
+      const std::string* v = value();
+      if (v == nullptr) return 2;
+      options.check_p99_ms = std::stod(*v);
+      options.check_errors = true;
+    } else {
+      std::cerr << "bench_service: unknown option " << arg << "\n"
+                << "usage: bench_service [--clients N] [--requests N]\n"
+                << "       [--mode inproc|http] [--port P] [--drivers N]\n"
+                << "       [--out FILE] [--check-p99-ms X]\n";
+      return 2;
+    }
+  }
+
+  // Self-hosted engine (inproc mode and self-hosted http mode share it).
+  knl::service::ServiceOptions service_options;
+  service_options.max_inflight = 4096;
+  std::optional<knl::service::PlacementService> service;
+  std::optional<knl::service::HttpServer> server;
+  std::uint16_t port = options.port;
+  if (options.mode == "inproc" || port == 0) {
+    service.emplace(service_options);
+    if (options.mode == "http") {
+      server.emplace(*service, knl::service::HttpServerOptions{});
+      server->start();
+      port = server->port();
+    }
+  }
+
+  const int drivers =
+      options.drivers > 0
+          ? options.drivers
+          : static_cast<int>(std::min(32u, std::max(2u, std::thread::hardware_concurrency())));
+
+  // Per-request latencies, preallocated so drivers never contend on memory.
+  std::vector<double> latencies_ms(options.requests, 0.0);
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::size_t> next{0};
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= options.requests) return;
+      const std::uint64_t client = i % options.clients;
+      const std::uint64_t index = i / options.clients;
+      const Request request = synth_request(client, index);
+
+      const auto start = std::chrono::steady_clock::now();
+      int status = 0;
+      if (options.mode == "inproc") {
+        status = service->handle_text(request.method, request.target, request.body)
+                     .status;
+      } else {
+        status = http_round_trip(port, request);
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      latencies_ms[i] =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+
+      if (status == 200) {
+        ok.fetch_add(1, std::memory_order_relaxed);
+      } else if (status == 429) {
+        shed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(drivers));
+  for (int i = 0; i < drivers; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  std::vector<double> sorted = latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double p50 = percentile(sorted, 0.50);
+  const double p90 = percentile(sorted, 0.90);
+  const double p99 = percentile(sorted, 0.99);
+  const double qps =
+      wall_seconds > 0.0 ? static_cast<double>(options.requests) / wall_seconds : 0.0;
+
+  Value report = Value::object();
+  report.set("benchmark", "bench_service");
+  report.set("mode", options.mode);
+  report.set("clients", static_cast<double>(options.clients));
+  report.set("requests", static_cast<double>(options.requests));
+  report.set("drivers", drivers);
+  report.set("wall_seconds", wall_seconds);
+  report.set("qps", qps);
+  Value latency = Value::object();
+  latency.set("p50_ms", p50);
+  latency.set("p90_ms", p90);
+  latency.set("p99_ms", p99);
+  latency.set("max_ms", sorted.empty() ? 0.0 : sorted.back());
+  report.set("latency", std::move(latency));
+  Value responses = Value::object();
+  responses.set("ok", static_cast<double>(ok.load()));
+  responses.set("shed", static_cast<double>(shed.load()));
+  responses.set("failed", static_cast<double>(failed.load()));
+  report.set("responses", std::move(responses));
+  if (service.has_value()) {
+    // In-process run: the engine's own view (cache hit rate, shed count).
+    const auto stats =
+        service->handle("GET", "/stats", knl::repro::json::Value());
+    report.set("service_stats", stats.body);
+  }
+
+  const std::string text = report.dump(2) + "\n";
+  std::cout << text;
+  if (!options.out.empty()) {
+    std::ofstream out(options.out);
+    out << text;
+    if (!out) {
+      std::cerr << "bench_service: cannot write " << options.out << "\n";
+      return 2;
+    }
+  }
+
+  if (server.has_value()) server->stop();
+
+  if (options.check_errors && failed.load() > 0) {
+    std::cerr << "bench_service: " << failed.load() << " failed responses\n";
+    return 1;
+  }
+  if (options.check_p99_ms > 0.0 && p99 > options.check_p99_ms) {
+    std::cerr << "bench_service: p99 " << p99 << " ms exceeds bound "
+              << options.check_p99_ms << " ms\n";
+    return 1;
+  }
+  return 0;
+}

@@ -57,6 +57,9 @@ void MachineConfig::validate() const {
 
 std::uint64_t MachineConfig::fingerprint() const {
   std::uint64_t h = kFnvOffset;
+  // Schema version first: a bump invalidates every cached result derived
+  // from the old field set, even where raw parameter bytes would collide.
+  mix(h, schema_version);
   // Timing view.
   mix_node(h, timing.ddr);
   mix_node(h, timing.hbm);

@@ -9,10 +9,23 @@
 
 namespace knl {
 
+/// Version of the machine-profile schema: the set of calibrated fields a
+/// MachineConfig carries and the order fingerprint() mixes them in. Bump it
+/// whenever a field is added, removed, or re-interpreted — the version is
+/// part of the fingerprint, so every cached sweep result and persisted
+/// cache file keyed on the old schema misses instead of silently serving a
+/// stale answer for a profile whose raw bytes happen to collide.
+inline constexpr int kMachineSchemaVersion = 2;
+
 /// Everything needed to instantiate a simulated KNL-class node. Defaults
 /// reproduce the paper's testbed (KNL 7210, 96 GB DDR4 + 16 GB MCDRAM,
 /// quadrant cluster mode).
 struct MachineConfig {
+  /// Schema version fingerprinted ahead of every parameter (see
+  /// kMachineSchemaVersion). A field, not a constant, so tests can prove
+  /// the invalidation path without editing the header.
+  int schema_version = kMachineSchemaVersion;
+
   sim::TimingConfig timing = {};
   sim::PhysicalMemoryConfig physical = {};
 

@@ -223,39 +223,176 @@ SweepCache& SweepCache::instance() {
   return cache;
 }
 
+SweepCache::Shard& SweepCache::shard_for(const SweepKey& key) const {
+  // Top hash bits pick the shard; unordered_map consumes the low bits for
+  // its buckets, so the two choices stay uncorrelated.
+  const std::size_t h = SweepKeyHash{}(key);
+  return shards_[(h >> 48) & (kShardCount - 1)];
+}
+
+void SweepCache::store_locked(Shard& shard, const SweepKey& key,
+                              const RunResult& result) {
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    it->second->result = result;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, result});
+  shard.index.emplace(key, shard.lru.begin());
+  const std::size_t bound = std::max<std::size_t>(1, shard_capacity());
+  while (shard.index.size() > bound) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 std::optional<RunResult> SweepCache::lookup(const SweepKey& key) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->result;
 }
 
 void SweepCache::store(const SweepKey& key, const RunResult& result) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  entries_.insert_or_assign(key, result);
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  store_locked(shard, key, result);
+}
+
+RunResult SweepCache::fetch_or_compute(const SweepKey& key,
+                                       const std::function<RunResult()>& compute,
+                                       bool* cache_hit) {
+  Shard& shard = shard_for(key);
+  std::shared_future<RunResult> herd;
+  std::promise<RunResult> mine;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const auto it = shard.index.find(key); it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return it->second->result;
+    }
+    if (const auto in = shard.inflight.find(key); in != shard.inflight.end()) {
+      herd = in->second;  // join the herd: share the owner's computation
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      owner = true;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      shard.inflight.emplace(key, std::shared_future<RunResult>(mine.get_future()));
+    }
+  }
+  if (!owner) {
+    // Served without evaluating — a cache hit from the caller's viewpoint.
+    if (cache_hit != nullptr) *cache_hit = true;
+    return herd.get();  // rethrows whatever the owner threw
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  try {
+    const RunResult result = compute();
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      // Insert before retiring the in-flight entry so no window exists in
+      // which a third query finds neither and recomputes.
+      store_locked(shard, key, result);
+      shard.inflight.erase(key);
+    }
+    mine.set_value(result);
+    return result;
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.inflight.erase(key);
+    }
+    mine.set_exception(std::current_exception());
+    throw;
+  }
 }
 
 std::size_t SweepCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.index.size();
+  }
+  return total;
+}
+
+std::size_t SweepCache::capacity() const {
+  return capacity_.load(std::memory_order_relaxed);
+}
+
+void SweepCache::set_capacity(std::size_t max_entries) {
+  const std::size_t per_shard =
+      std::max<std::size_t>(1, (max_entries + kShardCount - 1) / kShardCount);
+  capacity_.store(per_shard * kShardCount, std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    while (shard.index.size() > per_shard) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 void SweepCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.index.clear();
+    shard.lru.clear();
+  }
+}
+
+SweepCacheStats SweepCache::stats() const {
+  SweepCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.entries = size();
+  s.capacity = capacity();
+  s.shards = kShardCount;
+  return s;
+}
+
+void SweepCache::reset_stats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  coalesced_.store(0, std::memory_order_relaxed);
+  inserts_.store(0, std::memory_order_relaxed);
 }
 
 namespace {
-constexpr const char* kCacheHeader = "knlmem-sweep-cache 1";
+// v2: entry lines unchanged from v1, but the header also pins the
+// machine-profile schema version — a cache persisted under another schema
+// must read as cold, never as subtly stale.
+constexpr const char* kCacheHeaderPrefix = "knlmem-sweep-cache 2 machine-schema ";
+std::string cache_header() {
+  return std::string(kCacheHeaderPrefix) + std::to_string(kMachineSchemaVersion);
+}
 }
 
 bool SweepCache::save(const std::string& path) const {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
-  std::fprintf(file, "%s\n", kCacheHeader);
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [key, r] : entries_) {
+  std::fprintf(file, "%s\n", cache_header().c_str());
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const Entry& entry : shard.lru) {
+      const SweepKey& key = entry.key;
+      const RunResult& r = entry.result;
       // Hex floats (%a) round-trip doubles exactly, keeping warm-cache runs
       // bit-identical to cold ones. The free-form infeasibility reason goes
       // last so it may contain spaces; "-" marks an empty reason.
@@ -275,8 +412,11 @@ bool SweepCache::load(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "r");
   if (file == nullptr) return false;
   char line[1024];
+  const std::string header = cache_header();
   if (std::fgets(line, sizeof(line), file) == nullptr ||
-      std::strncmp(line, kCacheHeader, std::strlen(kCacheHeader)) != 0) {
+      std::strncmp(line, header.c_str(), header.size()) != 0 ||
+      (line[header.size()] != '\n' && line[header.size()] != '\r' &&
+       line[header.size()] != '\0')) {
     std::fclose(file);
     return false;
   }
@@ -313,14 +453,8 @@ RunResult cached_run(const Machine& machine, const trace::AccessProfile& profile
                      const RunConfig& run_config, bool* cache_hit) {
   const SweepKey key{profile_fingerprint(profile), machine.config().fingerprint(),
                      run_config.config, run_config.threads};
-  if (auto cached = SweepCache::instance().lookup(key)) {
-    if (cache_hit != nullptr) *cache_hit = true;
-    return *cached;
-  }
-  const RunResult result = machine.run(profile, run_config);
-  SweepCache::instance().store(key, result);
-  if (cache_hit != nullptr) *cache_hit = false;
-  return result;
+  return SweepCache::instance().fetch_or_compute(
+      key, [&] { return machine.run(profile, run_config); }, cache_hit);
 }
 
 // ---------------------------------------------------------------------------

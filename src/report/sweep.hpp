@@ -11,8 +11,12 @@
 // sweeps, and via save()/load() across bench-binary runs — free.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -131,31 +135,110 @@ struct SweepKeyHash {
 /// are excluded — they are labels, not timing inputs.
 [[nodiscard]] std::uint64_t profile_fingerprint(const trace::AccessProfile& profile);
 
-/// Process-wide memoized simulation results, shared by every sweep in the
-/// process and thread-safe for concurrent cells. save()/load() persist
-/// entries as a text file (hex-float exact round-trip), so a bench binary
-/// run with `--cache FILE` starts warm on its second invocation.
+/// Observability counters of the SweepCache, readable at any time (values
+/// are individually atomic; a snapshot taken under load is approximate
+/// across fields but each field is exact).
+struct SweepCacheStats {
+  std::size_t hits = 0;       ///< lookups served from a resident entry
+  std::size_t misses = 0;     ///< lookups that had to compute (or found nothing)
+  std::size_t evictions = 0;  ///< entries dropped to honor the capacity bound
+  std::size_t coalesced = 0;  ///< queries that waited on an identical in-flight
+                              ///< computation instead of recomputing
+  std::size_t inserts = 0;    ///< store() calls (first-time + overwrites)
+  std::size_t entries = 0;    ///< resident entries right now
+  std::size_t capacity = 0;   ///< configured bound (entries)
+  std::size_t shards = 0;     ///< shard count (compile-time constant)
+};
+
+/// Process-wide memoized simulation results, shared by every sweep — and,
+/// since the service layer, by every concurrent query — in the process.
+///
+/// The cache is *sharded*: keys hash to one of kShardCount independent
+/// shards, each with its own mutex, LRU list and index, so concurrent
+/// queries contend only when they land on the same shard. Each shard is
+/// *bounded*: beyond its slice of the capacity, the least-recently-used
+/// entry is evicted (the classic two-level ram_cache/page_stats_table
+/// discipline: hot results resident, cold ones recomputed on demand).
+/// Identical concurrent misses are *coalesced*: the first caller computes,
+/// the rest wait on its future — a thundering herd of equal (profile,
+/// machine, config, threads) fingerprints costs one simulation.
+///
+/// save()/load() persist entries as a text file (hex-float exact
+/// round-trip), so a bench binary run with `--cache FILE` starts warm on
+/// its second invocation. The file header records the machine-profile
+/// schema version; a file written under another schema is rejected as a
+/// benign cold start.
 class SweepCache {
  public:
+  /// Shards (power of two; keys use the top hash bits so shard choice is
+  /// independent of the per-shard bucket choice).
+  static constexpr std::size_t kShardCount = 16;
+  /// Default capacity bound, in entries. A RunResult is ~100 bytes, so the
+  /// default caps the cache at a few MiB while holding every cell of every
+  /// registry experiment many times over.
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
   static SweepCache& instance();
 
   [[nodiscard]] std::optional<RunResult> lookup(const SweepKey& key) const;
   void store(const SweepKey& key, const RunResult& result);
 
+  /// The coalescing read-through path: returns the cached result, else
+  /// computes via `compute` and stores. Concurrent callers with the same
+  /// key while a computation is in flight wait for it and share its result
+  /// (or its exception) — `compute` runs exactly once per herd. Sets
+  /// `*cache_hit` to false only for the caller that actually computed.
+  [[nodiscard]] RunResult fetch_or_compute(const SweepKey& key,
+                                           const std::function<RunResult()>& compute,
+                                           bool* cache_hit = nullptr);
+
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+  /// Re-bound the cache (rounded up to a multiple of kShardCount, min one
+  /// entry per shard), evicting LRU entries that no longer fit.
+  void set_capacity(std::size_t max_entries);
   void clear();
 
+  [[nodiscard]] SweepCacheStats stats() const;
+  void reset_stats();
+
   /// Merge entries from `path` (written by save). Returns false when the
-  /// file is absent or malformed — both are benign cold-cache starts.
+  /// file is absent, malformed, or written under a different
+  /// machine-profile schema version — all benign cold-cache starts.
   bool load(const std::string& path);
   /// Write every entry to `path`, replacing it. Returns false on I/O error.
   [[nodiscard]] bool save(const std::string& path) const;
 
  private:
+  struct Entry {
+    SweepKey key;
+    RunResult result;
+  };
+  /// One shard: mutex, LRU list (front = most recent), index into it, and
+  /// the in-flight table coalescing concurrent identical misses.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;
+    std::unordered_map<SweepKey, std::list<Entry>::iterator, SweepKeyHash> index;
+    std::unordered_map<SweepKey, std::shared_future<RunResult>, SweepKeyHash> inflight;
+  };
+
   SweepCache() = default;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<SweepKey, RunResult, SweepKeyHash> entries_;
+  [[nodiscard]] Shard& shard_for(const SweepKey& key) const;
+  /// Insert/refresh under the shard lock, evicting past the per-shard bound.
+  void store_locked(Shard& shard, const SweepKey& key, const RunResult& result);
+  [[nodiscard]] std::size_t shard_capacity() const {
+    return capacity_.load(std::memory_order_relaxed) / kShardCount;
+  }
+
+  mutable std::array<Shard, kShardCount> shards_;
+  std::atomic<std::size_t> capacity_{kDefaultCapacity};
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> evictions_{0};
+  std::atomic<std::size_t> coalesced_{0};
+  std::atomic<std::size_t> inserts_{0};
 };
 
 /// Run one (profile, run-config) cell through the memoization cache: on a

@@ -14,6 +14,7 @@
 #include "repro/golden_diff.hpp"
 #include "repro/journal.hpp"
 #include "repro/pipeline.hpp"
+#include "repro/registry_doc.hpp"
 
 namespace knl::repro {
 
@@ -34,7 +35,8 @@ struct CliOptions {
   std::string resume_id;  ///< resume this run's journal instead
   std::string fault_plan;  ///< KNL_FAULT_PLAN grammar, overrides the env
   int jobs = 0;
-  bool force = false;  ///< bless despite failing shape checks
+  bool force = false;     ///< bless despite failing shape checks
+  bool markdown = false;  ///< list: print docs/EXPERIMENT_REGISTRY.md text
   std::vector<std::string> only;
 };
 
@@ -48,7 +50,8 @@ void usage(std::ostream& os) {
         "  diff   recompute the suite and compare against the golden\n"
         "         baselines; exit 1 on any out-of-tolerance metric\n"
         "  bless  rewrite the golden baselines from the current model\n"
-        "  list   print the experiment registry\n"
+        "  list   print the experiment registry (--markdown: emit the\n"
+        "         docs/EXPERIMENT_REGISTRY.md text)\n"
         "\n"
         "options:\n"
         "  --out DIR      artifact directory for `run` (default repro-out)\n"
@@ -139,6 +142,8 @@ bool parse(const std::vector<std::string>& args, CliOptions& opts, std::ostream&
       opts.fault_plan = *v;
     } else if (arg == "--force") {
       opts.force = true;
+    } else if (arg == "--markdown") {
+      opts.markdown = true;
     } else if (arg == "--help" || arg == "-h") {
       opts.command = "help";
     } else {
@@ -192,7 +197,11 @@ bool any_check_failed(const std::vector<ExperimentResult>& results) {
   return false;
 }
 
-int cmd_list(std::ostream& out) {
+int cmd_list(const CliOptions& opts, std::ostream& out) {
+  if (opts.markdown) {
+    out << registry_markdown();
+    return kExitSuccess;
+  }
   out << "registered experiments (schema v" << kSchemaVersion << "):\n";
   for (const ExperimentSpec& spec : experiments()) {
     out << "  " << spec.id << "  [" << to_string(spec.kind) << "]  " << spec.title
@@ -468,7 +477,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
     usage(out);
     return kExitSuccess;
   }
-  if (opts.command == "list") return cmd_list(out);
+  if (opts.command == "list") return cmd_list(opts, out);
 
   std::vector<const ExperimentSpec*> specs;
   if (!select_specs(opts, specs, err)) return kExitUsage;

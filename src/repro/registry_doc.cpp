@@ -1,0 +1,157 @@
+#include "repro/registry_doc.hpp"
+
+#include <cstdint>
+#include <sstream>
+
+#include "core/types.hpp"
+#include "repro/experiment.hpp"
+#include "repro/pipeline.hpp"
+
+namespace knl::repro {
+
+namespace {
+
+/// Exact human-readable size: registry grids are round binary multiples,
+/// so integer GiB/MiB/KiB division is lossless; fall back to bytes if not.
+std::string bytes_string(std::uint64_t bytes) {
+  constexpr std::uint64_t kKiB = 1024;
+  constexpr std::uint64_t kMiB = kKiB * 1024;
+  constexpr std::uint64_t kGiB = kMiB * 1024;
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    return std::to_string(bytes / kGiB) + " GiB";
+  }
+  if (bytes >= kMiB && bytes % kMiB == 0) {
+    return std::to_string(bytes / kMiB) + " MiB";
+  }
+  if (bytes >= kKiB && bytes % kKiB == 0) {
+    return std::to_string(bytes / kKiB) + " KiB";
+  }
+  return std::to_string(bytes) + " B";
+}
+
+std::string number_string(double value) {
+  std::ostringstream os;
+  os << value;  // default precision: registry thresholds are short literals
+  return os.str();
+}
+
+std::string check_formula(const ShapeCheck& check) {
+  switch (check.kind) {
+    case ShapeCheck::Kind::RatioAtLeast:
+      return "`" + check.series_a + "` / `" + check.series_b + "` at x≈" +
+             number_string(check.x) + " ≥ " + number_string(check.threshold);
+    case ShapeCheck::Kind::RatioAtMost:
+      return "`" + check.series_a + "` / `" + check.series_b + "` at x≈" +
+             number_string(check.x) + " ≤ " + number_string(check.threshold);
+    case ShapeCheck::Kind::PointCountAtMost:
+      return "`" + check.series_a + "` has ≤ " + number_string(check.threshold) +
+             " points";
+    case ShapeCheck::Kind::GrowthAtLeast:
+      return "last(`" + check.series_a + "`) / first(`" + check.series_a + "`) ≥ " +
+             number_string(check.threshold);
+    case ShapeCheck::Kind::GrowthAtMost:
+      return "last(`" + check.series_a + "`) / first(`" + check.series_a + "`) ≤ " +
+             number_string(check.threshold);
+  }
+  return "?";
+}
+
+void render_grid(std::ostringstream& os, const ExperimentSpec& spec) {
+  switch (spec.kind) {
+    case ExperimentKind::SizeSweep:
+    case ExperimentKind::Latency: {
+      os << "- **Grid:** ";
+      for (std::size_t i = 0; i < spec.sizes_bytes.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << bytes_string(spec.sizes_bytes[i]);
+      }
+      os << " at " << spec.fixed_threads << " threads\n";
+      break;
+    }
+    case ExperimentKind::HtGrid: {
+      os << "- **Grid:** ";
+      for (std::size_t i = 0; i < spec.sizes_bytes.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << bytes_string(spec.sizes_bytes[i]);
+      }
+      os << " × hardware-thread multipliers {";
+      for (std::size_t i = 0; i < spec.thread_counts.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << spec.thread_counts[i];
+      }
+      os << "}\n";
+      break;
+    }
+    case ExperimentKind::ThreadSweep: {
+      os << "- **Grid:** threads {";
+      for (std::size_t i = 0; i < spec.thread_counts.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << spec.thread_counts[i];
+      }
+      os << "} at " << bytes_string(spec.fixed_bytes) << "\n";
+      break;
+    }
+    case ExperimentKind::Table:
+      os << "- **Grid:** none (static table)\n";
+      break;
+  }
+  if (!spec.configs.empty()) {
+    os << "- **Memory configs:** ";
+    for (std::size_t i = 0; i < spec.configs.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << to_string(spec.configs[i]);
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace
+
+std::string registry_markdown() {
+  std::ostringstream os;
+  os << "# Experiment registry\n"
+        "\n"
+        "Every figure and table of the paper's evaluation, as registered in\n"
+        "`src/repro/experiment.cpp` (artifact schema v"
+     << kSchemaVersion
+     << "). Each experiment produces one JSON artifact; the golden baselines\n"
+        "live under `golden/` and are compared by `knl-repro diff`.\n"
+        "\n"
+        "> **Generated file — do not edit by hand.** This document is printed\n"
+        "> by `build/tools/knl-repro list --markdown`; a test diffs it against\n"
+        "> the generator, so regenerate after any registry change:\n"
+        ">\n"
+        "> ```sh\n"
+        "> build/tools/knl-repro list --markdown > docs/EXPERIMENT_REGISTRY.md\n"
+        "> ```\n";
+
+  for (const ExperimentSpec& spec : experiments()) {
+    os << "\n## " << spec.id << " — " << spec.title << "\n\n";
+    os << "- **Kind:** " << to_string(spec.kind) << "\n";
+    if (!spec.workload.empty()) {
+      os << "- **Workload:** " << spec.workload << "\n";
+    }
+    if (!spec.x_label.empty() || !spec.y_label.empty()) {
+      os << "- **Axes:** " << (spec.x_label.empty() ? "—" : spec.x_label) << " vs "
+         << (spec.y_label.empty() ? "—" : spec.y_label) << "\n";
+    }
+    render_grid(os, spec);
+    if (spec.self_speedup) {
+      os << "- **Derived:** per-series self-speedup lines\n";
+    }
+    for (const RatioSeries& ratio : spec.ratios) {
+      os << "- **Derived:** `" << ratio.name << "` = `" << ratio.numerator
+         << "` / `" << ratio.denominator << "`\n";
+    }
+    os << "- **Tolerance:** rel " << number_string(spec.tolerance.rel) << ", abs "
+       << number_string(spec.tolerance.abs) << "\n";
+    os << "- **Golden artifact:** `golden/" << artifact_filename(spec.id) << "`\n";
+    if (!spec.paper_shape.empty()) {
+      os << "\n**Paper expectation.** " << spec.paper_shape << "\n";
+    }
+    if (!spec.checks.empty()) {
+      os << "\n**Shape checks.**\n\n";
+      for (const ShapeCheck& check : spec.checks) {
+        os << "- " << check.description << " — " << check_formula(check) << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace knl::repro

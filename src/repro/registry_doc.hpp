@@ -1,0 +1,21 @@
+// registry_markdown(): render the experiment registry as the Markdown
+// document checked in at docs/EXPERIMENT_REGISTRY.md.
+//
+// The generator is the single source of truth for that file: `knl-repro
+// list --markdown` prints it, and a round-trip test diffs the checked-in
+// copy against this function's output, so the doc can never drift from the
+// registry it documents. Regenerate with:
+//
+//   build/tools/knl-repro list --markdown > docs/EXPERIMENT_REGISTRY.md
+#pragma once
+
+#include <string>
+
+namespace knl::repro {
+
+/// The complete docs/EXPERIMENT_REGISTRY.md text (trailing newline
+/// included): one section per registered experiment with its sweep grid,
+/// tolerances, shape checks and golden artifact.
+[[nodiscard]] std::string registry_markdown();
+
+}  // namespace knl::repro

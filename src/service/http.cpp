@@ -1,0 +1,304 @@
+#include "service/http.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <string_view>
+
+#include "core/fault/error.hpp"
+
+namespace knl::service {
+
+namespace {
+
+// MSG_NOSIGNAL spares us a process-wide SIGPIPE handler; not all platforms
+// define it (macOS uses SO_NOSIGPIPE), so degrade to 0 there.
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 503: return "Service Unavailable";
+    default: return status >= 500 ? "Internal Server Error" : "Error";
+  }
+}
+
+/// Write the whole buffer, riding out short sends. False on peer reset.
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, kSendFlags);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+struct ParsedRequest {
+  std::string method;
+  std::string target;
+  std::string body;
+  bool keep_alive = true;
+};
+
+/// Outcome of reading one request off the wire.
+enum class ReadStatus {
+  Ok,
+  Closed,    ///< orderly close or idle timeout: just drop the connection
+  TooLarge,  ///< body over the limit: answer 413 and close
+  Malformed  ///< unparseable request line/headers: answer 400 and close
+};
+
+/// Blocking read of one HTTP/1.1 request. `buffer` carries bytes pipelined
+/// past the previous request on this connection.
+ReadStatus read_request(int fd, std::string& buffer, std::size_t max_body,
+                        ParsedRequest& out) {
+  char chunk[4096];
+  std::size_t header_end = std::string::npos;
+  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer.size() > max_body + 8192) return ReadStatus::TooLarge;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      // 0 = orderly close; EAGAIN/EWOULDBLOCK = SO_RCVTIMEO idle timeout.
+      return ReadStatus::Closed;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  const std::string head = buffer.substr(0, header_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+
+  // "METHOD SP TARGET SP HTTP/x.y"
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return ReadStatus::Malformed;
+  out.method = request_line.substr(0, sp1);
+  out.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (out.method.empty() || out.target.empty() || out.target[0] != '/') {
+    return ReadStatus::Malformed;
+  }
+
+  // Headers we care about: Content-Length and Connection.
+  std::size_t content_length = 0;
+  out.keep_alive = true;
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string_view line(head.data() + pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string_view name = line.substr(0, colon);
+      std::string_view value = line.substr(colon + 1);
+      while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+        value.remove_prefix(1);
+      }
+      if (iequals(name, "content-length")) {
+        content_length = 0;
+        if (value.empty()) return ReadStatus::Malformed;
+        for (const char c : value) {
+          if (c < '0' || c > '9') return ReadStatus::Malformed;
+          content_length = content_length * 10 + static_cast<std::size_t>(c - '0');
+          if (content_length > max_body) return ReadStatus::TooLarge;
+        }
+      } else if (iequals(name, "connection") && iequals(value, "close")) {
+        out.keep_alive = false;
+      }
+    }
+    pos = eol + 2;
+  }
+
+  const std::size_t body_start = header_end + 4;
+  while (buffer.size() < body_start + content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return ReadStatus::Closed;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  out.body = buffer.substr(body_start, content_length);
+  buffer.erase(0, body_start + content_length);  // keep pipelined bytes
+  return ReadStatus::Ok;
+}
+
+std::string render_response(int status, const std::string& body, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    reason_phrase(status) + "\r\n";
+  out += "Content-Type: application/json\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string error_body(int status, const std::string& code, const std::string& msg) {
+  repro::json::Value detail = repro::json::Value::object();
+  detail.set("status", status);
+  detail.set("category", "corrupt-input");
+  detail.set("code", code);
+  detail.set("message", msg);
+  repro::json::Value envelope = repro::json::Value::object();
+  envelope.set("error", std::move(detail));
+  return envelope.dump(0);
+}
+
+}  // namespace
+
+HttpServer::HttpServer(PlacementService& service, HttpServerOptions options)
+    : service_(service), options_(options) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error::resource("http/socket", std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error::resource("http/bind",
+                          "cannot bind 127.0.0.1:" + std::to_string(options_.port) +
+                              ": " + why);
+  }
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error::resource("http/listen", why);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (running_.exchange(true)) return;
+  const int threads = options_.threads < 1 ? 1 : options_.threads;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { accept_loop(); });
+  }
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) {
+    // Never started (or already stopped): still release the socket.
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  // Unblock every accept(): shutdown makes pending accepts fail, close
+  // releases the fd. Workers see running_ == false and exit.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listening socket closed by stop()
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  // Keep-alive idle timeout: a silent connection past the deadline makes
+  // recv fail with EAGAIN, which read_request reports as an orderly close.
+  timeval tv{};
+  tv.tv_sec = options_.idle_timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((options_.idle_timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string buffer;
+  while (running_.load(std::memory_order_relaxed)) {
+    ParsedRequest request;
+    const ReadStatus status =
+        read_request(fd, buffer, options_.max_body_bytes, request);
+    if (status == ReadStatus::Closed) return;
+    if (status == ReadStatus::TooLarge) {
+      send_all(fd, render_response(
+                       413, error_body(413, "http/body-too-large",
+                                       "request body exceeds the configured limit"),
+                       false));
+      return;
+    }
+    if (status == ReadStatus::Malformed) {
+      send_all(fd, render_response(400,
+                                   error_body(400, "http/malformed",
+                                              "cannot parse the HTTP request"),
+                                   false));
+      return;
+    }
+
+    const ServiceResponse response =
+        service_.handle_text(request.method, request.target, request.body);
+    // Compact body: one line per response keeps the bench replay parseable.
+    if (!send_all(fd, render_response(response.status, response.body.dump(0),
+                                      request.keep_alive))) {
+      return;
+    }
+    if (!request.keep_alive) return;
+  }
+}
+
+}  // namespace knl::service

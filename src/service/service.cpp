@@ -1,0 +1,591 @@
+#include "service/service.hpp"
+
+#include <cmath>
+#include <future>
+#include <utility>
+
+#include "core/advisor.hpp"
+#include "core/fault/error.hpp"
+#include "workloads/registry.hpp"
+
+namespace knl::service {
+
+namespace {
+
+using repro::json::Value;
+
+// ---------------------------------------------------------------------------
+// Body parsing: every helper throws CorruptInput with the field name, which
+// the error envelope turns into a 400 naming exactly what was wrong.
+// ---------------------------------------------------------------------------
+const Value& require_object(const Value& body) {
+  if (!body.is_object()) {
+    throw Error::corrupt_input("service/bad-body",
+                               "request body must be a JSON object");
+  }
+  return body;
+}
+
+double require_number(const Value& body, const std::string& key) {
+  const Value* v = body.find(key);
+  if (v == nullptr || !v->is_number()) {
+    throw Error::corrupt_input("service/bad-field",
+                               "missing or non-numeric field '" + key + "'");
+  }
+  return v->as_number();
+}
+
+double number_or(const Value& body, const std::string& key, double fallback) {
+  const Value* v = body.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    throw Error::corrupt_input("service/bad-field",
+                               "field '" + key + "' must be a number");
+  }
+  return v->as_number();
+}
+
+std::string require_string(const Value& body, const std::string& key) {
+  const Value* v = body.find(key);
+  if (v == nullptr || !v->is_string()) {
+    throw Error::corrupt_input("service/bad-field",
+                               "missing or non-string field '" + key + "'");
+  }
+  return v->as_string();
+}
+
+std::uint64_t require_bytes(const Value& body, const std::string& key) {
+  const double raw = require_number(body, key);
+  if (!(raw > 0.0) || raw > 1e15) {
+    throw Error::corrupt_input("service/bad-field",
+                               "field '" + key + "' must be in (0, 1e15] bytes");
+  }
+  return static_cast<std::uint64_t>(raw);
+}
+
+int require_threads(const Value& body, const std::string& key, int fallback) {
+  const double raw = number_or(body, key, fallback);
+  if (raw < 1.0 || raw > 4096.0 || raw != std::floor(raw)) {
+    throw Error::corrupt_input("service/bad-field",
+                               "field '" + key + "' must be an integer in [1, 4096]");
+  }
+  return static_cast<int>(raw);
+}
+
+MemConfig parse_config(const std::string& name) {
+  if (name == "DRAM") return MemConfig::DRAM;
+  if (name == "HBM") return MemConfig::HBM;
+  if (name == "Cache Mode" || name == "CacheMode") return MemConfig::CacheMode;
+  throw Error::corrupt_input("service/bad-config",
+                             "unknown memory config '" + name +
+                                 "' (known: DRAM, HBM, Cache Mode)");
+}
+
+std::vector<MemConfig> parse_configs(const Value& body) {
+  const Value* v = body.find("configs");
+  if (v == nullptr) {
+    return {MemConfig::DRAM, MemConfig::HBM, MemConfig::CacheMode};
+  }
+  if (!v->is_array() || v->as_array().empty()) {
+    throw Error::corrupt_input("service/bad-field",
+                               "field 'configs' must be a non-empty array");
+  }
+  std::vector<MemConfig> configs;
+  for (const Value& item : v->as_array()) {
+    if (!item.is_string()) {
+      throw Error::corrupt_input("service/bad-field",
+                                 "field 'configs' must hold strings");
+    }
+    configs.push_back(parse_config(item.as_string()));
+  }
+  return configs;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+Value run_result_json(const RunResult& r) {
+  Value out = Value::object();
+  out.set("feasible", r.feasible);
+  if (!r.feasible) {
+    out.set("infeasible_reason", r.infeasible_reason);
+    return out;
+  }
+  out.set("seconds", r.seconds);
+  out.set("achieved_bw_gbs", r.achieved_bw_gbs);
+  out.set("avg_latency_ns", r.avg_latency_ns);
+  out.set("bytes_from_memory", r.bytes_from_memory);
+  out.set("flops", r.flops);
+  out.set("mcdram_hit_rate", r.mcdram_hit_rate);
+  return out;
+}
+
+Value figure_json(const report::Figure& figure) {
+  Value out = Value::object();
+  out.set("title", figure.title());
+  Value series = Value::array();
+  for (const report::Series& s : figure.series()) {
+    Value one = Value::object();
+    one.set("name", s.name);
+    Value points = Value::array();
+    for (const auto& [x, y] : s.points) {
+      Value point = Value::array();
+      point.push_back(x);
+      point.push_back(y);
+      points.push_back(std::move(point));
+    }
+    one.set("points", std::move(points));
+    series.push_back(std::move(one));
+  }
+  out.set("series", std::move(series));
+  return out;
+}
+
+Value sweep_stats_json(const report::SweepStats& stats) {
+  Value out = Value::object();
+  out.set("cells", static_cast<double>(stats.cells));
+  out.set("evaluated", static_cast<double>(stats.evaluated));
+  out.set("cache_hits", static_cast<double>(stats.cache_hits));
+  out.set("infeasible", static_cast<double>(stats.infeasible));
+  out.set("failed", static_cast<double>(stats.failed));
+  return out;
+}
+
+Value recommendation_json(const Recommendation& rec) {
+  Value out = Value::object();
+  out.set("config", to_string(rec.config));
+  out.set("threads", rec.threads);
+  out.set("speedup_vs_dram64", rec.predicted_speedup_vs_dram64);
+  out.set("feasible", rec.feasible);
+  if (!rec.rationale.empty()) out.set("rationale", rec.rationale);
+  return out;
+}
+
+int status_for(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::CorruptInput: return 400;
+    case ErrorCategory::Resource: return 429;
+    case ErrorCategory::Transient: return 503;
+    case ErrorCategory::Internal: return 500;
+  }
+  return 500;
+}
+
+/// RAII in-flight gauge: admission is checked by the caller; this only
+/// guarantees the decrement on every exit path.
+class InflightGuard {
+ public:
+  explicit InflightGuard(std::atomic<std::uint64_t>& gauge) : gauge_(gauge) {
+    gauge_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~InflightGuard() { gauge_.fetch_sub(1, std::memory_order_relaxed); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  std::atomic<std::uint64_t>& gauge_;
+};
+
+}  // namespace
+
+PlacementService::PlacementService(ServiceOptions options)
+    : options_(options),
+      pool_(options.workers <= 0 ? 0u : static_cast<unsigned>(options.workers)) {
+  machines_.emplace("knl7210", Machine(MachineConfig::knl7210()));
+  machines_.emplace("knl7210_equal_latency",
+                    Machine(MachineConfig::knl7210_equal_latency()));
+  machines_.emplace("knl7210_snc4", Machine(MachineConfig::knl7210_snc4()));
+  machines_.emplace("ddr_only", Machine(MachineConfig::ddr_only()));
+  report::SweepCache::instance().set_capacity(options_.cache_capacity);
+}
+
+std::vector<std::string> PlacementService::machine_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, machine] : machines_) names.push_back(name);
+  return names;
+}
+
+ServiceCounters PlacementService::counters() const {
+  ServiceCounters c;
+  c.placement = placement_.load(std::memory_order_relaxed);
+  c.sweep = sweep_.load(std::memory_order_relaxed);
+  c.whatif = whatif_.load(std::memory_order_relaxed);
+  c.stats = stats_.load(std::memory_order_relaxed);
+  c.healthz = healthz_.load(std::memory_order_relaxed);
+  c.shed = shed_.load(std::memory_order_relaxed);
+  c.errors = errors_.load(std::memory_order_relaxed);
+  c.inflight = inflight_.load(std::memory_order_relaxed);
+  return c;
+}
+
+const Machine& PlacementService::find_machine(const Value& body) const {
+  std::string name = "knl7210";
+  if (const Value* v = body.find("machine"); v != nullptr) {
+    if (!v->is_string()) {
+      throw Error::corrupt_input("service/bad-field",
+                                 "field 'machine' must be a string");
+    }
+    name = v->as_string();
+  }
+  const auto it = machines_.find(name);
+  if (it == machines_.end()) {
+    std::string known;
+    for (const auto& [n, machine] : machines_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw Error::corrupt_input("service/unknown-machine",
+                               "unknown machine '" + name + "' (known: " + known + ")");
+  }
+  return it->second;
+}
+
+ServiceResponse PlacementService::handle_text(const std::string& method,
+                                              const std::string& target,
+                                              const std::string& body_text) {
+  Value body;
+  if (!body_text.empty()) {
+    std::string error;
+    auto parsed = Value::parse(body_text, &error);
+    if (!parsed) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      Value envelope = Value::object();
+      Value detail = Value::object();
+      detail.set("status", 400);
+      detail.set("category", to_string(ErrorCategory::CorruptInput));
+      detail.set("code", "service/bad-json");
+      detail.set("message", "request body is not valid JSON: " + error);
+      envelope.set("error", std::move(detail));
+      return {400, std::move(envelope)};
+    }
+    body = std::move(*parsed);
+  }
+  return handle(method, target, body);
+}
+
+ServiceResponse PlacementService::handle(const std::string& method,
+                                         const std::string& target,
+                                         const Value& body) {
+  try {
+    return dispatch(method, target, body);
+  } catch (const Error& e) {
+    int status = status_for(e.category());
+    // Routing failures are CorruptInput in the taxonomy but deserve their
+    // classic HTTP spellings.
+    if (e.code() == "service/not-found") status = 404;
+    if (e.code() == "service/bad-method") status = 405;
+    if (status == 429) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Value envelope = Value::object();
+    Value detail = Value::object();
+    detail.set("status", status);
+    detail.set("category", to_string(e.category()));
+    detail.set("code", e.code());
+    detail.set("message", e.message());
+    if (status == 429) detail.set("retry_after_ms", options_.retry_after_ms);
+    envelope.set("error", std::move(detail));
+    return {status, std::move(envelope)};
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    Value envelope = Value::object();
+    Value detail = Value::object();
+    detail.set("status", 500);
+    detail.set("category", to_string(ErrorCategory::Internal));
+    detail.set("code", "service/internal");
+    detail.set("message", e.what());
+    envelope.set("error", std::move(detail));
+    return {500, std::move(envelope)};
+  }
+}
+
+ServiceResponse PlacementService::dispatch(const std::string& method,
+                                           const std::string& target,
+                                           const Value& body) {
+  // Strip any query string: routing is on the path alone.
+  const std::string path = target.substr(0, target.find('?'));
+
+  // The two GET endpoints bypass the pool and the shedding gate: health
+  // and stats must answer even when the service rejects new work.
+  if (path == "/healthz") {
+    if (method != "GET") {
+      throw Error::corrupt_input("service/bad-method", "/healthz expects GET");
+    }
+    healthz_.fetch_add(1, std::memory_order_relaxed);
+    return {200, do_healthz()};
+  }
+  if (path == "/stats") {
+    if (method != "GET") {
+      throw Error::corrupt_input("service/bad-method", "/stats expects GET");
+    }
+    stats_.fetch_add(1, std::memory_order_relaxed);
+    return {200, do_stats()};
+  }
+
+  using Query = Value (PlacementService::*)(const Value&) const;
+  Query query = nullptr;
+  std::atomic<std::uint64_t>* counter = nullptr;
+  if (path == "/placement") {
+    query = &PlacementService::do_placement;
+    counter = &placement_;
+  } else if (path == "/whatif") {
+    query = &PlacementService::do_whatif;
+    counter = &whatif_;
+  } else if (path == "/sweep") {
+    query = &PlacementService::do_sweep;
+    counter = &sweep_;
+  } else {
+    throw Error::corrupt_input("service/not-found", "unknown endpoint " + path);
+  }
+  if (method != "POST") {
+    throw Error::corrupt_input("service/bad-method", path + " expects POST");
+  }
+
+  // Load shedding (the Resource arm of the taxonomy): admit at most
+  // max_inflight queries; past the bound, reject with a retry-after hint
+  // rather than queueing without bound.
+  if (inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) {
+    throw Error::resource("service/overloaded",
+                          "service at capacity (" +
+                              std::to_string(options_.max_inflight) +
+                              " queries in flight); retry later");
+  }
+  const InflightGuard guard(inflight_);
+  counter->fetch_add(1, std::memory_order_relaxed);
+
+  // Execute on the service pool: socket threads block here while at most
+  // `workers` queries compute. The future rethrows any query error into
+  // the caller's error envelope.
+  const Value& parsed = require_object(body);
+  auto future = pool_.submit([this, query, &parsed] { return (this->*query)(parsed); });
+  return {200, future.get()};
+}
+
+Value PlacementService::do_placement(const Value& body) const {
+  const Machine& machine = find_machine(body);
+  const Value* app_field = body.find("app");
+  const Value& app_body = app_field != nullptr ? *app_field : body;
+
+  AppCharacteristics app;
+  if (const Value* v = app_body.find("name"); v != nullptr && v->is_string()) {
+    app.name = v->as_string();
+  }
+  app.footprint_bytes = require_bytes(app_body, "footprint_bytes");
+  app.regular_fraction = number_or(app_body, "regular_fraction", 1.0);
+  if (app.regular_fraction < 0.0 || app.regular_fraction > 1.0) {
+    throw Error::corrupt_input("service/bad-field",
+                               "field 'regular_fraction' must be in [0, 1]");
+  }
+  app.flops_per_byte = number_or(app_body, "flops_per_byte", 0.0);
+  app.max_threads = require_threads(app_body, "max_threads", app.max_threads);
+  app.random_granule_bytes =
+      static_cast<std::uint64_t>(number_or(app_body, "random_granule_bytes", 8.0));
+
+  // Validate capacity up front so an impossible footprint reads as a bad
+  // request, not as a Resource failure deep in the advisor.
+  if (app.footprint_bytes > machine.config().timing.ddr.capacity_bytes) {
+    throw Error::corrupt_input("service/bad-field",
+                               "footprint_bytes exceeds the machine's DDR capacity");
+  }
+
+  const Advisor advisor(machine);
+  const Advice advice = advisor.advise(app);
+
+  Value out = Value::object();
+  out.set("app", app.name);
+  out.set("classification", advice.classification);
+  out.set("best", recommendation_json(advice.best));
+  Value ranked = Value::array();
+  for (const Recommendation& rec : advice.ranked) {
+    ranked.push_back(recommendation_json(rec));
+  }
+  out.set("ranked", std::move(ranked));
+  return out;
+}
+
+Value PlacementService::do_whatif(const Value& body) const {
+  const Machine& machine = find_machine(body);
+  const std::string workload_name = require_string(body, "workload");
+  const workloads::RegistryEntry* entry = nullptr;
+  try {
+    entry = &workloads::find_workload(workload_name);
+  } catch (const std::exception&) {
+    throw Error::corrupt_input("service/unknown-workload",
+                               "unknown workload '" + workload_name + "'");
+  }
+  const std::uint64_t bytes = require_bytes(body, "bytes");
+  const int threads = require_threads(body, "threads", 64);
+  const MemConfig config =
+      parse_config(body.find("config") != nullptr ? require_string(body, "config")
+                                                  : std::string("DRAM"));
+
+  const auto workload = entry->make(bytes);
+  bool cache_hit = false;
+  const RunResult result = report::cached_run(
+      machine, workload->profile(), RunConfig{config, threads, 0.0}, &cache_hit);
+
+  Value out = Value::object();
+  out.set("workload", entry->info.name);
+  out.set("config", to_string(config));
+  out.set("threads", threads);
+  out.set("footprint_bytes", static_cast<double>(workload->footprint_bytes()));
+  out.set("result", run_result_json(result));
+  if (result.feasible) {
+    out.set("metric", workload->metric(result));
+    out.set("metric_name", entry->info.metric_name);
+  }
+  out.set("cache_hit", cache_hit);
+  return out;
+}
+
+Value PlacementService::do_sweep(const Value& body) const {
+  const Machine& machine = find_machine(body);
+  const std::string workload_name = require_string(body, "workload");
+  const workloads::RegistryEntry* entry = nullptr;
+  try {
+    entry = &workloads::find_workload(workload_name);
+  } catch (const std::exception&) {
+    throw Error::corrupt_input("service/unknown-workload",
+                               "unknown workload '" + workload_name + "'");
+  }
+  const std::vector<MemConfig> configs = parse_configs(body);
+
+  const Value* sizes_field = body.find("sizes_bytes");
+  const Value* threads_field = body.find("thread_counts");
+  if ((sizes_field == nullptr) == (threads_field == nullptr)) {
+    throw Error::corrupt_input(
+        "service/bad-field",
+        "exactly one of 'sizes_bytes' (size sweep) or 'thread_counts' "
+        "(thread sweep) is required");
+  }
+
+  report::SweepOptions sweep_options;
+  sweep_options.jobs = options_.sweep_jobs;
+
+  report::SweepRun run{report::Figure("sweep", "", ""), {}, {}};
+  if (sizes_field != nullptr) {
+    if (!sizes_field->is_array() || sizes_field->as_array().empty()) {
+      throw Error::corrupt_input("service/bad-field",
+                                 "field 'sizes_bytes' must be a non-empty array");
+    }
+    std::vector<std::uint64_t> sizes;
+    for (const Value& item : sizes_field->as_array()) {
+      if (!item.is_number() || !(item.as_number() > 0.0) ||
+          item.as_number() > 1e15) {
+        throw Error::corrupt_input("service/bad-field",
+                                   "'sizes_bytes' entries must be in (0, 1e15]");
+      }
+      sizes.push_back(static_cast<std::uint64_t>(item.as_number()));
+    }
+    if (sizes.size() * configs.size() > options_.max_sweep_cells) {
+      throw Error::corrupt_input(
+          "service/grid-too-large",
+          "sweep grid exceeds " + std::to_string(options_.max_sweep_cells) +
+              " cells; split the query");
+    }
+    const int threads = require_threads(body, "threads", 64);
+    run = report::sweep_sizes_run(
+        machine, [entry](std::uint64_t b) { return entry->make(b); }, sizes, threads,
+        configs, report::Figure(entry->info.name + " sweep", "GB", ""), sweep_options);
+  } else {
+    if (!threads_field->is_array() || threads_field->as_array().empty()) {
+      throw Error::corrupt_input("service/bad-field",
+                                 "field 'thread_counts' must be a non-empty array");
+    }
+    std::vector<int> thread_counts;
+    for (const Value& item : threads_field->as_array()) {
+      const double raw = item.is_number() ? item.as_number() : 0.0;
+      if (raw < 1.0 || raw > 4096.0 || raw != std::floor(raw)) {
+        throw Error::corrupt_input(
+            "service/bad-field", "'thread_counts' entries must be integers in [1, 4096]");
+      }
+      thread_counts.push_back(static_cast<int>(raw));
+    }
+    if (thread_counts.size() * configs.size() > options_.max_sweep_cells) {
+      throw Error::corrupt_input(
+          "service/grid-too-large",
+          "sweep grid exceeds " + std::to_string(options_.max_sweep_cells) +
+              " cells; split the query");
+    }
+    const std::uint64_t bytes = require_bytes(body, "bytes");
+    const auto workload = entry->make(bytes);
+    run = report::sweep_threads_run(
+        machine, *workload, thread_counts, configs,
+        report::Figure(entry->info.name + " thread sweep", "threads", ""),
+        sweep_options);
+  }
+
+  Value out = Value::object();
+  out.set("workload", entry->info.name);
+  out.set("metric_name", entry->info.metric_name);
+  out.set("figure", figure_json(run.figure));
+  out.set("stats", sweep_stats_json(run.stats));
+  if (!run.failures.empty()) {
+    Value failures = Value::array();
+    for (const report::CellFailure& f : run.failures) {
+      Value one = Value::object();
+      one.set("cell", f.label);
+      one.set("category", to_string(f.category));
+      one.set("message", f.message);
+      failures.push_back(std::move(one));
+    }
+    out.set("failures", std::move(failures));
+  }
+  return out;
+}
+
+Value PlacementService::do_stats() const {
+  const report::SweepCacheStats cache = report::SweepCache::instance().stats();
+  const ServiceCounters c = counters();
+
+  Value out = Value::object();
+  Value cache_json = Value::object();
+  cache_json.set("hits", static_cast<double>(cache.hits));
+  cache_json.set("misses", static_cast<double>(cache.misses));
+  cache_json.set("evictions", static_cast<double>(cache.evictions));
+  cache_json.set("coalesced", static_cast<double>(cache.coalesced));
+  cache_json.set("inserts", static_cast<double>(cache.inserts));
+  cache_json.set("entries", static_cast<double>(cache.entries));
+  cache_json.set("capacity", static_cast<double>(cache.capacity));
+  cache_json.set("shards", static_cast<double>(cache.shards));
+  const std::uint64_t looked_up = cache.hits + cache.misses;
+  cache_json.set("hit_rate", looked_up == 0 ? 0.0
+                                            : static_cast<double>(cache.hits) /
+                                                  static_cast<double>(looked_up));
+  out.set("cache", std::move(cache_json));
+
+  Value requests = Value::object();
+  requests.set("placement", static_cast<double>(c.placement));
+  requests.set("sweep", static_cast<double>(c.sweep));
+  requests.set("whatif", static_cast<double>(c.whatif));
+  requests.set("stats", static_cast<double>(c.stats));
+  requests.set("healthz", static_cast<double>(c.healthz));
+  out.set("requests", std::move(requests));
+
+  out.set("shed", static_cast<double>(c.shed));
+  out.set("errors", static_cast<double>(c.errors));
+  out.set("inflight", static_cast<double>(c.inflight));
+  out.set("max_inflight", static_cast<double>(options_.max_inflight));
+  out.set("workers", static_cast<double>(pool_.size()));
+  return out;
+}
+
+Value PlacementService::do_healthz() const {
+  Value out = Value::object();
+  out.set("status", "ok");
+  out.set("service", "knl-serve");
+  out.set("machine_schema_version", kMachineSchemaVersion);
+  Value machines = Value::array();
+  for (const std::string& name : machine_names()) machines.push_back(name);
+  out.set("machines", std::move(machines));
+  Value workload_names = Value::array();
+  for (const workloads::RegistryEntry& entry : workloads::registry()) {
+    workload_names.push_back(entry.info.name);
+  }
+  out.set("workloads", std::move(workload_names));
+  return out;
+}
+
+}  // namespace knl::service

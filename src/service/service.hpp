@@ -1,0 +1,122 @@
+// PlacementService: the advisor, the sweep engine and the what-if runner as
+// a long-running concurrent query service (ROADMAP item 1 — the "millions
+// of users" direction).
+//
+// The service is transport-agnostic: handle() takes a (method, target,
+// JSON body) triple and returns a (status, JSON body) pair, so the same
+// engine serves the blocking-socket HTTP front end (service/http.hpp), the
+// in-process bench harness (bench_service) and the unit tests. Queries are
+// validated against the machine and workload registries, executed on the
+// service's ThreadPool, answered from the process-wide sharded LRU
+// SweepCache (report/sweep.hpp) — identical concurrent queries coalesce
+// onto one computation — and load-shed with a 429-style reject once the
+// in-flight gauge passes the configured bound.
+//
+// Endpoints and their JSON schemas are documented in docs/SERVICE.md; the
+// error-code mapping follows the knl::Error taxonomy (core/fault/error.hpp):
+// CorruptInput -> 400, Resource -> 429 (+ retry_after_ms), Transient -> 503,
+// Internal -> 500.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/thread_pool.hpp"
+#include "report/sweep.hpp"
+#include "repro/json.hpp"
+
+namespace knl::service {
+
+struct ServiceOptions {
+  /// Query-execution workers (the service's ThreadPool): 0 = one per
+  /// hardware thread. Connection threads hand queries to this pool, so at
+  /// most `workers` queries compute at once regardless of socket count.
+  int workers = 0;
+  /// Sweep cell-evaluation workers *per query* (SweepOptions::jobs). The
+  /// default 1 keeps each sweep on its own pool worker; raise it only for
+  /// a low-concurrency deployment that wants single-query latency.
+  int sweep_jobs = 1;
+  /// Load-shedding bound: queries admitted (queued or computing) at once.
+  /// At the bound, new work is rejected as knl::Error Resource -> HTTP 429.
+  std::size_t max_inflight = 1024;
+  /// Retry-After hint attached to 429 rejections, in milliseconds.
+  int retry_after_ms = 50;
+  /// SweepCache capacity bound (entries); applied at construction.
+  std::size_t cache_capacity = report::SweepCache::kDefaultCapacity;
+  /// Largest sweep grid (cells = sizes-or-threads x configs) one query may
+  /// request; larger grids are rejected as CorruptInput.
+  std::size_t max_sweep_cells = 512;
+};
+
+/// One routed reply: HTTP-style status plus the JSON body to serialize.
+struct ServiceResponse {
+  int status = 200;
+  repro::json::Value body;
+};
+
+/// Per-endpoint request counters plus the gauges /stats reports.
+struct ServiceCounters {
+  std::uint64_t placement = 0;
+  std::uint64_t sweep = 0;
+  std::uint64_t whatif = 0;
+  std::uint64_t stats = 0;
+  std::uint64_t healthz = 0;
+  std::uint64_t shed = 0;        ///< 429 rejections (load shedding)
+  std::uint64_t errors = 0;      ///< non-shed error responses (4xx/5xx)
+  std::uint64_t inflight = 0;    ///< queries admitted and not yet answered
+};
+
+class PlacementService {
+ public:
+  explicit PlacementService(ServiceOptions options = {});
+
+  /// Route one request. `body` is ignored by the GET endpoints. Never
+  /// throws: every failure becomes an error-shaped JSON response.
+  [[nodiscard]] ServiceResponse handle(const std::string& method,
+                                       const std::string& target,
+                                       const repro::json::Value& body);
+
+  /// Same, parsing `body_text` first (empty text = null body). A body that
+  /// is not valid JSON is a CorruptInput -> 400.
+  [[nodiscard]] ServiceResponse handle_text(const std::string& method,
+                                            const std::string& target,
+                                            const std::string& body_text);
+
+  [[nodiscard]] const ServiceOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::vector<std::string> machine_names() const;
+  [[nodiscard]] ServiceCounters counters() const;
+
+ private:
+  [[nodiscard]] ServiceResponse dispatch(const std::string& method,
+                                         const std::string& target,
+                                         const repro::json::Value& body);
+  [[nodiscard]] repro::json::Value do_placement(const repro::json::Value& body) const;
+  [[nodiscard]] repro::json::Value do_whatif(const repro::json::Value& body) const;
+  [[nodiscard]] repro::json::Value do_sweep(const repro::json::Value& body) const;
+  [[nodiscard]] repro::json::Value do_stats() const;
+  [[nodiscard]] repro::json::Value do_healthz() const;
+
+  /// Registry lookup; throws CorruptInput naming the known machines.
+  [[nodiscard]] const Machine& find_machine(const repro::json::Value& body) const;
+
+  ServiceOptions options_;
+  /// The machine-profile registry: every named MachineConfig preset,
+  /// instantiated once (Machine is immutable and its run() is const).
+  std::map<std::string, Machine> machines_;
+  core::ThreadPool pool_;
+
+  std::atomic<std::uint64_t> placement_{0};
+  std::atomic<std::uint64_t> sweep_{0};
+  std::atomic<std::uint64_t> whatif_{0};
+  std::atomic<std::uint64_t> stats_{0};
+  std::atomic<std::uint64_t> healthz_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> inflight_{0};
+};
+
+}  // namespace knl::service

@@ -1,0 +1,85 @@
+// docs-lint: every intra-repo Markdown link in README.md and docs/ must
+// point at a file that exists. External links (http/https/mailto) and
+// pure in-page anchors are skipped; a relative link's optional #anchor is
+// stripped before the existence check.
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool is_external(const std::string& target) {
+  return target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0 || target.rfind("#", 0) == 0;
+}
+
+struct BrokenLink {
+  fs::path file;
+  std::string target;
+};
+
+/// Collect broken relative links of one Markdown file. Inline code spans
+/// are ignored so `[x](y)` examples inside backticks don't trip the lint.
+void check_file(const fs::path& repo, const fs::path& file,
+                std::vector<BrokenLink>& broken) {
+  std::string text = read_file(file);
+  // Strip fenced code blocks, then inline code spans.
+  text = std::regex_replace(text, std::regex("```[\\s\\S]*?```"), "");
+  text = std::regex_replace(text, std::regex("`[^`\n]*`"), "");
+
+  static const std::regex kLink(R"(\[[^\]]*\]\(([^)\s]+)\))");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kLink);
+       it != std::sregex_iterator(); ++it) {
+    std::string target = (*it)[1].str();
+    if (is_external(target)) continue;
+    const std::size_t anchor = target.find('#');
+    if (anchor != std::string::npos) target = target.substr(0, anchor);
+    if (target.empty()) continue;
+
+    const fs::path resolved = target.front() == '/'
+                                  ? repo / target.substr(1)
+                                  : file.parent_path() / target;
+    std::error_code ec;
+    if (!fs::exists(resolved, ec)) broken.push_back({file, (*it)[1].str()});
+  }
+}
+
+TEST(DocsLintTest, NoBrokenIntraRepoLinks) {
+  const fs::path repo(KNLMEM_REPO_DIR);
+  std::vector<fs::path> files = {repo / "README.md"};
+  for (const fs::directory_entry& entry : fs::directory_iterator(repo / "docs")) {
+    if (entry.path().extension() == ".md") files.push_back(entry.path());
+  }
+  ASSERT_GE(files.size(), 3u) << "expected README.md plus docs/*.md";
+
+  std::vector<BrokenLink> broken;
+  for (const fs::path& file : files) check_file(repo, file, broken);
+
+  for (const BrokenLink& link : broken) {
+    ADD_FAILURE() << link.file.lexically_relative(repo).string()
+                  << " links to missing target: " << link.target;
+  }
+}
+
+TEST(DocsLintTest, RequiredDocsExist) {
+  const fs::path repo(KNLMEM_REPO_DIR);
+  EXPECT_TRUE(fs::exists(repo / "docs" / "SERVICE.md"));
+  EXPECT_TRUE(fs::exists(repo / "docs" / "EXPERIMENT_REGISTRY.md"));
+  EXPECT_TRUE(fs::exists(repo / "docs" / "ARCHITECTURE.md"));
+}
+
+}  // namespace

@@ -1,0 +1,55 @@
+// Round-trip guarantee of docs/EXPERIMENT_REGISTRY.md: the checked-in
+// document must be byte-identical to registry_markdown(), so the doc can
+// never drift from the registry. Regenerate after a registry change with:
+//   build/tools/knl-repro list --markdown > docs/EXPERIMENT_REGISTRY.md
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "repro/experiment.hpp"
+#include "repro/registry_doc.hpp"
+
+namespace knl::repro {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return in ? out.str() : std::string();
+}
+
+TEST(RegistryDocTest, EveryExperimentHasASection) {
+  const std::string doc = registry_markdown();
+  for (const ExperimentSpec& spec : experiments()) {
+    EXPECT_NE(doc.find("## " + spec.id + " — " + spec.title), std::string::npos)
+        << "missing section for " << spec.id;
+    EXPECT_NE(doc.find("golden/" + spec.id + ".json"), std::string::npos)
+        << "missing golden pointer for " << spec.id;
+  }
+}
+
+TEST(RegistryDocTest, MentionsToleranceAndChecksOfEverySpec) {
+  const std::string doc = registry_markdown();
+  for (const ExperimentSpec& spec : experiments()) {
+    for (const ShapeCheck& check : spec.checks) {
+      EXPECT_NE(doc.find(check.description), std::string::npos)
+          << spec.id << ": check not rendered: " << check.description;
+    }
+  }
+}
+
+TEST(RegistryDocTest, CheckedInDocMatchesGeneratorExactly) {
+  const std::string path = std::string(KNLMEM_REPO_DIR) + "/docs/EXPERIMENT_REGISTRY.md";
+  const std::string checked_in = read_file(path);
+  ASSERT_FALSE(checked_in.empty()) << "cannot read " << path;
+  const std::string generated = registry_markdown();
+  EXPECT_EQ(checked_in, generated)
+      << "docs/EXPERIMENT_REGISTRY.md is stale; regenerate with\n"
+         "  build/tools/knl-repro list --markdown > docs/EXPERIMENT_REGISTRY.md";
+}
+
+}  // namespace
+}  // namespace knl::repro

@@ -1,0 +1,210 @@
+// PlacementService unit tests: routing, validation, the error-code mapping
+// of the knl::Error taxonomy, load shedding, and cached-vs-uncached
+// bit-identity of answers.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "report/sweep.hpp"
+#include "service/service.hpp"
+#include "workloads/registry.hpp"
+
+namespace knl::service {
+namespace {
+
+using repro::json::Value;
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { report::SweepCache::instance().clear(); }
+  void TearDown() override {
+    report::SweepCache::instance().clear();
+    report::SweepCache::instance().set_capacity(report::SweepCache::kDefaultCapacity);
+  }
+
+  PlacementService service_{ServiceOptions{.workers = 2}};
+};
+
+const Value* error_of(const ServiceResponse& response) {
+  return response.body.find("error");
+}
+
+TEST_F(ServiceTest, HealthzListsMachinesAndWorkloads) {
+  const ServiceResponse r = service_.handle("GET", "/healthz", Value());
+  ASSERT_EQ(r.status, 200);
+  EXPECT_EQ(r.body.find("status")->as_string(), "ok");
+  EXPECT_EQ(static_cast<int>(r.body.find("machine_schema_version")->as_number()),
+            kMachineSchemaVersion);
+  const Value* machines = r.body.find("machines");
+  ASSERT_NE(machines, nullptr);
+  EXPECT_EQ(machines->as_array().size(), 4u);
+  const Value* workloads = r.body.find("workloads");
+  ASSERT_NE(workloads, nullptr);
+  EXPECT_EQ(workloads->as_array().size(), workloads::registry().size());
+}
+
+TEST_F(ServiceTest, UnknownPathIs404AndWrongMethodIs405) {
+  EXPECT_EQ(service_.handle("GET", "/no-such", Value()).status, 404);
+  EXPECT_EQ(service_.handle("GET", "/whatif", Value()).status, 405);
+  EXPECT_EQ(service_.handle("POST", "/healthz", Value()).status, 405);
+}
+
+TEST_F(ServiceTest, MalformedBodyTextIs400) {
+  const ServiceResponse r = service_.handle_text("POST", "/placement", "{nope");
+  EXPECT_EQ(r.status, 400);
+  ASSERT_NE(error_of(r), nullptr);
+  EXPECT_EQ(error_of(r)->find("code")->as_string(), "service/bad-json");
+}
+
+TEST_F(ServiceTest, PlacementValidatesAndRanks) {
+  Value body = Value::object();
+  body.set("name", "stream-like");
+  body.set("footprint_bytes", 1.0 * (1ull << 30));
+  body.set("regular_fraction", 1.0);
+  const ServiceResponse r = service_.handle("POST", "/placement", body);
+  ASSERT_EQ(r.status, 200) << r.body.dump(0);
+  const Value* best = r.body.find("best");
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->find("config")->as_string(), "HBM");
+  EXPECT_FALSE(r.body.find("ranked")->as_array().empty());
+  EXPECT_EQ(r.body.find("classification")->as_string(), "bandwidth-bound");
+}
+
+TEST_F(ServiceTest, PlacementMissingFootprintIs400) {
+  const ServiceResponse r = service_.handle("POST", "/placement", Value::object());
+  EXPECT_EQ(r.status, 400);
+  EXPECT_EQ(error_of(r)->find("category")->as_string(), "corrupt-input");
+  EXPECT_EQ(error_of(r)->find("code")->as_string(), "service/bad-field");
+}
+
+TEST_F(ServiceTest, UnknownMachineIs400NamingKnownOnes) {
+  Value body = Value::object();
+  body.set("footprint_bytes", 1024.0);
+  body.set("machine", "knl9999");
+  const ServiceResponse r = service_.handle("POST", "/placement", body);
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(error_of(r)->find("message")->as_string().find("knl7210"),
+            std::string::npos);
+}
+
+TEST_F(ServiceTest, WhatifMatchesDirectSimulationBitForBit) {
+  Value body = Value::object();
+  body.set("workload", "STREAM");
+  body.set("bytes", 512.0 * (1ull << 20));
+  body.set("threads", 64);
+  body.set("config", "HBM");
+
+  const ServiceResponse first = service_.handle("POST", "/whatif", body);
+  ASSERT_EQ(first.status, 200) << first.body.dump(0);
+  EXPECT_FALSE(first.body.find("cache_hit")->as_bool(true));
+
+  // Uncached ground truth straight from the machine model.
+  const Machine machine{MachineConfig::knl7210()};
+  const auto workload =
+      workloads::find_workload("STREAM").make(512ull << 20);
+  const RunResult direct =
+      machine.run(workload->profile(), RunConfig{MemConfig::HBM, 64, 0.0});
+  const Value* result = first.body.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->find("seconds")->as_number(), direct.seconds);
+  EXPECT_EQ(result->find("achieved_bw_gbs")->as_number(), direct.achieved_bw_gbs);
+
+  // The cached second answer is bit-identical except the cache_hit flag.
+  const ServiceResponse second = service_.handle("POST", "/whatif", body);
+  ASSERT_EQ(second.status, 200);
+  EXPECT_TRUE(second.body.find("cache_hit")->as_bool(false));
+  EXPECT_EQ(second.body.find("result")->dump(0), first.body.find("result")->dump(0));
+}
+
+TEST_F(ServiceTest, WhatifUnknownWorkloadIs400) {
+  Value body = Value::object();
+  body.set("workload", "NOPE");
+  body.set("bytes", 1024.0);
+  const ServiceResponse r = service_.handle("POST", "/whatif", body);
+  EXPECT_EQ(r.status, 400);
+  EXPECT_EQ(error_of(r)->find("code")->as_string(), "service/unknown-workload");
+}
+
+TEST_F(ServiceTest, SweepOverSizesReturnsFigureAndStats) {
+  Value body = Value::object();
+  body.set("workload", "STREAM");
+  body.set("threads", 64);
+  Value sizes = Value::array();
+  sizes.push_back(256.0 * (1ull << 20));
+  sizes.push_back(512.0 * (1ull << 20));
+  body.set("sizes_bytes", std::move(sizes));
+  const ServiceResponse r = service_.handle("POST", "/sweep", body);
+  ASSERT_EQ(r.status, 200) << r.body.dump(0);
+  const Value* figure = r.body.find("figure");
+  ASSERT_NE(figure, nullptr);
+  EXPECT_EQ(figure->find("series")->as_array().size(), 3u);  // all configs
+  EXPECT_EQ(static_cast<int>(r.body.find("stats")->find("cells")->as_number()), 6);
+}
+
+TEST_F(ServiceTest, SweepRequiresExactlyOneAxis) {
+  Value body = Value::object();
+  body.set("workload", "STREAM");
+  EXPECT_EQ(service_.handle("POST", "/sweep", body).status, 400);
+  Value sizes = Value::array();
+  sizes.push_back(1024.0);
+  body.set("sizes_bytes", sizes);
+  Value threads = Value::array();
+  threads.push_back(64);
+  body.set("thread_counts", threads);
+  EXPECT_EQ(service_.handle("POST", "/sweep", body).status, 400);
+}
+
+TEST_F(ServiceTest, OversizedSweepGridIs400) {
+  PlacementService tight{ServiceOptions{.workers = 1, .max_sweep_cells = 4}};
+  Value body = Value::object();
+  body.set("workload", "STREAM");
+  body.set("threads", 64);
+  Value sizes = Value::array();
+  sizes.push_back(256.0 * (1ull << 20));
+  sizes.push_back(512.0 * (1ull << 20));
+  body.set("sizes_bytes", std::move(sizes));  // 2 sizes x 3 configs = 6 > 4
+  const ServiceResponse r = tight.handle("POST", "/sweep", body);
+  EXPECT_EQ(r.status, 400);
+  EXPECT_EQ(error_of(r)->find("code")->as_string(), "service/grid-too-large");
+}
+
+TEST_F(ServiceTest, LoadSheddingRejectsWith429AndRetryAfter) {
+  PlacementService shedding{
+      ServiceOptions{.workers = 1, .max_inflight = 0, .retry_after_ms = 77}};
+  Value body = Value::object();
+  body.set("footprint_bytes", 1024.0);
+  const ServiceResponse r = shedding.handle("POST", "/placement", body);
+  EXPECT_EQ(r.status, 429);
+  EXPECT_EQ(error_of(r)->find("category")->as_string(), "resource");
+  EXPECT_EQ(static_cast<int>(error_of(r)->find("retry_after_ms")->as_number()), 77);
+  EXPECT_EQ(shedding.counters().shed, 1u);
+  EXPECT_EQ(shedding.counters().errors, 0u);
+  // GETs bypass shedding: health stays answerable at capacity.
+  EXPECT_EQ(shedding.handle("GET", "/healthz", Value()).status, 200);
+  EXPECT_EQ(shedding.handle("GET", "/stats", Value()).status, 200);
+}
+
+TEST_F(ServiceTest, StatsExposesCacheCountersAndGauges) {
+  Value body = Value::object();
+  body.set("workload", "GUPS");
+  body.set("bytes", 256.0 * (1ull << 20));
+  body.set("threads", 64);
+  ASSERT_EQ(service_.handle("POST", "/whatif", body).status, 200);
+  ASSERT_EQ(service_.handle("POST", "/whatif", body).status, 200);
+
+  const ServiceResponse r = service_.handle("GET", "/stats", Value());
+  ASSERT_EQ(r.status, 200);
+  const Value* cache = r.body.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GE(cache->find("hits")->as_number(), 1.0);
+  EXPECT_GE(cache->find("misses")->as_number(), 1.0);
+  EXPECT_GT(cache->find("hit_rate")->as_number(), 0.0);
+  const Value* requests = r.body.find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(static_cast<int>(requests->find("whatif")->as_number()), 2);
+  EXPECT_EQ(static_cast<int>(r.body.find("inflight")->as_number()), 0);
+}
+
+}  // namespace
+}  // namespace knl::service

@@ -1,0 +1,122 @@
+// knl-serve: the placement-advisor daemon. Binds PlacementService to a
+// loopback HTTP listener and runs until SIGINT/SIGTERM. Every knob of
+// ServiceOptions and HttpServerOptions is a flag; docs/SERVICE.md documents
+// the endpoints and a worked curl session.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/http.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_signal(int) { g_stop.store(true); }
+
+void usage(std::ostream& os) {
+  os << "usage: knl-serve [options]\n"
+        "\n"
+        "Serve placement, what-if and sweep queries over HTTP on 127.0.0.1.\n"
+        "\n"
+        "options:\n"
+        "  --port N            TCP port (default 0 = ephemeral; the chosen\n"
+        "                      port is printed on stdout as 'listening on ...')\n"
+        "  --workers N         query-execution threads (default 0 = one per\n"
+        "                      hardware thread)\n"
+        "  --http-threads N    connection-acceptor threads (default 8)\n"
+        "  --max-inflight N    admitted queries before load shedding kicks in\n"
+        "                      with HTTP 429 (default 1024)\n"
+        "  --retry-after-ms N  Retry-After hint on 429 responses (default 50)\n"
+        "  --cache-capacity N  SweepCache entry bound (default 65536)\n"
+        "  --max-sweep-cells N largest per-query sweep grid (default 512)\n"
+        "  --idle-timeout-ms N keep-alive idle timeout (default 5000)\n"
+        "  --help              this text\n";
+}
+
+bool parse_int(const std::string& text, long long& out) {
+  try {
+    std::size_t consumed = 0;
+    out = std::stoll(text, &consumed);
+    return consumed == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  knl::service::ServiceOptions service_options;
+  knl::service::HttpServerOptions http_options;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (i + 1 >= args.size()) {
+      std::cerr << "knl-serve: " << arg << " needs a value\n";
+      return 2;
+    }
+    long long value = 0;
+    if (!parse_int(args[++i], value) || value < 0) {
+      std::cerr << "knl-serve: bad value for " << arg << ": " << args[i] << "\n";
+      return 2;
+    }
+    if (arg == "--port" && value <= 65535) {
+      http_options.port = static_cast<std::uint16_t>(value);
+    } else if (arg == "--workers") {
+      service_options.workers = static_cast<int>(value);
+    } else if (arg == "--http-threads" && value > 0) {
+      http_options.threads = static_cast<int>(value);
+    } else if (arg == "--max-inflight" && value > 0) {
+      service_options.max_inflight = static_cast<std::size_t>(value);
+    } else if (arg == "--retry-after-ms") {
+      service_options.retry_after_ms = static_cast<int>(value);
+    } else if (arg == "--cache-capacity" && value > 0) {
+      service_options.cache_capacity = static_cast<std::size_t>(value);
+    } else if (arg == "--max-sweep-cells" && value > 0) {
+      service_options.max_sweep_cells = static_cast<std::size_t>(value);
+    } else if (arg == "--idle-timeout-ms" && value > 0) {
+      http_options.idle_timeout_ms = static_cast<int>(value);
+    } else {
+      std::cerr << "knl-serve: unknown or out-of-range option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  try {
+    knl::service::PlacementService service(service_options);
+    knl::service::HttpServer server(service, http_options);
+    server.start();
+    // The port line is a contract: CI's service-smoke job and the socket
+    // bench scrape it to find an ephemeral listener.
+    std::cout << "knl-serve listening on 127.0.0.1:" << server.port() << std::endl;
+
+    while (!g_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server.stop();
+
+    const knl::service::ServiceCounters c = service.counters();
+    std::cout << "knl-serve: served " << (c.placement + c.sweep + c.whatif)
+              << " queries (" << c.shed << " shed, " << c.errors << " errors)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "knl-serve: " << e.what() << "\n";
+    return 1;
+  }
+}
