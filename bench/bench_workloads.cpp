@@ -285,6 +285,10 @@ void print_anchoring_report() {
 
 }  // namespace
 
+#ifndef KNLMEM_BUILD_TYPE
+#define KNLMEM_BUILD_TYPE "unknown"
+#endif
+
 int main(int argc, char** argv) {
   register_dgemm(256);
   register_dgemm(448);
@@ -299,6 +303,10 @@ int main(int argc, char** argv) {
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // google-benchmark's own library_build_type context field describes the
+  // framework package, not this library; record ours explicitly so the
+  // Release-only baseline policy is auditable from the JSON alone.
+  benchmark::AddCustomContext("knlmem_build_type", KNLMEM_BUILD_TYPE);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_anchoring_report();

@@ -1,0 +1,11 @@
+# Guard script for the bench_*_json targets: refuse to (re)capture a
+# checked-in benchmark baseline from anything but an optimized build.
+# Invoked as: cmake -Dbuild_type=$<CONFIG> -P require_release.cmake
+if(NOT build_type STREQUAL "Release")
+  message(FATAL_ERROR
+    "bench_*_json baselines must be captured from a Release build "
+    "(this tree is '${build_type}'). Configure with "
+    "-DCMAKE_BUILD_TYPE=Release and re-run, e.g.:\n"
+    "  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release\n"
+    "  cmake --build build-release --target bench_replay_json")
+endif()

@@ -1,0 +1,114 @@
+// Bounded lock-free multi-producer queue — the epoch-result channel that
+// lets ParallelReplay's serial timing reconciliation overlap the sharded
+// classification phase instead of barriering on it.
+//
+// The algorithm is Dmitry Vyukov's bounded MPMC ring: each cell carries a
+// sequence number that encodes, relative to the ring position, whether the
+// cell is free for the producer of that lap or holds a value for the
+// consumer. Producers claim a cell with one CAS on the head counter and
+// publish with a release store of the cell sequence; the consumer observes
+// values with an acquire load, so everything the producer wrote before
+// push() (e.g. a shard's classification buffers) happens-before the
+// consumer's use after try_pop(). No mutexes anywhere; full/empty are
+// communicated by return value, never by blocking.
+//
+// ParallelReplay uses it single-consumer (MPSC), but pop is implemented with
+// the full MPMC discipline — the cost is one uncontended CAS, and the
+// structure stays reusable. T must be movable; cells are default-
+// constructed up front, so T needs a cheap default constructor.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace knl::core {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  /// Capacity is min_capacity rounded up to a power of two (at least 2).
+  explicit BoundedMpscQueue(std::size_t min_capacity)
+      : capacity_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity)),
+        mask_(capacity_ - 1),
+        cells_(std::make_unique<Cell[]>(capacity_)) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Enqueue; returns false when the ring is full (value is left intact so
+  /// the caller may retry).
+  [[nodiscard]] bool try_push(T& value) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded pos; retry the (new) cell.
+      } else if (dif < 0) {
+        return false;  // full: the cell still holds an unconsumed lap
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Enqueue, yielding while the ring is full. The replay pipeline bounds
+  /// in-flight epochs so producers never actually wait more than one
+  /// consumer lap.
+  void push(T value) {
+    while (!try_push(value)) std::this_thread::yield();
+  }
+
+  /// Dequeue into `out`; returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          cell.seq.store(pos + capacity_, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  /// Producer and consumer cursors on separate cache lines so concurrent
+  /// pushes never false-share with the consumer's pops.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace knl::core

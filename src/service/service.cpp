@@ -6,6 +6,8 @@
 
 #include "core/advisor.hpp"
 #include "core/fault/error.hpp"
+#include "sim/replay_telemetry.hpp"
+#include "sim/simd.hpp"
 #include "workloads/registry.hpp"
 
 namespace knl::service {
@@ -569,6 +571,19 @@ Value PlacementService::do_stats() const {
   out.set("inflight", static_cast<double>(c.inflight));
   out.set("max_inflight", static_cast<double>(options_.max_inflight));
   out.set("workers", static_cast<double>(pool_.size()));
+
+  // Replay-engine telemetry: what the sharded classification substrate has
+  // done process-wide, plus the SIMD level its decompose kernels dispatch to.
+  const sim::ReplayTelemetrySnapshot replay = sim::ReplayTelemetry::instance().snapshot();
+  Value replay_json = Value::object();
+  replay_json.set("simd_level", sim::simd::level_name(sim::simd::active_level()));
+  replay_json.set("classified_blocks", static_cast<double>(replay.classified_blocks));
+  replay_json.set("classified_addresses",
+                  static_cast<double>(replay.classified_addresses));
+  replay_json.set("replay_runs", static_cast<double>(replay.replay_runs));
+  replay_json.set("replay_epochs", static_cast<double>(replay.replay_epochs));
+  replay_json.set("overlapped_epochs", static_cast<double>(replay.overlapped_epochs));
+  out.set("replay", std::move(replay_json));
   return out;
 }
 

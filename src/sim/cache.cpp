@@ -3,6 +3,9 @@
 #include <bit>
 #include <stdexcept>
 
+#include "sim/replay_telemetry.hpp"
+#include "sim/simd.hpp"
+
 namespace knl::sim {
 
 namespace {
@@ -92,19 +95,118 @@ bool CacheSim::access_sampled(std::uint64_t line, std::uint64_t set_idx) {
   return false;
 }
 
-template <int kWays, bool kPow2>
-BlockStats CacheSim::access_block_ways(std::span<const std::uint64_t> addrs) {
-  // Hoist the hot constants; the way loop unrolls at compile time. In the
-  // kPow2 instantiation every runtime fallback folds away: set and tag come
-  // from shift/mask, and the sampling stride degenerates to sample_mask == 0
-  // when sampling is off, so the hot loop carries no configuration branches.
+void CacheSim::ensure_soa_scratch() {
+  if (soa_set_.empty()) {
+    soa_set_.resize(simd::kSoaChunk);
+    soa_tag_.resize(simd::kSoaChunk);
+  }
+}
+
+template <int kWays, bool kFlags>
+void CacheSim::apply_block_pow2(const std::uint64_t* sets, const std::uint64_t* tags_in,
+                                std::size_t n, std::uint8_t* hit_out, BlockStats& block,
+                                std::uint64_t& evictions, std::uint64_t& filled,
+                                SlabCursor& cursor) {
+  std::uint64_t tick = tick_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t sampled = sets[i];
+    const std::uint64_t tag = tags_in[i];
+    const std::uint64_t slab_idx = sampled >> kSlabSetShift;
+    if (slab_idx != cursor.idx) {
+      Slab& slab = slab_for(sampled);
+      cursor.idx = slab_idx;
+      cursor.tags = slab.tag.data();
+      cursor.ticks = slab.tick.data();
+    }
+    const std::size_t base =
+        static_cast<std::size_t>(sampled & (kSlabSets - 1)) * static_cast<std::size_t>(kWays);
+    std::uint64_t* tags = cursor.tags + base;
+    std::uint64_t* ticks = cursor.ticks + base;
+
+    ++tick;
+    ++block.sampled;
+    int victim = 0;
+    std::uint64_t victim_tick = ticks[0];
+    bool hit = false;
+    for (int w = 0; w < kWays; ++w) {
+      const std::uint64_t t = ticks[w];
+      if (t != 0 && tags[w] == tag) {
+        ticks[w] = tick;
+        hit = true;
+        break;
+      }
+      if (victim_tick != 0 && (t == 0 || t < victim_tick)) {
+        victim = w;
+        victim_tick = t;
+      }
+    }
+    if constexpr (kFlags) hit_out[i] = hit ? 1 : 0;
+    if (hit) {
+      ++block.hits;
+      continue;
+    }
+    ++block.misses;
+    if (victim_tick != 0) {
+      ++evictions;
+    } else {
+      ++filled;
+    }
+    tags[victim] = tag;
+    ticks[victim] = tick;
+  }
+  tick_ = tick;
+}
+
+template <int kWays, bool kFlags>
+BlockStats CacheSim::access_block_soa(const std::uint64_t* addrs, std::size_t n,
+                                      std::uint8_t* hit_out) {
+  ensure_soa_scratch();
+  const std::uint64_t sample_every = config_.sample_every;
+  const bool sampling = sample_every != 1;
+  const std::uint64_t sample_mask = sample_every - 1;
+  const auto sample_shift =
+      sampling ? static_cast<unsigned>(std::countr_zero(sample_every)) : 0u;
+
+  BlockStats block;
+  std::uint64_t evictions = 0;
+  std::uint64_t filled = 0;
+  SlabCursor cursor;
+  for (std::size_t off = 0; off < n; off += simd::kSoaChunk) {
+    const std::size_t m = std::min(simd::kSoaChunk, n - off);
+    std::size_t kept;
+    if (sampling) {
+      // kFlags implies exact mode (dispatched below), so the sampled leg
+      // never has to map compacted survivors back to flag positions.
+      kept = simd::decompose_pow2_sampled(addrs + off, m, line_shift_, set_mask_,
+                                          set_shift_, sample_mask, sample_shift,
+                                          soa_set_.data(), soa_tag_.data());
+    } else {
+      simd::decompose_pow2(addrs + off, m, line_shift_, set_mask_, set_shift_,
+                           soa_set_.data(), soa_tag_.data());
+      kept = m;
+    }
+    apply_block_pow2<kWays, kFlags>(soa_set_.data(), soa_tag_.data(), kept,
+                                    kFlags ? hit_out + off : nullptr, block, evictions,
+                                    filled, cursor);
+  }
+
+  resident_ += filled;
+  stats_.accesses += block.sampled;
+  stats_.hits += block.hits;
+  stats_.misses += block.misses;
+  stats_.evictions += evictions;
+  return block;
+}
+
+template <int kWays>
+BlockStats CacheSim::access_block_scalar(std::span<const std::uint64_t> addrs) {
+  // Non-power-of-two geometry: division/modulo index math, one predictable
+  // sampling branch per address, same one-pass LRU scan as the SoA apply.
   const unsigned line_shift = line_shift_;
-  const std::uint64_t set_mask = set_mask_;
-  const unsigned set_shift = set_shift_;
   const std::uint64_t num_sets = num_sets_;
   const std::uint64_t sample_every = config_.sample_every;
   const bool sample_pow2 = std::has_single_bit(sample_every);
-  const std::uint64_t sample_mask = sample_every - 1;  // kPow2: 0 when exact
+  const std::uint64_t sample_mask = sample_every - 1;
   const auto sample_shift =
       sample_pow2 ? static_cast<unsigned>(std::countr_zero(sample_every)) : 0u;
 
@@ -112,67 +214,33 @@ BlockStats CacheSim::access_block_ways(std::span<const std::uint64_t> addrs) {
   BlockStats block;
   std::uint64_t evictions = 0;
   std::uint64_t filled = 0;
+  SlabCursor cursor;
 
-  // Slab memoization: sweeps and chases revisit the same slab for long runs.
-  std::uint64_t cached_slab_idx = ~0ull;
-  std::uint64_t* cached_tags = nullptr;
-  std::uint64_t* cached_ticks = nullptr;
-
-  const std::size_t n = addrs.size();
-  const std::uint64_t* data = addrs.data();
-  std::size_t i = 0;
-  while (i < n) {
-    std::uint64_t line;
-    std::uint64_t set_idx;
-    std::uint64_t sampled;
-    std::uint64_t tag;
-    if constexpr (kPow2) {
-      // "Set not sampled" is a mask test directly on the address
-      // (sample_mask fits inside set_mask), so runs of skipped addresses
-      // burn ~1 cycle each in this scan instead of the full loop body. The
-      // 4-wide leg takes one predictable branch per four addresses.
-      if (sample_mask != 0) {
-        while (i + 4 <= n) {
-          const bool s0 = ((data[i] >> line_shift) & sample_mask) != 0;
-          const bool s1 = ((data[i + 1] >> line_shift) & sample_mask) != 0;
-          const bool s2 = ((data[i + 2] >> line_shift) & sample_mask) != 0;
-          const bool s3 = ((data[i + 3] >> line_shift) & sample_mask) != 0;
-          if (!(s0 & s1 & s2 & s3)) break;
-          i += 4;
-        }
-        while (i < n && ((data[i] >> line_shift) & sample_mask) != 0) ++i;
-        if (i >= n) break;
+  for (const std::uint64_t addr : addrs) {
+    const std::uint64_t line = addr >> line_shift;
+    const std::uint64_t set_idx = line % num_sets;
+    std::uint64_t sampled = set_idx;
+    if (sample_every != 1) {
+      if (sample_pow2) {
+        if ((set_idx & sample_mask) != 0) continue;
+        sampled = set_idx >> sample_shift;
+      } else {
+        if (set_idx % sample_every != 0) continue;
+        sampled = set_idx / sample_every;
       }
-      line = data[i++] >> line_shift;
-      set_idx = line & set_mask;
-      sampled = set_idx >> sample_shift;
-      tag = line >> set_shift;
-    } else {
-      line = data[i++] >> line_shift;
-      set_idx = line % num_sets;
-      sampled = set_idx;
-      if (sample_every != 1) {
-        if (sample_pow2) {
-          if ((set_idx & sample_mask) != 0) continue;
-          sampled = set_idx >> sample_shift;
-        } else {
-          if (set_idx % sample_every != 0) continue;
-          sampled = set_idx / sample_every;
-        }
-      }
-      tag = line / num_sets;
     }
+    const std::uint64_t tag = line / num_sets;
     const std::uint64_t slab_idx = sampled >> kSlabSetShift;
-    if (slab_idx != cached_slab_idx) {
+    if (slab_idx != cursor.idx) {
       Slab& slab = slab_for(sampled);
-      cached_slab_idx = slab_idx;
-      cached_tags = slab.tag.data();
-      cached_ticks = slab.tick.data();
+      cursor.idx = slab_idx;
+      cursor.tags = slab.tag.data();
+      cursor.ticks = slab.tick.data();
     }
     const std::size_t base =
         static_cast<std::size_t>(sampled & (kSlabSets - 1)) * static_cast<std::size_t>(kWays);
-    std::uint64_t* tags = cached_tags + base;
-    std::uint64_t* ticks = cached_ticks + base;
+    std::uint64_t* tags = cursor.tags + base;
+    std::uint64_t* ticks = cursor.ticks + base;
 
     ++tick;
     ++block.sampled;
@@ -222,24 +290,55 @@ BlockStats CacheSim::access_block_generic(std::span<const std::uint64_t> addrs) 
 }
 
 BlockStats CacheSim::access_block(std::span<const std::uint64_t> addrs) {
+  ReplayTelemetry::instance().record_block(addrs.size());
   const std::uint64_t sample_every = config_.sample_every;
   const bool pow2 = sets_pow2_ && (sample_every == 1 ||
                                    (std::has_single_bit(sample_every) &&
                                     sample_every <= num_sets_));
+  const std::uint64_t* data = addrs.data();
+  const std::size_t n = addrs.size();
   switch (config_.ways) {
     case 1:
-      return pow2 ? access_block_ways<1, true>(addrs) : access_block_ways<1, false>(addrs);
+      return pow2 ? access_block_soa<1, false>(data, n, nullptr)
+                  : access_block_scalar<1>(addrs);
     case 2:
-      return pow2 ? access_block_ways<2, true>(addrs) : access_block_ways<2, false>(addrs);
+      return pow2 ? access_block_soa<2, false>(data, n, nullptr)
+                  : access_block_scalar<2>(addrs);
     case 4:
-      return pow2 ? access_block_ways<4, true>(addrs) : access_block_ways<4, false>(addrs);
+      return pow2 ? access_block_soa<4, false>(data, n, nullptr)
+                  : access_block_scalar<4>(addrs);
     case 8:
-      return pow2 ? access_block_ways<8, true>(addrs) : access_block_ways<8, false>(addrs);
+      return pow2 ? access_block_soa<8, false>(data, n, nullptr)
+                  : access_block_scalar<8>(addrs);
     case 16:
-      return pow2 ? access_block_ways<16, true>(addrs) : access_block_ways<16, false>(addrs);
+      return pow2 ? access_block_soa<16, false>(data, n, nullptr)
+                  : access_block_scalar<16>(addrs);
     default:
       return access_block_generic(addrs);
   }
+}
+
+BlockStats CacheSim::access_block_flags(const std::uint64_t* addrs, std::size_t n,
+                                        std::uint8_t* hit_out) {
+  ReplayTelemetry::instance().record_block(n);
+  // The SoA flags path requires exact mode (flag positions match input
+  // positions only when no sampling compaction happens) and pow2 sets.
+  if (config_.sample_every == 1 && sets_pow2_) {
+    switch (config_.ways) {
+      case 1: return access_block_soa<1, true>(addrs, n, hit_out);
+      case 2: return access_block_soa<2, true>(addrs, n, hit_out);
+      case 4: return access_block_soa<4, true>(addrs, n, hit_out);
+      case 8: return access_block_soa<8, true>(addrs, n, hit_out);
+      case 16: return access_block_soa<16, true>(addrs, n, hit_out);
+      default: break;
+    }
+  }
+  // Fallback: the per-address path (non-sampled sets report hits, exactly
+  // like access()).
+  const CacheStats before = stats_;
+  for (std::size_t i = 0; i < n; ++i) hit_out[i] = access(addrs[i]) ? 1 : 0;
+  return {stats_.accesses - before.accesses, stats_.hits - before.hits,
+          stats_.misses - before.misses};
 }
 
 std::uint64_t CacheSim::access_range(std::uint64_t addr, std::uint64_t bytes) {

@@ -73,9 +73,19 @@ class CacheSim {
 
   /// Replay a whole block of addresses; returns the block's own hit/miss
   /// counts (cumulative stats() are updated as well). This is the batched
-  /// hot path: the per-way scan is dispatched once per block on the
-  /// compile-time way count, so the inner loop is fully unrolled.
+  /// hot path: for power-of-two geometry the block is staged through SoA
+  /// set/tag arrays filled by the runtime-dispatched SIMD decompose kernels
+  /// (sim/simd.hpp), then applied by a stateful LRU pass dispatched once per
+  /// block on the compile-time way count, so the inner loop is fully
+  /// unrolled. Bit-identical to calling access() per address.
   BlockStats access_block(std::span<const std::uint64_t> addrs);
+
+  /// Batched access that additionally records the per-address outcome:
+  /// hit_out[i] = 1 when addrs[i] hit (non-sampled sets report 1, exactly
+  /// like access()). This is the classification hand-off ParallelReplay
+  /// uses to chain L1 -> L2 without falling back to per-address calls.
+  BlockStats access_block_flags(const std::uint64_t* addrs, std::size_t n,
+                                std::uint8_t* hit_out);
 
   /// Touch every line of [addr, addr+bytes); returns number of line misses
   /// among sampled sets.
@@ -111,15 +121,39 @@ class CacheSim {
     return sets_pow2_ ? (line >> set_shift_) : (line / num_sets_);
   }
 
+  /// Slab memoization cursor threaded through one batched call: sweeps and
+  /// chases revisit the same slab for long runs, so the pointer pair is
+  /// resolved once per slab change, not per address.
+  struct SlabCursor {
+    std::uint64_t idx = ~0ull;
+    std::uint64_t* tags = nullptr;
+    std::uint64_t* ticks = nullptr;
+  };
+
   Slab& slab_for(std::uint64_t sampled_idx);
   bool access_sampled(std::uint64_t line, std::uint64_t set_idx);
 
-  /// kPow2 instantiations assume power-of-two set count and sampling stride
-  /// (the common configurations), so all index math compiles to shift/mask
-  /// with no runtime fallback branches in the hot loop.
-  template <int kWays, bool kPow2>
-  BlockStats access_block_ways(std::span<const std::uint64_t> addrs);
+  /// SoA pipeline for power-of-two geometry: decompose `addrs` into the
+  /// scratch set/tag arrays (SIMD-dispatched), then run the stateful LRU
+  /// apply pass. kFlags additionally writes per-address hit bytes.
+  template <int kWays, bool kFlags>
+  BlockStats access_block_soa(const std::uint64_t* addrs, std::size_t n,
+                              std::uint8_t* hit_out);
+  /// Stateful LRU pass over precomputed (sampled set, tag) pairs; the per-way
+  /// scan unrolls at compile time. Accumulates into the caller's counters.
+  template <int kWays, bool kFlags>
+  void apply_block_pow2(const std::uint64_t* sets, const std::uint64_t* tags,
+                        std::size_t n, std::uint8_t* hit_out, BlockStats& block,
+                        std::uint64_t& evictions, std::uint64_t& filled,
+                        SlabCursor& cursor);
+
+  /// Scalar fallback for non-power-of-two set counts or sampling strides
+  /// (division/modulo index math, otherwise the same one-pass LRU scan).
+  template <int kWays>
+  BlockStats access_block_scalar(std::span<const std::uint64_t> addrs);
   BlockStats access_block_generic(std::span<const std::uint64_t> addrs);
+
+  void ensure_soa_scratch();
 
   CacheConfig config_;
   std::uint64_t num_sets_ = 0;
@@ -133,6 +167,11 @@ class CacheSim {
   CacheStats stats_;
   // Lazily materialized flat storage: slabs_[sampled_idx >> kSlabSetShift].
   std::vector<std::unique_ptr<Slab>> slabs_;
+  // SoA staging arrays (simd::kSoaChunk entries each), lazily allocated on
+  // the thread that first replays a block — under the sharded replay that is
+  // the shard's worker, so first-touch keeps the scratch NUMA-local.
+  std::vector<std::uint64_t> soa_set_;
+  std::vector<std::uint64_t> soa_tag_;
 };
 
 }  // namespace knl::sim

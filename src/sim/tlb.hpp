@@ -14,6 +14,7 @@
 // chases) nearly free.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -78,6 +79,12 @@ class TlbSim {
     return access_slow(page);
   }
 
+  /// Batched translate: hit_out[i] = 1 when addrs[i] hit. Bit-identical to
+  /// calling access() per address, but the page-number extraction is staged
+  /// through a SoA scratch array filled by the SIMD dispatch (sim/simd.hpp),
+  /// so the stateful LRU walk runs over a contiguous page stream.
+  void access_block(const std::uint64_t* addrs, std::size_t n, std::uint8_t* hit_out);
+
   [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
   [[nodiscard]] double miss_rate() const noexcept {
@@ -103,6 +110,10 @@ class TlbSim {
   std::int32_t tail_ = -1;    // least recently used slot
   std::int32_t filled_ = 0;   // slots in use (fill before evicting)
   std::vector<std::uint64_t> pages_;
+  /// SoA page-number scratch for access_block, lazily allocated on the
+  /// thread that first replays a block (first-touch NUMA locality under the
+  /// sharded replay).
+  std::vector<std::uint64_t> soa_pages_;
   std::vector<std::int32_t> lru_prev_;
   std::vector<std::int32_t> lru_next_;
   std::vector<std::int32_t> bucket_head_;

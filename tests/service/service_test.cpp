@@ -206,5 +206,25 @@ TEST_F(ServiceTest, StatsExposesCacheCountersAndGauges) {
   EXPECT_EQ(static_cast<int>(r.body.find("inflight")->as_number()), 0);
 }
 
+TEST_F(ServiceTest, StatsExposesReplayTelemetry) {
+  const ServiceResponse r = service_.handle("GET", "/stats", Value());
+  ASSERT_EQ(r.status, 200);
+  const Value* replay = r.body.find("replay");
+  ASSERT_NE(replay, nullptr);
+  // The SIMD level is resolved at dispatch and must be one of the names the
+  // module can report.
+  const std::string level = replay->find("simd_level")->as_string();
+  EXPECT_TRUE(level == "scalar" || level == "sse2" || level == "avx2") << level;
+  // Counters are process-wide monotonic gauges; presence and non-negativity
+  // is the contract (other tests in this binary may already have bumped
+  // them, so exact values are not asserted).
+  for (const char* key : {"classified_blocks", "classified_addresses", "replay_runs",
+                          "replay_epochs", "overlapped_epochs"}) {
+    const Value* counter = replay->find(key);
+    ASSERT_NE(counter, nullptr) << key;
+    EXPECT_GE(counter->as_number(), 0.0) << key;
+  }
+}
+
 }  // namespace
 }  // namespace knl::service

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/fault/error.hpp"
+#include "core/fault/fault_injection.hpp"
 #include "trace/generators.hpp"
 
 namespace knl::sim {
@@ -190,6 +192,61 @@ TEST(ParallelReplay, ShardedMatchesReferenceWithHbmNode) {
   ParallelReplay sharded(cfg), reference(cfg);
   const auto streams = random_streams(4, 16ull << 20, 10000, 31);
   expect_bit_identical(sharded.replay(streams), reference.replay_reference(streams));
+}
+
+TEST(ParallelReplayChaos, EpochFaultWithWaveInFlightThenCleanRerunIsBitIdentical) {
+  // The replay-epoch fault site fires *after* the next wave has been
+  // submitted, so the abort happens with an epoch mid-classification on the
+  // pool — the overlapped-reconciliation path. The engine must unwind
+  // cleanly (every in-flight task settled before the throw escapes), and a
+  // reset + rerun must be bit-identical to a machine that never faulted.
+  ParallelReplayConfig cfg;
+  cfg.cores = 4;
+  cfg.workers = 3;
+  cfg.epoch_accesses = 1024;
+  ParallelReplay machine(cfg), reference(cfg);
+  const auto streams = random_streams(4, 8ull << 20, 20000, 17);  // ~20 epochs
+
+  fault::FaultPlan plan;
+  plan.seed = 1;
+  fault::FaultSite site;
+  site.site = fault::kSiteReplayEpoch;
+  site.key = 2;  // abort at epoch 2, while epoch 3 is classifying
+  plan.sites.push_back(site);
+  {
+    fault::ScopedFaultPlan scoped(plan);
+    EXPECT_THROW((void)machine.replay(streams), knl::Error);
+    EXPECT_EQ(fault::FaultInjector::instance().injected(), 1u);
+  }
+
+  // Zero drift: the aborted machine, once reset, replays identically to the
+  // never-faulted reference.
+  machine.reset();
+  expect_bit_identical(machine.replay(streams), reference.replay_reference(streams));
+}
+
+TEST(ParallelReplayChaos, InlineEngineFaultAlsoUnwindsCleanly) {
+  // Same drill with workers=1 (inline classification, no pool): the fault
+  // path must not depend on the pipeline actually running concurrently.
+  ParallelReplayConfig cfg;
+  cfg.cores = 2;
+  cfg.workers = 1;
+  cfg.epoch_accesses = 256;
+  ParallelReplay machine(cfg), reference(cfg);
+  const auto streams = random_streams(2, 4ull << 20, 4000, 19);
+
+  fault::FaultPlan plan;
+  plan.seed = 1;
+  fault::FaultSite site;
+  site.site = fault::kSiteReplayEpoch;
+  site.key = 1;
+  plan.sites.push_back(site);
+  {
+    fault::ScopedFaultPlan scoped(plan);
+    EXPECT_THROW((void)machine.replay(streams), knl::Error);
+  }
+  machine.reset();
+  expect_bit_identical(machine.replay(streams), reference.replay_reference(streams));
 }
 
 TEST(ParallelReplay, Validation) {
