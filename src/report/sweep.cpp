@@ -10,6 +10,8 @@
 #include <type_traits>
 
 #include "core/thread_pool.hpp"
+#include "sim/mcdram_cache.hpp"
+#include "sim/reuse_profile.hpp"
 
 namespace knl::report {
 
@@ -215,6 +217,15 @@ std::size_t SweepKeyHash::operator()(const SweepKey& key) const noexcept {
   return static_cast<std::size_t>(h);
 }
 
+std::size_t ProfileKeyHash::operator()(const ProfileKey& key) const noexcept {
+  std::uint64_t h = kFnvOffset;
+  mix(h, key.trace_hash);
+  mix(h, key.machine_hash);
+  mix(h, key.threads);
+  mix(h, key.geometry_hash);
+  return static_cast<std::size_t>(h);
+}
+
 // ---------------------------------------------------------------------------
 // SweepCache
 // ---------------------------------------------------------------------------
@@ -318,6 +329,90 @@ RunResult SweepCache::fetch_or_compute(const SweepKey& key,
   }
 }
 
+SweepCache::ProfileShard& SweepCache::profile_shard_for(const ProfileKey& key) const {
+  const std::size_t h = ProfileKeyHash{}(key);
+  return profile_shards_[(h >> 48) & (kShardCount - 1)];
+}
+
+void SweepCache::store_profile_locked(ProfileShard& shard, const ProfileKey& key,
+                                      const ProfilePtr& profile) {
+  profile_inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    it->second->profile = profile;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(ProfileEntry{key, profile});
+  shard.index.emplace(key, shard.lru.begin());
+  const std::size_t bound = std::max<std::size_t>(1, profile_shard_capacity());
+  while (shard.index.size() > bound) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    profile_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+SweepCache::ProfilePtr SweepCache::lookup_profile(const ProfileKey& key) const {
+  ProfileShard& shard = profile_shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    profile_misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  profile_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->profile;
+}
+
+SweepCache::ProfilePtr SweepCache::fetch_or_compute_profile(
+    const ProfileKey& key, const std::function<ProfilePtr()>& compute,
+    bool* cache_hit) {
+  ProfileShard& shard = profile_shard_for(key);
+  std::shared_future<ProfilePtr> herd;
+  std::promise<ProfilePtr> mine;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const auto it = shard.index.find(key); it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      profile_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return it->second->profile;
+    }
+    if (const auto in = shard.inflight.find(key); in != shard.inflight.end()) {
+      herd = in->second;
+      profile_coalesced_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      owner = true;
+      profile_misses_.fetch_add(1, std::memory_order_relaxed);
+      shard.inflight.emplace(key, std::shared_future<ProfilePtr>(mine.get_future()));
+    }
+  }
+  if (!owner) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return herd.get();
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  try {
+    const ProfilePtr profile = compute();
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      store_profile_locked(shard, key, profile);
+      shard.inflight.erase(key);
+    }
+    mine.set_value(profile);
+    return profile;
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.inflight.erase(key);
+    }
+    mine.set_exception(std::current_exception());
+    throw;
+  }
+}
+
 std::size_t SweepCache::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
@@ -351,6 +446,11 @@ void SweepCache::clear() {
     shard.index.clear();
     shard.lru.clear();
   }
+  for (ProfileShard& shard : profile_shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.index.clear();
+    shard.lru.clear();
+  }
 }
 
 SweepCacheStats SweepCache::stats() const {
@@ -363,6 +463,16 @@ SweepCacheStats SweepCache::stats() const {
   s.entries = size();
   s.capacity = capacity();
   s.shards = kShardCount;
+  s.profile_hits = profile_hits_.load(std::memory_order_relaxed);
+  s.profile_misses = profile_misses_.load(std::memory_order_relaxed);
+  s.profile_inserts = profile_inserts_.load(std::memory_order_relaxed);
+  s.profile_evictions = profile_evictions_.load(std::memory_order_relaxed);
+  s.profile_coalesced = profile_coalesced_.load(std::memory_order_relaxed);
+  for (const ProfileShard& shard : profile_shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    s.profile_entries += shard.index.size();
+  }
+  s.profile_capacity = profile_capacity_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -372,6 +482,11 @@ void SweepCache::reset_stats() {
   evictions_.store(0, std::memory_order_relaxed);
   coalesced_.store(0, std::memory_order_relaxed);
   inserts_.store(0, std::memory_order_relaxed);
+  profile_hits_.store(0, std::memory_order_relaxed);
+  profile_misses_.store(0, std::memory_order_relaxed);
+  profile_evictions_.store(0, std::memory_order_relaxed);
+  profile_coalesced_.store(0, std::memory_order_relaxed);
+  profile_inserts_.store(0, std::memory_order_relaxed);
 }
 
 namespace {
@@ -583,19 +698,32 @@ SweepStats& SweepStats::operator+=(const SweepStats& other) {
   failed += other.failed;
   watchdog_trips += other.watchdog_trips;
   serial_fallbacks += other.serial_fallbacks;
+  profile_passes += other.profile_passes;
+  profile_hits += other.profile_hits;
+  cells_derived += other.cells_derived;
   return *this;
 }
 
 std::string SweepStats::summary() const {
-  char buffer[320];
+  char buffer[448];
   int n = std::snprintf(
       buffer, sizeof(buffer),
       "sweep: %zu cells (%zu evaluated, %zu cache hits, %zu infeasible), "
       "cell time %.4f s, wall %.4f s",
       cells, evaluated, cache_hits, infeasible, cell_seconds, wall_seconds);
+  // Single-pass accounting only when a capacity sweep ran.
+  if (n > 0 && static_cast<std::size_t>(n) < sizeof(buffer) &&
+      (profile_passes != 0 || profile_hits != 0 || cells_derived != 0)) {
+    const int m = std::snprintf(
+        buffer + n, sizeof(buffer) - static_cast<std::size_t>(n),
+        ", single-pass: %zu passes, %zu profile hits, %zu cells derived",
+        profile_passes, profile_hits, cells_derived);
+    if (m > 0) n += m;
+  }
   // Fault accounting only when something fired, keeping clean-run logs clean.
-  if (n > 0 && (retries != 0 || failed != 0 || watchdog_trips != 0 ||
-                serial_fallbacks != 0)) {
+  if (n > 0 && static_cast<std::size_t>(n) < sizeof(buffer) &&
+      (retries != 0 || failed != 0 || watchdog_trips != 0 ||
+       serial_fallbacks != 0)) {
     std::snprintf(buffer + n, sizeof(buffer) - static_cast<std::size_t>(n),
                   ", faults: %zu retries, %zu failed, %zu watchdog trips, "
                   "%zu serial fallbacks",
@@ -631,6 +759,269 @@ void add_ratio_series(Figure& figure, const std::string& numerator,
       figure.add(name, x, y / *d);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Single-pass capacity sweeps
+// ---------------------------------------------------------------------------
+namespace {
+
+std::uint64_t geometry_fingerprint(const CapacityGrid& grid) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, grid.line_bytes);
+  mix(h, grid.num_sets);
+  mix(h, grid.sample_every);
+  return h;
+}
+
+/// Trace fingerprint: the address stream is a pure function of (profile
+/// content, synthesis options), so hashing those identifies it without
+/// materializing it.
+std::uint64_t trace_fingerprint(const trace::AccessProfile& profile,
+                                const trace::SynthOptions& synth) {
+  std::uint64_t h = profile_fingerprint(profile);
+  mix(h, synth.max_addresses);
+  mix(h, synth.seed);
+  return h;
+}
+
+std::string capacity_cell_label(std::uint64_t bytes, int threads) {
+  return "capacity=" + std::to_string(bytes) + " B @ " + std::to_string(threads) +
+         " threads";
+}
+
+}  // namespace
+
+struct SweepPlanner::Request {
+  const Machine* machine = nullptr;
+  trace::AccessProfile profile;
+  int threads = 0;
+  CapacityGrid grid;
+  Figure figure;
+  ProfileKey key;
+};
+
+SweepPlanner::SweepPlanner(SweepOptions options) : options_(options) {}
+
+SweepPlanner::~SweepPlanner() = default;
+
+std::size_t SweepPlanner::add(const Machine& machine,
+                              const trace::AccessProfile& profile, int threads,
+                              CapacityGrid grid, Figure figure) {
+  const ProfileKey key{trace_fingerprint(profile, grid.synth),
+                       machine.config().fingerprint(), threads,
+                       geometry_fingerprint(grid)};
+  requests_.push_back(Request{&machine, profile, threads, std::move(grid),
+                              std::move(figure), key});
+  return requests_.size() - 1;
+}
+
+std::vector<CapacitySweepRun> SweepPlanner::run() {
+  /// Requests sharing a ProfileKey coalesce onto one group = one profiling
+  /// pass; the group's histogram answers every member grid's cells.
+  struct Group {
+    std::vector<std::size_t> members;  ///< request indices, add() order
+    SweepCache::ProfilePtr profile;    ///< null => per-cell reference path
+    /// Concrete trace, synthesized lazily — only the reference path needs it
+    /// (the single-pass path with a profile-cache hit never replays at all).
+    std::shared_ptr<const std::vector<std::uint64_t>> trace;
+    bool pass_cache_hit = false;
+    std::size_t pass_retries = 0;
+    bool pass_ran = false;  ///< a pass succeeded (computed now or cached)
+  };
+  std::vector<Group> groups;
+  std::unordered_map<ProfileKey, std::size_t, ProfileKeyHash> group_of;
+  std::vector<std::size_t> request_group(requests_.size(), 0);
+  for (std::size_t r = 0; r < requests_.size(); ++r) {
+    const auto [it, fresh] = group_of.emplace(requests_[r].key, groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].members.push_back(r);
+    request_group[r] = it->second;
+  }
+
+  // Phase 1: one profiling pass per fingerprint group, behind the same
+  // retry/injection discipline as grid cells but in the dedicated key space
+  // (kProfilePassKeyBase + group ordinal, disjoint from cell indices). A
+  // pass that still fails after the retry budget does not fail the sweep:
+  // its group falls back to the per-cell reference path, which computes the
+  // identical cells — just without the single-pass speedup.
+  if (options_.single_pass) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      Group& group = groups[g];
+      const Request& first = requests_[group.members.front()];
+      const std::uint64_t pass_key = kProfilePassKeyBase + g;
+      fault::RetryStats tries;
+      try {
+        group.profile = fault::with_retry(
+            options_.retry, pass_key,
+            [&]() -> SweepCache::ProfilePtr {
+              fault::maybe_inject(fault::kSiteSweepCell, pass_key);
+              const auto compute = [&]() -> SweepCache::ProfilePtr {
+                const std::vector<std::uint64_t> addrs =
+                    trace::synthesize_trace(first.profile, first.grid.synth);
+                sim::ReuseProfileConfig config;
+                config.line_bytes = first.grid.line_bytes;
+                config.num_sets = first.grid.num_sets;
+                config.sample_every = first.grid.sample_every;
+                return std::make_shared<const sim::ReuseProfile>(
+                    sim::profile_trace(addrs.data(), addrs.size(), config,
+                                       resolve_jobs(options_.jobs)));
+              };
+              bool hit = false;
+              SweepCache::ProfilePtr profile =
+                  options_.memoize ? SweepCache::instance().fetch_or_compute_profile(
+                                         first.key, compute, &hit)
+                                   : compute();
+              group.pass_cache_hit = hit;
+              return profile;
+            },
+            &tries);
+        group.pass_ran = group.profile != nullptr;
+      } catch (...) {
+        group.profile = nullptr;
+      }
+      if (tries.attempts > 1) {
+        group.pass_retries = static_cast<std::size_t>(tries.attempts - 1);
+      }
+    }
+  }
+
+  // Phase 2: derive (or reference-replay) every grid, in add() order.
+  std::vector<CapacitySweepRun> results;
+  results.reserve(requests_.size());
+  for (std::size_t r = 0; r < requests_.size(); ++r) {
+    const auto start = Clock::now();
+    Request& request = requests_[r];
+    Group& group = groups[request_group[r]];
+    const CapacityGrid& grid = request.grid;
+
+    CapacitySweepRun out{std::move(request.figure), {}, {}, {}};
+    const std::size_t cells = grid.capacities_bytes.size();
+    out.cells.assign(cells, CapacityCell{});
+    for (std::size_t i = 0; i < cells; ++i) {
+      out.cells[i].capacity_bytes = grid.capacities_bytes[i];
+    }
+
+    // Pass accounting: the group's first request owns the pass (computed or
+    // cache hit); every later member is a pure profile hit.
+    if (group.pass_ran) {
+      if (r == group.members.front()) {
+        if (group.pass_cache_hit) {
+          ++out.stats.profile_hits;
+        } else {
+          ++out.stats.profile_passes;
+        }
+        out.stats.retries += group.pass_retries;
+      } else {
+        ++out.stats.profile_hits;
+      }
+    } else if (options_.single_pass && r == group.members.front()) {
+      out.stats.retries += group.pass_retries;
+    }
+
+    // The reference path replays the concrete trace per cell; synthesize it
+    // once per group.
+    if (group.profile == nullptr && group.trace == nullptr) {
+      group.trace = std::make_shared<const std::vector<std::uint64_t>>(
+          trace::synthesize_trace(request.profile, grid.synth));
+    }
+
+    const std::uint64_t set_bytes = grid.line_bytes * grid.num_sets;
+    const sim::TimingConfig& timing = request.machine->timing().config();
+    double logical_bytes = 0.0;
+    for (const trace::AccessPhase& phase : request.profile.phases()) {
+      logical_bytes += phase.logical_bytes;
+    }
+
+    std::vector<CapacityCell>& cells_out = out.cells;
+    const auto eval = [&](std::size_t index) {
+      const auto cell_start = Clock::now();
+      const std::uint64_t capacity = grid.capacities_bytes[index];
+      if (set_bytes == 0 || capacity % set_bytes != 0 || capacity / set_bytes == 0) {
+        throw Error::corrupt_input(
+            "sweep/capacity-grid",
+            "capacity " + std::to_string(capacity) +
+                " is not a positive multiple of line_bytes*num_sets (" +
+                std::to_string(set_bytes) + ")");
+      }
+      const std::uint64_t ways = capacity / set_bytes;
+
+      CapacityCell cell;
+      cell.capacity_bytes = capacity;
+      cell.ways = ways;
+      if (group.profile != nullptr) {
+        // Mattson derivation: hits at W ways = accesses with stack distance
+        // < W, read off the shared histogram's prefix sum.
+        const std::uint64_t sampled = group.profile->sampled();
+        cell.hit_rate = sampled == 0
+                            ? 0.0
+                            : static_cast<double>(group.profile->hits_for_ways(ways)) /
+                                  static_cast<double>(sampled);
+        cell.profile_hit = true;
+      } else {
+        sim::ReuseProfileConfig geometry;
+        geometry.line_bytes = grid.line_bytes;
+        geometry.num_sets = grid.num_sets;
+        geometry.sample_every = grid.sample_every;
+        const sim::CapacityReference ref = sim::replay_capacity_reference(
+            group.trace->data(), group.trace->size(), geometry, ways);
+        cell.hit_rate = ref.sampled == 0 ? 0.0
+                                         : static_cast<double>(ref.hits) /
+                                               static_cast<double>(ref.sampled);
+      }
+
+      // Timing: the machine's MCDRAM blend model at this cell's capacity.
+      sim::McdramCacheConfig mcdram = timing.mcdram;
+      mcdram.capacity_bytes = capacity;
+      const sim::McdramCacheModel model(mcdram);
+      cell.effective_bw_gbs = model.effective_bandwidth_gbs(
+          cell.hit_rate, timing.hbm.stream_bw_gbs, timing.ddr.stream_bw_gbs);
+      cell.avg_latency_ns = model.effective_latency_ns(
+          cell.hit_rate, timing.hbm.idle_latency_ns, timing.ddr.idle_latency_ns);
+      cell.seconds = cell.effective_bw_gbs > 0.0
+                         ? logical_bytes / (cell.effective_bw_gbs * 1e9)
+                         : 0.0;
+      cells_out[index] = cell;
+
+      CellOutcome outcome;
+      outcome.feasible = true;
+      outcome.x = static_cast<double>(capacity) / 1e9;
+      outcome.y = cell.hit_rate;
+      outcome.seconds = seconds_since(cell_start);
+      return outcome;
+    };
+
+    const std::vector<CellOutcome> outcomes =
+        run_grid(options_, cells, eval, out.stats);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const CellOutcome& outcome = outcomes[i];
+      account(out.stats, outcome);
+      if (!outcome.ok) {
+        out.failures.push_back({i,
+                                capacity_cell_label(grid.capacities_bytes[i],
+                                                    request.threads),
+                                outcome.category, outcome.message});
+        continue;
+      }
+      if (out.cells[i].profile_hit) ++out.stats.cells_derived;
+      out.figure.add("MCDRAM$ hit rate", outcome.x, out.cells[i].hit_rate);
+      out.figure.add("effective GB/s", outcome.x, out.cells[i].effective_bw_gbs);
+    }
+    out.stats.wall_seconds = seconds_since(start);
+    results.push_back(std::move(out));
+  }
+  requests_.clear();
+  return results;
+}
+
+CapacitySweepRun sweep_capacities_run(const Machine& machine,
+                                      const trace::AccessProfile& profile,
+                                      int threads, CapacityGrid grid, Figure figure,
+                                      const SweepOptions& options) {
+  SweepPlanner planner(options);
+  planner.add(machine, profile, threads, std::move(grid), std::move(figure));
+  std::vector<CapacitySweepRun> runs = planner.run();
+  return std::move(runs.front());
 }
 
 }  // namespace knl::report

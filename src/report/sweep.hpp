@@ -28,7 +28,12 @@
 #include "core/fault/retry.hpp"
 #include "core/machine.hpp"
 #include "report/figure.hpp"
+#include "trace/synth.hpp"
 #include "workloads/workload.hpp"
+
+namespace knl::sim {
+class ReuseProfile;  // sim/reuse_profile.hpp (sweep.cpp includes it)
+}
 
 namespace knl::report {
 
@@ -57,6 +62,11 @@ struct SweepOptions {
   /// (where it has the machine to itself) — the graceful parallel->serial
   /// fallback; 0 disables the watchdog.
   double cell_deadline_ms = 0.0;
+  /// Capacity sweeps (SweepPlanner): derive every cell of a grid from one
+  /// reuse-distance profiling pass over the trace (exact by LRU inclusion;
+  /// the default). false selects the retained per-cell reference path that
+  /// re-replays the trace through the exact simulator for every capacity.
+  bool single_pass = true;
 };
 
 /// Counters describing how a sweep call spent its time. `cells` is the full
@@ -82,6 +92,12 @@ struct SweepStats {
   std::size_t watchdog_trips = 0;
   /// Whole-grid parallel->serial fallbacks after a substrate (pool) fault.
   std::size_t serial_fallbacks = 0;
+  /// Single-pass accounting (capacity sweeps only): profiling passes
+  /// computed now, passes served from the profile cache, and grid cells
+  /// answered from a profile histogram instead of a per-cell replay.
+  std::size_t profile_passes = 0;
+  std::size_t profile_hits = 0;
+  std::size_t cells_derived = 0;
 
   /// One-line human-readable rendering for bench logs / EXPERIMENTS.md.
   [[nodiscard]] std::string summary() const;
@@ -148,6 +164,32 @@ struct SweepCacheStats {
   std::size_t entries = 0;    ///< resident entries right now
   std::size_t capacity = 0;   ///< configured bound (entries)
   std::size_t shards = 0;     ///< shard count (compile-time constant)
+  /// Reuse-distance profile side of the cache (single-pass sweeps). A hit
+  /// here answers a whole capacity grid — including grids *different* from
+  /// the one that populated the entry — without replaying the trace.
+  std::size_t profile_hits = 0;
+  std::size_t profile_misses = 0;
+  std::size_t profile_inserts = 0;
+  std::size_t profile_evictions = 0;
+  std::size_t profile_coalesced = 0;
+  std::size_t profile_entries = 0;
+  std::size_t profile_capacity = 0;
+};
+
+/// Fingerprint of one profiling pass: which trace (profile content +
+/// synthesis budget/seed), on which machine, at which thread count, under
+/// which cache geometry. Grids sharing a key share one pass.
+struct ProfileKey {
+  std::uint64_t trace_hash = 0;
+  std::uint64_t machine_hash = 0;
+  int threads = 0;
+  std::uint64_t geometry_hash = 0;
+
+  friend bool operator==(const ProfileKey&, const ProfileKey&) = default;
+};
+
+struct ProfileKeyHash {
+  [[nodiscard]] std::size_t operator()(const ProfileKey& key) const noexcept;
 };
 
 /// Process-wide memoized simulation results, shared by every sweep — and,
@@ -177,6 +219,15 @@ class SweepCache {
   /// default caps the cache at a few MiB while holding every cell of every
   /// registry experiment many times over.
   static constexpr std::size_t kDefaultCapacity = 1u << 16;
+  /// Bound on resident reuse-distance profiles. A profile is a histogram of
+  /// up to max_depth buckets (typically a few thousand live ones), so this
+  /// caps the profile side at a few MiB as well. Profiles are process-local
+  /// only: save()/load() persist RunResults, never profiles.
+  static constexpr std::size_t kDefaultProfileCapacity = 128;
+
+  /// Profiles are immutable once computed and shared by reference: a grid
+  /// hit hands out the same histogram the profiling pass produced.
+  using ProfilePtr = std::shared_ptr<const sim::ReuseProfile>;
 
   static SweepCache& instance();
 
@@ -191,6 +242,15 @@ class SweepCache {
   [[nodiscard]] RunResult fetch_or_compute(const SweepKey& key,
                                            const std::function<RunResult()>& compute,
                                            bool* cache_hit = nullptr);
+
+  /// Profile-side read path: nullptr on miss.
+  [[nodiscard]] ProfilePtr lookup_profile(const ProfileKey& key) const;
+  /// Coalescing read-through for profiling passes, mirroring
+  /// fetch_or_compute: one pass per herd of identical keys, `*cache_hit`
+  /// false only for the caller that actually replayed the trace.
+  [[nodiscard]] ProfilePtr fetch_or_compute_profile(
+      const ProfileKey& key, const std::function<ProfilePtr()>& compute,
+      bool* cache_hit = nullptr);
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const;
@@ -222,23 +282,50 @@ class SweepCache {
     std::unordered_map<SweepKey, std::list<Entry>::iterator, SweepKeyHash> index;
     std::unordered_map<SweepKey, std::shared_future<RunResult>, SweepKeyHash> inflight;
   };
+  struct ProfileEntry {
+    ProfileKey key;
+    ProfilePtr profile;
+  };
+  /// Profile shard: same discipline as Shard, holding shared immutable
+  /// histograms instead of RunResults.
+  struct ProfileShard {
+    mutable std::mutex mutex;
+    std::list<ProfileEntry> lru;
+    std::unordered_map<ProfileKey, std::list<ProfileEntry>::iterator, ProfileKeyHash>
+        index;
+    std::unordered_map<ProfileKey, std::shared_future<ProfilePtr>, ProfileKeyHash>
+        inflight;
+  };
 
   SweepCache() = default;
 
   [[nodiscard]] Shard& shard_for(const SweepKey& key) const;
+  [[nodiscard]] ProfileShard& profile_shard_for(const ProfileKey& key) const;
   /// Insert/refresh under the shard lock, evicting past the per-shard bound.
   void store_locked(Shard& shard, const SweepKey& key, const RunResult& result);
+  void store_profile_locked(ProfileShard& shard, const ProfileKey& key,
+                            const ProfilePtr& profile);
   [[nodiscard]] std::size_t shard_capacity() const {
     return capacity_.load(std::memory_order_relaxed) / kShardCount;
   }
+  [[nodiscard]] std::size_t profile_shard_capacity() const {
+    return profile_capacity_.load(std::memory_order_relaxed) / kShardCount;
+  }
 
   mutable std::array<Shard, kShardCount> shards_;
+  mutable std::array<ProfileShard, kShardCount> profile_shards_;
   std::atomic<std::size_t> capacity_{kDefaultCapacity};
+  std::atomic<std::size_t> profile_capacity_{kDefaultProfileCapacity};
   mutable std::atomic<std::size_t> hits_{0};
   mutable std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> evictions_{0};
   std::atomic<std::size_t> coalesced_{0};
   std::atomic<std::size_t> inserts_{0};
+  mutable std::atomic<std::size_t> profile_hits_{0};
+  mutable std::atomic<std::size_t> profile_misses_{0};
+  std::atomic<std::size_t> profile_evictions_{0};
+  std::atomic<std::size_t> profile_coalesced_{0};
+  std::atomic<std::size_t> profile_inserts_{0};
 };
 
 /// Run one (profile, run-config) cell through the memoization cache: on a
@@ -298,5 +385,98 @@ void add_self_speedup_series(Figure& figure);
 /// created.
 void add_ratio_series(Figure& figure, const std::string& numerator,
                       const std::string& denominator, const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Single-pass capacity sweeps
+// ---------------------------------------------------------------------------
+
+/// Fault-injection key space of profiling passes at kSiteSweepCell. Grid
+/// cells are keyed by their grid index (< 2^20 in practice: the service
+/// bounds grids at max_sweep_cells, benches at a few hundred), so offsetting
+/// pass ordinals past this base keeps the two key populations disjoint —
+/// a plan targeting key kProfilePassKeyBase+N hits pass N and no cell.
+inline constexpr std::uint64_t kProfilePassKeyBase = 1ull << 20;
+
+/// One MCDRAM-capacity grid: simulate the workload's trace against an LRU
+/// cache of each candidate capacity at fixed geometry. Capacities must be
+/// multiples of line_bytes * num_sets (integral associativity).
+struct CapacityGrid {
+  std::vector<std::uint64_t> capacities_bytes;
+  /// Cache geometry shared by every cell (what makes one pass answer all of
+  /// them: at fixed (line, sets, sampling), capacity only varies the ways).
+  std::uint64_t line_bytes = 64;
+  std::uint64_t num_sets = 1ull << 15;
+  std::uint64_t sample_every = 1;
+  /// Trace synthesis budget/seed; part of the profile fingerprint.
+  trace::SynthOptions synth{};
+};
+
+/// One evaluated capacity cell: the exact hit rate at this capacity plus the
+/// derived timing (McdramCacheModel blend of the machine's HBM/DDR params).
+struct CapacityCell {
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t ways = 0;
+  double hit_rate = 0.0;
+  double effective_bw_gbs = 0.0;
+  double avg_latency_ns = 0.0;
+  double seconds = 0.0;
+  /// True when this cell was derived from a profile histogram (single-pass
+  /// path); false when it came from a per-cell reference replay.
+  bool profile_hit = false;
+};
+
+/// A completed capacity sweep: cells in grid order, a figure with
+/// "MCDRAM$ hit rate" and "effective GB/s" series vs capacity (GB), and the
+/// engine accounting (profile_passes / profile_hits / cells_derived live in
+/// stats).
+struct CapacitySweepRun {
+  Figure figure;
+  std::vector<CapacityCell> cells;
+  SweepStats stats;
+  std::vector<CellFailure> failures;
+};
+
+/// Batches capacity-sweep requests and coalesces all grids sharing a
+/// (trace, machine, threads, geometry) fingerprint onto ONE profiling pass,
+/// then derives every cell of every grid analytically from the shared
+/// reuse-distance histogram (Mattson: at fixed geometry, an access hits a
+/// W-way LRU set iff its per-set stack distance is < W, so one histogram
+/// answers every capacity). Passes and results go through the SweepCache,
+/// so a later planner — or a service /sweep query with a different grid —
+/// hits the same profile.
+///
+/// With options.single_pass == false every cell replays the trace through
+/// the exact per-cell simulator instead (the retained reference path); the
+/// two paths produce identical cells wherever LRU inclusion holds, which is
+/// everywhere the planner can run (the profile and the reference simulate
+/// the same set-associative LRU).
+class SweepPlanner {
+ public:
+  explicit SweepPlanner(SweepOptions options = {});
+  ~SweepPlanner();
+
+  SweepPlanner(const SweepPlanner&) = delete;
+  SweepPlanner& operator=(const SweepPlanner&) = delete;
+
+  /// Queue one grid; returns its slot in the vector run() returns. The
+  /// machine reference must outlive run().
+  std::size_t add(const Machine& machine, const trace::AccessProfile& profile,
+                  int threads, CapacityGrid grid, Figure figure);
+
+  /// Execute every queued grid (profiling passes first, grouped by
+  /// fingerprint; then cell derivation) and clear the queue. Results are in
+  /// add() order and bit-identical for any jobs count.
+  [[nodiscard]] std::vector<CapacitySweepRun> run();
+
+ private:
+  struct Request;
+  SweepOptions options_;
+  std::vector<Request> requests_;
+};
+
+/// One-grid convenience wrapper over SweepPlanner.
+[[nodiscard]] CapacitySweepRun sweep_capacities_run(
+    const Machine& machine, const trace::AccessProfile& profile, int threads,
+    CapacityGrid grid, Figure figure, const SweepOptions& options = {});
 
 }  // namespace knl::report

@@ -47,6 +47,16 @@ double number_or(const Value& body, const std::string& key, double fallback) {
   return v->as_number();
 }
 
+bool bool_or(const Value& body, const std::string& key, bool fallback) {
+  const Value* v = body.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) {
+    throw Error::corrupt_input("service/bad-field",
+                               "field '" + key + "' must be a boolean");
+  }
+  return v->as_bool();
+}
+
 std::string require_string(const Value& body, const std::string& key) {
   const Value* v = body.find(key);
   if (v == nullptr || !v->is_string()) {
@@ -150,7 +160,64 @@ Value sweep_stats_json(const report::SweepStats& stats) {
   out.set("cache_hits", static_cast<double>(stats.cache_hits));
   out.set("infeasible", static_cast<double>(stats.infeasible));
   out.set("failed", static_cast<double>(stats.failed));
+  out.set("profile_passes", static_cast<double>(stats.profile_passes));
+  out.set("profile_hits", static_cast<double>(stats.profile_hits));
+  out.set("cells_derived", static_cast<double>(stats.cells_derived));
   return out;
+}
+
+Value capacity_cell_json(const report::CapacityCell& cell) {
+  Value out = Value::object();
+  out.set("capacity_bytes", static_cast<double>(cell.capacity_bytes));
+  out.set("ways", static_cast<double>(cell.ways));
+  out.set("hit_rate", cell.hit_rate);
+  out.set("effective_bw_gbs", cell.effective_bw_gbs);
+  out.set("avg_latency_ns", cell.avg_latency_ns);
+  out.set("seconds", cell.seconds);
+  out.set("profile_hit", cell.profile_hit);
+  return out;
+}
+
+/// Shared grid-geometry parsing for /sweep capacity mode and /whatif's
+/// capacity override: optional cache_line_bytes / cache_sets / sample_every
+/// with the constraints the profile engine needs, validated here so a bad
+/// geometry reads as a 400 naming the field, not a 500 from a deep throw.
+report::CapacityGrid parse_capacity_grid(const Value& body,
+                                         std::vector<std::uint64_t> capacities) {
+  report::CapacityGrid grid;
+  grid.capacities_bytes = std::move(capacities);
+  grid.line_bytes =
+      static_cast<std::uint64_t>(number_or(body, "cache_line_bytes", 64.0));
+  if (grid.line_bytes < 8 || grid.line_bytes > 4096 ||
+      (grid.line_bytes & (grid.line_bytes - 1)) != 0) {
+    throw Error::corrupt_input(
+        "service/bad-field",
+        "field 'cache_line_bytes' must be a power of two in [8, 4096]");
+  }
+  grid.num_sets = static_cast<std::uint64_t>(
+      number_or(body, "cache_sets", static_cast<double>(grid.num_sets)));
+  if (grid.num_sets < 1 || grid.num_sets > (1ull << 26)) {
+    throw Error::corrupt_input("service/bad-field",
+                               "field 'cache_sets' must be in [1, 2^26]");
+  }
+  grid.sample_every =
+      static_cast<std::uint64_t>(number_or(body, "sample_every", 1.0));
+  if (grid.sample_every < 1 || grid.sample_every > grid.num_sets) {
+    throw Error::corrupt_input(
+        "service/bad-field",
+        "field 'sample_every' must be in [1, cache_sets]");
+  }
+  const std::uint64_t set_bytes = grid.line_bytes * grid.num_sets;
+  for (const std::uint64_t capacity : grid.capacities_bytes) {
+    if (capacity == 0 || capacity % set_bytes != 0) {
+      throw Error::corrupt_input(
+          "service/bad-field",
+          "capacity " + std::to_string(capacity) +
+              " must be a positive multiple of cache_line_bytes*cache_sets (" +
+              std::to_string(set_bytes) + ")");
+    }
+  }
+  return grid;
 }
 
 Value recommendation_json(const Recommendation& rec) {
@@ -439,6 +506,28 @@ Value PlacementService::do_whatif(const Value& body) const {
     out.set("metric_name", entry->info.metric_name);
   }
   out.set("cache_hit", cache_hit);
+
+  // Optional MCDRAM-capacity what-if: a one-cell capacity grid through the
+  // single-pass engine. Because profiles are keyed on (trace, machine,
+  // threads, geometry) — not on the capacity list — this query hits the
+  // profile another grid populated, whatever capacities that grid swept.
+  if (body.find("mcdram_capacity_bytes") != nullptr) {
+    const std::uint64_t capacity = require_bytes(body, "mcdram_capacity_bytes");
+    report::CapacityGrid grid = parse_capacity_grid(body, {capacity});
+    report::SweepOptions sweep_options;
+    sweep_options.jobs = options_.sweep_jobs;
+    sweep_options.single_pass = bool_or(body, "single_pass", true);
+    const report::CapacitySweepRun capacity_run = report::sweep_capacities_run(
+        machine, workload->profile(), threads, std::move(grid),
+        report::Figure("capacity what-if", "GB", ""), sweep_options);
+    if (!capacity_run.failures.empty()) {
+      const report::CellFailure& f = capacity_run.failures.front();
+      throw Error(f.category, "service/capacity-whatif", f.message);
+    }
+    Value whatif = capacity_cell_json(capacity_run.cells.front());
+    whatif.set("stats", sweep_stats_json(capacity_run.stats));
+    out.set("capacity_whatif", std::move(whatif));
+  }
   return out;
 }
 
@@ -456,15 +545,77 @@ Value PlacementService::do_sweep(const Value& body) const {
 
   const Value* sizes_field = body.find("sizes_bytes");
   const Value* threads_field = body.find("thread_counts");
-  if ((sizes_field == nullptr) == (threads_field == nullptr)) {
+  const Value* capacities_field = body.find("capacities_bytes");
+  const int modes = (sizes_field != nullptr ? 1 : 0) +
+                    (threads_field != nullptr ? 1 : 0) +
+                    (capacities_field != nullptr ? 1 : 0);
+  if (modes != 1) {
     throw Error::corrupt_input(
         "service/bad-field",
-        "exactly one of 'sizes_bytes' (size sweep) or 'thread_counts' "
-        "(thread sweep) is required");
+        "exactly one of 'sizes_bytes' (size sweep), 'thread_counts' "
+        "(thread sweep) or 'capacities_bytes' (MCDRAM capacity sweep) is "
+        "required");
   }
 
   report::SweepOptions sweep_options;
   sweep_options.jobs = options_.sweep_jobs;
+
+  if (capacities_field != nullptr) {
+    // Capacity mode: one trace profiling pass answers the whole grid (and,
+    // via the profile cache, later grids with the same fingerprint).
+    if (!capacities_field->is_array() || capacities_field->as_array().empty()) {
+      throw Error::corrupt_input(
+          "service/bad-field",
+          "field 'capacities_bytes' must be a non-empty array");
+    }
+    std::vector<std::uint64_t> capacities;
+    for (const Value& item : capacities_field->as_array()) {
+      if (!item.is_number() || !(item.as_number() > 0.0) ||
+          item.as_number() > 1e15) {
+        throw Error::corrupt_input("service/bad-field",
+                                   "'capacities_bytes' entries must be in (0, 1e15]");
+      }
+      capacities.push_back(static_cast<std::uint64_t>(item.as_number()));
+    }
+    if (capacities.size() > options_.max_sweep_cells) {
+      throw Error::corrupt_input(
+          "service/grid-too-large",
+          "sweep grid exceeds " + std::to_string(options_.max_sweep_cells) +
+              " cells; split the query");
+    }
+    report::CapacityGrid grid = parse_capacity_grid(body, std::move(capacities));
+    const std::uint64_t bytes = require_bytes(body, "bytes");
+    const int threads = require_threads(body, "threads", 64);
+    sweep_options.single_pass = bool_or(body, "single_pass", true);
+    const auto workload = entry->make(bytes);
+
+    const report::CapacitySweepRun run = report::sweep_capacities_run(
+        machine, workload->profile(), threads, std::move(grid),
+        report::Figure(entry->info.name + " capacity sweep", "GB", ""),
+        sweep_options);
+
+    Value out = Value::object();
+    out.set("workload", entry->info.name);
+    out.set("figure", figure_json(run.figure));
+    out.set("stats", sweep_stats_json(run.stats));
+    Value cells = Value::array();
+    for (const report::CapacityCell& cell : run.cells) {
+      cells.push_back(capacity_cell_json(cell));
+    }
+    out.set("cells", std::move(cells));
+    if (!run.failures.empty()) {
+      Value failures = Value::array();
+      for (const report::CellFailure& f : run.failures) {
+        Value one = Value::object();
+        one.set("cell", f.label);
+        one.set("category", to_string(f.category));
+        one.set("message", f.message);
+        failures.push_back(std::move(one));
+      }
+      out.set("failures", std::move(failures));
+    }
+    return out;
+  }
 
   report::SweepRun run{report::Figure("sweep", "", ""), {}, {}};
   if (sizes_field != nullptr) {
@@ -556,6 +707,13 @@ Value PlacementService::do_stats() const {
   cache_json.set("hit_rate", looked_up == 0 ? 0.0
                                             : static_cast<double>(cache.hits) /
                                                   static_cast<double>(looked_up));
+  cache_json.set("profile_hits", static_cast<double>(cache.profile_hits));
+  cache_json.set("profile_misses", static_cast<double>(cache.profile_misses));
+  cache_json.set("profile_inserts", static_cast<double>(cache.profile_inserts));
+  cache_json.set("profile_evictions", static_cast<double>(cache.profile_evictions));
+  cache_json.set("profile_coalesced", static_cast<double>(cache.profile_coalesced));
+  cache_json.set("profile_entries", static_cast<double>(cache.profile_entries));
+  cache_json.set("profile_capacity", static_cast<double>(cache.profile_capacity));
   out.set("cache", std::move(cache_json));
 
   Value requests = Value::object();

@@ -1,0 +1,164 @@
+// Single-pass reuse-distance profiling (Mattson's stack algorithm).
+//
+// The LRU inclusion property says a W-way LRU set hits an access exactly
+// when fewer than W distinct lines mapping to the same set were touched
+// since the access's last use — its per-set *stack distance*. One profiling
+// pass over a trace therefore yields the exact hit count of *every* cache
+// built on the same (line, set, sampling) geometry: hits(W) is just the
+// histogram prefix sum over distances < W. This is what lets the sweep
+// engine (report/sweep.hpp SweepPlanner) derive a whole capacity grid from
+// one replay instead of re-simulating the trace per cell.
+//
+// The address decomposition mirrors CacheSim exactly — same line/set/tag
+// math, same set-sampling rule (set % sample_every == 0) — staged through
+// the runtime-dispatched SIMD decompose kernels (sim/simd.hpp) for
+// power-of-two geometry, so hits_for_ways(W) equals CacheSim's hit counter
+// bit-for-bit for any pow2 W (property-tested in tests/sim).
+//
+// Two internal stack representations, chosen by expected per-set occupancy:
+//   - kMtf:     per-set recency-ordered tag list; distance = list position.
+//               O(distinct-per-set) per access — the sweep-grid case, where
+//               many sets keep each set's list a few dozen entries.
+//   - kFenwick: per-set append-only Fenwick tree counting latest-occurrence
+//               marks (Bennett-Kruskal); distance = marks in (last, now].
+//               O(log n) per access regardless of depth — the analyzer
+//               case (few sets, fully-associative-style deep stacks).
+// Both produce identical histograms (tested); kAuto picks by set count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace knl::sim {
+
+enum class ReuseStrategy : int {
+  kAuto = 0,     ///< kMtf when num_sets >= 4096, else kFenwick
+  kMtf = 1,
+  kFenwick = 2,
+};
+
+struct ReuseProfileConfig {
+  std::uint64_t line_bytes = 64;  ///< must be a power of two
+  std::uint64_t num_sets = 1;     ///< >= 1 (1 = fully associative stack)
+  /// Profile only sets with index % sample_every == 0 (CacheSim's rule).
+  std::uint64_t sample_every = 1;
+  /// Distances >= max_depth land in the beyond-depth bucket instead of the
+  /// histogram; hits_for_ways() rejects ways past this bound (the pass did
+  /// not keep the information to answer them).
+  std::uint64_t max_depth = 1ull << 22;
+  ReuseStrategy strategy = ReuseStrategy::kAuto;
+  /// Parallel-profiling shard filter: profile only sampled sets with
+  /// sampled_index % shard_stride == shard_phase. Shards over disjoint
+  /// phases merge() into the exact unsharded profile (distances are
+  /// per-set, so set partitioning is lossless).
+  std::uint64_t shard_stride = 1;
+  std::uint64_t shard_phase = 0;
+};
+
+/// Per-set reuse-distance histogram accumulated over observed addresses.
+class ReuseProfile {
+ public:
+  explicit ReuseProfile(ReuseProfileConfig config = {});
+
+  /// Feed a block of byte addresses (chunked through the SIMD decompose
+  /// kernels for pow2 geometry). Order matters; split calls concatenate.
+  void observe(const std::uint64_t* addrs, std::size_t n);
+  void observe(std::span<const std::uint64_t> addrs) {
+    observe(addrs.data(), addrs.size());
+  }
+
+  [[nodiscard]] const ReuseProfileConfig& config() const noexcept { return config_; }
+  /// Accesses that fell in sampled (and shard-owned) sets — the denominator
+  /// of every hit rate, mirroring CacheStats::accesses.
+  [[nodiscard]] std::uint64_t sampled() const noexcept { return sampled_; }
+  /// First touches (compulsory misses at every capacity).
+  [[nodiscard]] std::uint64_t cold_misses() const noexcept { return cold_; }
+  [[nodiscard]] std::uint64_t reuses() const noexcept { return sampled_ - cold_; }
+  /// Reuses at distance >= max_depth (misses at every tracked capacity).
+  [[nodiscard]] std::uint64_t beyond_depth() const noexcept { return beyond_; }
+  /// histogram()[d] = reuses at per-set stack distance d (d < max_depth).
+  [[nodiscard]] const std::vector<std::uint64_t>& histogram() const noexcept {
+    return histogram_;
+  }
+
+  /// Exact hits of a `ways`-associative LRU cache on this geometry:
+  /// sum of histogram below `ways`. Throws std::invalid_argument when
+  /// ways > max_depth (the histogram cannot answer).
+  [[nodiscard]] std::uint64_t hits_for_ways(std::uint64_t ways) const;
+  /// hits_for_ways(capacity / (line_bytes * num_sets)).
+  [[nodiscard]] std::uint64_t hits_for_capacity(std::uint64_t capacity_bytes) const;
+  /// hits_for_capacity / sampled (0 when nothing was sampled).
+  [[nodiscard]] double hit_rate_for_capacity(std::uint64_t capacity_bytes) const;
+
+  /// Fuse another shard's counters into this profile. Requires identical
+  /// geometry (line/sets/sampling/depth); shard fields may differ — that is
+  /// the point.
+  void merge(const ReuseProfile& other);
+
+  void reset();
+
+ private:
+  struct FenwickSet {
+    std::vector<std::uint64_t> tree;  ///< 1-indexed BIT over access times
+    std::unordered_map<std::uint64_t, std::uint64_t> last;  ///< tag -> time
+    std::uint64_t now = 0;
+  };
+
+  void observe_scalar(const std::uint64_t* addrs, std::size_t n);
+  void apply(std::uint64_t sampled_idx, std::uint64_t tag);
+  void apply_mtf(std::vector<std::uint64_t>& set, std::uint64_t tag);
+  void apply_fenwick(FenwickSet& set, std::uint64_t tag);
+  void record_distance(std::uint64_t distance);
+  void ensure_cumulative() const;
+
+  ReuseProfileConfig config_;
+  bool use_mtf_ = false;
+  bool pow2_path_ = false;
+  unsigned line_shift_ = 0;
+  unsigned set_shift_ = 0;
+  std::uint64_t set_mask_ = 0;
+  unsigned sample_shift_ = 0;
+  std::uint64_t sample_mask_ = 0;
+  std::uint64_t num_sampled_sets_ = 0;
+
+  std::uint64_t sampled_ = 0;
+  std::uint64_t cold_ = 0;
+  std::uint64_t beyond_ = 0;
+  std::vector<std::uint64_t> histogram_;
+  /// Lazily rebuilt prefix sums of histogram_ (hits_for_ways is O(1) per
+  /// query once built; observe() invalidates).
+  mutable std::vector<std::uint64_t> cumulative_;
+  mutable bool cumulative_valid_ = false;
+
+  std::vector<std::vector<std::uint64_t>> mtf_;  ///< per sampled set, MRU first
+  std::vector<FenwickSet> fenwick_;              ///< per sampled set
+  /// SoA staging scratch (simd::kSoaChunk entries each), lazily allocated.
+  std::vector<std::uint64_t> soa_set_;
+  std::vector<std::uint64_t> soa_tag_;
+};
+
+/// One profiling pass over `addrs`, sharded across `workers` pool threads by
+/// sampled-set ownership (sampled_index % shards). Distances are per-set, so
+/// the merged result is bit-identical to a serial observe() for every worker
+/// count. workers <= 1 profiles inline.
+[[nodiscard]] ReuseProfile profile_trace(const std::uint64_t* addrs, std::size_t n,
+                                         const ReuseProfileConfig& config,
+                                         int workers = 1);
+
+/// Hit/sampled counters of one exact per-cell replay — the reference the
+/// single-pass engine is validated against (and the retained per-cell sweep
+/// path). Power-of-two way counts delegate to CacheSim's batched SoA engine;
+/// other way counts run a per-set bounded MTF list with the same geometry
+/// and sampling rules.
+struct CapacityReference {
+  std::uint64_t sampled = 0;
+  std::uint64_t hits = 0;
+};
+[[nodiscard]] CapacityReference replay_capacity_reference(
+    const std::uint64_t* addrs, std::size_t n, const ReuseProfileConfig& geometry,
+    std::uint64_t ways);
+
+}  // namespace knl::sim

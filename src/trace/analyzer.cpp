@@ -6,6 +6,22 @@
 
 namespace knl::trace {
 
+namespace {
+
+/// Reuse-profile geometry implementing the analyzer's line sampling: with
+/// num_sets == sample_every == S, the single sampled set holds exactly the
+/// lines with line % S == 0, and its stack distances are distances among
+/// sampled lines — the classic set-sampled Mattson estimate.
+sim::ReuseProfileConfig reuse_geometry(const TraceAnalyzer::Config& config) {
+  sim::ReuseProfileConfig geometry;
+  geometry.line_bytes = config.line_bytes;
+  geometry.num_sets = config.reuse_sample_every;
+  geometry.sample_every = config.reuse_sample_every;
+  return geometry;
+}
+
+}  // namespace
+
 TraceAnalyzer::TraceAnalyzer() : TraceAnalyzer(Config{}) {}
 
 TraceAnalyzer::TraceAnalyzer(Config config) : config_(config) {
@@ -15,6 +31,7 @@ TraceAnalyzer::TraceAnalyzer(Config config) : config_(config) {
   if (config_.reuse_sample_every == 0) {
     throw std::invalid_argument("TraceAnalyzer: reuse_sample_every must be >= 1");
   }
+  reuse_ = sim::ReuseProfile(reuse_geometry(config_));
 }
 
 void TraceAnalyzer::record(std::uint64_t addr) {
@@ -32,17 +49,10 @@ void TraceAnalyzer::record(std::uint64_t addr) {
   last_addr_ = addr;
   have_last_ = true;
 
-  // Reuse-distance sampling: temporal distance since the line's last touch.
-  // For streams that touch mostly-distinct lines between reuses (sweeps,
-  // uniform random) temporal distance tracks true stack distance closely.
-  if (line % config_.reuse_sample_every == 0) {
-    if (auto it = last_touch_.find(line); it != last_touch_.end()) {
-      reuse_distances_.push_back(accesses_ - it->second);
-      it->second = accesses_;
-    } else {
-      last_touch_.emplace(line, accesses_);
-    }
-  }
+  // Reuse-distance sampling: the shared single-pass profile engine keeps an
+  // exact per-sampled-line stack-distance histogram (sampling = the profile's
+  // set-modular rule; see reuse_geometry above).
+  reuse_.observe(&addr, 1);
 }
 
 TraceStats TraceAnalyzer::analyze() const {
@@ -65,15 +75,20 @@ TraceStats TraceAnalyzer::analyze() const {
   }
   stats.dominant_stride_fraction = static_cast<double>(best_count) / transitions;
 
-  // Reuse-based cache affinity.
-  if (!reuse_distances_.empty()) {
-    const std::uint64_t cache_lines = config_.reuse_cache_bytes / config_.line_bytes;
-    std::uint64_t within = 0;
-    for (const std::uint64_t d : reuse_distances_) {
-      if (d <= cache_lines) ++within;
-    }
+  // Reuse-based cache affinity: fraction of *reuses* landing within the
+  // cache, read off the stack-distance histogram (a sampled cache of C bytes
+  // holds C / (line * sample) sampled lines; hits_for_capacity divides by
+  // num_sets == sample, giving exactly that depth).
+  if (reuse_.reuses() != 0) {
+    const std::uint64_t ways =
+        config_.reuse_cache_bytes /
+        (config_.line_bytes * config_.reuse_sample_every);
+    // Clamp to the profiled depth: distances beyond it were not recorded, so
+    // the estimate saturates there instead of throwing.
     stats.l2_reuse_hit =
-        static_cast<double>(within) / static_cast<double>(reuse_distances_.size());
+        static_cast<double>(
+            reuse_.hits_for_ways(std::min(ways, reuse_.config().max_depth))) /
+        static_cast<double>(reuse_.reuses());
   }
 
   // Regularity: sequential transitions count fully; a repeated constant
@@ -144,8 +159,7 @@ void TraceAnalyzer::reset() {
   pages_.clear();
   stride_histogram_.clear();
   sequential_hits_ = 0;
-  last_touch_.clear();
-  reuse_distances_.clear();
+  reuse_.reset();
 }
 
 }  // namespace knl::trace

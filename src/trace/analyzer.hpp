@@ -11,11 +11,10 @@
 
 #include <cstdint>
 #include <map>
-#include <unordered_map>
 #include <unordered_set>
-#include <vector>
 
 #include "core/advisor.hpp"
+#include "sim/reuse_profile.hpp"
 #include "trace/access_phase.hpp"
 
 namespace knl::trace {
@@ -42,13 +41,15 @@ struct TraceStats {
 class TraceAnalyzer {
  public:
   struct Config {
+    /// Cache-line granule; must be a power of two (the reuse profile's
+    /// decompose kernels require shift/mask arithmetic).
     std::uint64_t line_bytes = 64;
     std::uint64_t page_bytes = 2 * 1024 * 1024;
     /// Cache capacity used for the reuse-distance hit estimate (default:
     /// aggregate L2 of the modelled node).
     std::uint64_t reuse_cache_bytes = 32ull * 1024 * 1024;
-    /// Sample 1/reuse_sample_every accesses for reuse distance (cost
-    /// control; 1 = exact).
+    /// Sample 1/reuse_sample_every lines for reuse distance (cost control;
+    /// 1 = exact).
     std::uint64_t reuse_sample_every = 8;
   };
 
@@ -85,9 +86,10 @@ class TraceAnalyzer {
   std::unordered_set<std::uint64_t> pages_;
   std::map<std::int64_t, std::uint64_t> stride_histogram_;
   std::uint64_t sequential_hits_ = 0;
-  // Reuse-distance sampling: logical time of last touch per sampled line.
-  std::unordered_map<std::uint64_t, std::uint64_t> last_touch_;
-  std::vector<std::uint64_t> reuse_distances_;
+  /// Sampled stack-distance histogram over the recorded stream — the same
+  /// single-pass engine the capacity sweeps use (sim/reuse_profile.hpp), so
+  /// l2_reuse_hit is an exact-LRU estimate, not an ad-hoc temporal one.
+  sim::ReuseProfile reuse_;
 };
 
 }  // namespace knl::trace

@@ -206,6 +206,142 @@ TEST_F(ServiceTest, StatsExposesCacheCountersAndGauges) {
   EXPECT_EQ(static_cast<int>(r.body.find("inflight")->as_number()), 0);
 }
 
+TEST_F(ServiceTest, SweepOverCapacitiesDerivesCellsFromOnePass) {
+  Value body = Value::object();
+  body.set("workload", "STREAM");
+  body.set("bytes", 1.0 * (1ull << 20));
+  body.set("threads", 64);
+  body.set("cache_sets", 64);
+  Value capacities = Value::array();
+  for (const double ways : {1.0, 2.0, 3.0, 8.0}) {
+    capacities.push_back(ways * 64 * 64);
+  }
+  body.set("capacities_bytes", capacities);
+
+  const ServiceResponse fast = service_.handle("POST", "/sweep", body);
+  ASSERT_EQ(fast.status, 200) << fast.body.dump(0);
+  const Value* cells = fast.body.find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->as_array().size(), 4u);
+  for (const Value& cell : cells->as_array()) {
+    EXPECT_TRUE(cell.find("profile_hit")->as_bool(false));
+    const double hit_rate = cell.find("hit_rate")->as_number();
+    EXPECT_GE(hit_rate, 0.0);
+    EXPECT_LE(hit_rate, 1.0);
+    EXPECT_GT(cell.find("effective_bw_gbs")->as_number(), 0.0);
+  }
+  const Value* stats = fast.body.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(static_cast<int>(stats->find("profile_passes")->as_number()), 1);
+  EXPECT_EQ(static_cast<int>(stats->find("cells_derived")->as_number()), 4);
+  EXPECT_EQ(fast.body.find("figure")->find("series")->as_array().size(), 2u);
+
+  // The exact per-cell reference (single_pass=false) answers identically.
+  body.set("single_pass", false);
+  const ServiceResponse exact = service_.handle("POST", "/sweep", body);
+  ASSERT_EQ(exact.status, 200) << exact.body.dump(0);
+  const Value* reference = exact.body.find("cells");
+  ASSERT_EQ(reference->as_array().size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Value& a = cells->as_array()[i];
+    const Value& b = reference->as_array()[i];
+    EXPECT_FALSE(b.find("profile_hit")->as_bool(true)) << "cell " << i;
+    EXPECT_EQ(a.find("hit_rate")->as_number(), b.find("hit_rate")->as_number())
+        << "cell " << i;
+    EXPECT_EQ(a.find("effective_bw_gbs")->as_number(),
+              b.find("effective_bw_gbs")->as_number())
+        << "cell " << i;
+    EXPECT_EQ(a.find("seconds")->as_number(), b.find("seconds")->as_number())
+        << "cell " << i;
+  }
+  EXPECT_EQ(static_cast<int>(
+                exact.body.find("stats")->find("cells_derived")->as_number()),
+            0);
+}
+
+TEST_F(ServiceTest, SweepCapacityModeValidation) {
+  Value body = Value::object();
+  body.set("workload", "STREAM");
+  body.set("bytes", 1.0 * (1ull << 20));
+  Value capacities = Value::array();
+  capacities.push_back(64.0 * 64);
+  body.set("capacities_bytes", capacities);
+  body.set("cache_sets", 64);
+
+  // capacities_bytes is an axis: combining it with sizes_bytes is ambiguous.
+  Value both_axes = body;
+  Value sizes = Value::array();
+  sizes.push_back(256.0 * (1ull << 20));
+  both_axes.set("sizes_bytes", std::move(sizes));
+  EXPECT_EQ(service_.handle("POST", "/sweep", both_axes).status, 400);
+  ASSERT_EQ(service_.handle("POST", "/sweep", body).status, 200);
+
+  // Geometry errors are client errors, not simulator aborts.
+  body.set("cache_line_bytes", 100);  // not a power of two
+  const ServiceResponse bad_line = service_.handle("POST", "/sweep", body);
+  EXPECT_EQ(bad_line.status, 400);
+  EXPECT_EQ(error_of(bad_line)->find("category")->as_string(), "corrupt-input");
+  body.set("cache_line_bytes", 64);
+
+  Value misaligned = Value::array();
+  misaligned.push_back(64.0 * 64 + 1);  // not a multiple of line*sets
+  body.set("capacities_bytes", std::move(misaligned));
+  EXPECT_EQ(service_.handle("POST", "/sweep", body).status, 400);
+}
+
+TEST_F(ServiceTest, WhatifCapacityOverrideHitsProfileAcrossQueries) {
+  Value body = Value::object();
+  body.set("workload", "GUPS");
+  body.set("bytes", 1.0 * (1ull << 20));
+  body.set("threads", 64);
+  body.set("config", "CACHE");
+  body.set("cache_sets", 64);
+  body.set("mcdram_capacity_bytes", 4.0 * 64 * 64);
+
+  const ServiceResponse first = service_.handle("POST", "/whatif", body);
+  ASSERT_EQ(first.status, 200) << first.body.dump(0);
+  const Value* whatif = first.body.find("capacity_whatif");
+  ASSERT_NE(whatif, nullptr);
+  EXPECT_EQ(static_cast<int>(whatif->find("ways")->as_number()), 4);
+  EXPECT_TRUE(whatif->find("profile_hit")->as_bool(false));
+  EXPECT_EQ(static_cast<int>(
+                whatif->find("stats")->find("profile_passes")->as_number()),
+            1);
+
+  // A different capacity at the same (trace, machine, threads, geometry)
+  // fingerprint reuses the cached profile: no second profiling pass.
+  body.set("mcdram_capacity_bytes", 8.0 * 64 * 64);
+  const ServiceResponse second = service_.handle("POST", "/whatif", body);
+  ASSERT_EQ(second.status, 200) << second.body.dump(0);
+  const Value* again = second.body.find("capacity_whatif");
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(static_cast<int>(again->find("ways")->as_number()), 8);
+  EXPECT_EQ(static_cast<int>(
+                again->find("stats")->find("profile_passes")->as_number()),
+            0);
+  EXPECT_EQ(static_cast<int>(
+                again->find("stats")->find("profile_hits")->as_number()),
+            1);
+  EXPECT_GE(again->find("hit_rate")->as_number(),
+            whatif->find("hit_rate")->as_number());
+}
+
+TEST_F(ServiceTest, StatsExposesProfileCacheCounters) {
+  const ServiceResponse r = service_.handle("GET", "/stats", Value());
+  ASSERT_EQ(r.status, 200);
+  const Value* cache = r.body.find("cache");
+  ASSERT_NE(cache, nullptr);
+  for (const char* key : {"profile_hits", "profile_misses", "profile_inserts",
+                          "profile_evictions", "profile_coalesced",
+                          "profile_entries"}) {
+    const Value* counter = cache->find(key);
+    ASSERT_NE(counter, nullptr) << key;
+    EXPECT_GE(counter->as_number(), 0.0) << key;
+  }
+  EXPECT_EQ(static_cast<int>(cache->find("profile_capacity")->as_number()),
+            static_cast<int>(report::SweepCache::kDefaultProfileCapacity));
+}
+
 TEST_F(ServiceTest, StatsExposesReplayTelemetry) {
   const ServiceResponse r = service_.handle("GET", "/stats", Value());
   ASSERT_EQ(r.status, 200);

@@ -1,0 +1,226 @@
+// Property tests for the single-pass reuse-distance profile: one replay of a
+// trace must answer every capacity with exactly the hit counts the exact
+// per-capacity simulators produce (LRU inclusion / Mattson), across
+// geometries, sampling rates, strategies, chunk remainders and worker
+// counts.
+#include "sim/reuse_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/tlb.hpp"
+#include "trace/generators.hpp"
+
+namespace knl::sim {
+namespace {
+
+std::vector<std::uint64_t> mixed_trace(std::uint64_t bytes, std::uint64_t seed) {
+  // A hostile mix: two sweeps (dense reuse at footprint distance), then
+  // random touches (a spread of distances plus cold misses).
+  std::vector<std::uint64_t> addrs;
+  trace::generate_sweep(0, bytes, 64, 2, [&](std::uint64_t a) { addrs.push_back(a); });
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < addrs.size() / 2; ++i) {
+    addrs.push_back((rng() % (2 * bytes)) & ~std::uint64_t{7});
+  }
+  return addrs;
+}
+
+ReuseProfileConfig geometry(std::uint64_t num_sets, std::uint64_t sample_every,
+                            ReuseStrategy strategy = ReuseStrategy::kAuto) {
+  ReuseProfileConfig config;
+  config.line_bytes = 64;
+  config.num_sets = num_sets;
+  config.sample_every = sample_every;
+  config.strategy = strategy;
+  return config;
+}
+
+/// The core property: profile once, then for every associativity the
+/// histogram's prefix sum equals an exact replay at that capacity.
+void expect_matches_reference(const std::vector<std::uint64_t>& addrs,
+                              const ReuseProfileConfig& config,
+                              const std::vector<std::uint64_t>& ways_list) {
+  ReuseProfile profile(config);
+  profile.observe(addrs.data(), addrs.size());
+  for (const std::uint64_t ways : ways_list) {
+    const CapacityReference ref =
+        replay_capacity_reference(addrs.data(), addrs.size(), config, ways);
+    EXPECT_EQ(ref.sampled, profile.sampled())
+        << "sets=" << config.num_sets << " sample=" << config.sample_every
+        << " ways=" << ways;
+    EXPECT_EQ(ref.hits, profile.hits_for_ways(ways))
+        << "sets=" << config.num_sets << " sample=" << config.sample_every
+        << " ways=" << ways;
+  }
+}
+
+TEST(ReuseProfile, MatchesCacheSimAcrossCapacities) {
+  const auto addrs = mixed_trace(1 << 20, 42);
+  // Pow2 associativities take the CacheSim (SoA/SIMD) reference; 3 and 6
+  // take the bounded-MTF reference. All must agree with one histogram.
+  expect_matches_reference(addrs, geometry(256, 1), {1, 2, 3, 4, 6, 8, 16});
+}
+
+TEST(ReuseProfile, MatchesCacheSimWithSetSampling) {
+  const auto addrs = mixed_trace(1 << 20, 7);
+  for (const std::uint64_t sample : {2ull, 4ull}) {
+    expect_matches_reference(addrs, geometry(256, sample), {1, 2, 4, 8});
+  }
+}
+
+TEST(ReuseProfile, MatchesReferenceForNonPow2Sets) {
+  // Non-pow2 set counts force the scalar decompose path on both sides.
+  const auto addrs = mixed_trace(1 << 19, 3);
+  expect_matches_reference(addrs, geometry(100, 1), {1, 2, 3, 8});
+  expect_matches_reference(addrs, geometry(100, 3), {2, 5});
+}
+
+TEST(ReuseProfile, ChunkRemaindersDoNotMatter) {
+  // Streams not a multiple of the SoA chunk (1024) must profile identically
+  // whether fed whole or in ragged pieces.
+  auto addrs = mixed_trace(1 << 19, 9);
+  addrs.resize(3 * 1024 + 517);
+  ReuseProfile whole(geometry(128, 1));
+  whole.observe(addrs.data(), addrs.size());
+  ReuseProfile pieces(geometry(128, 1));
+  std::size_t done = 0;
+  for (const std::size_t step : {1000ull, 1ull, 2047ull, 500ull}) {
+    const std::size_t n = std::min(step, addrs.size() - done);
+    pieces.observe(addrs.data() + done, n);
+    done += n;
+  }
+  pieces.observe(addrs.data() + done, addrs.size() - done);
+  EXPECT_EQ(whole.sampled(), pieces.sampled());
+  EXPECT_EQ(whole.cold_misses(), pieces.cold_misses());
+  EXPECT_EQ(whole.histogram(), pieces.histogram());
+}
+
+TEST(ReuseProfile, StrategiesAgree) {
+  // MTF and Fenwick implement the same stack algorithm; their histograms
+  // must be equal bucket for bucket.
+  const auto addrs = mixed_trace(1 << 19, 11);
+  ReuseProfile mtf(geometry(64, 1, ReuseStrategy::kMtf));
+  ReuseProfile fenwick(geometry(64, 1, ReuseStrategy::kFenwick));
+  mtf.observe(addrs.data(), addrs.size());
+  fenwick.observe(addrs.data(), addrs.size());
+  EXPECT_EQ(mtf.sampled(), fenwick.sampled());
+  EXPECT_EQ(mtf.cold_misses(), fenwick.cold_misses());
+  EXPECT_EQ(mtf.histogram(), fenwick.histogram());
+}
+
+TEST(ReuseProfile, ParallelProfilingIsWorkerInvariant) {
+  // Set-modular sharding: any worker count merges to the bit-identical
+  // histogram (distances never cross sets).
+  const auto addrs = mixed_trace(1 << 20, 13);
+  const ReuseProfileConfig config = geometry(512, 1);
+  const ReuseProfile serial = profile_trace(addrs.data(), addrs.size(), config, 1);
+  for (const int workers : {2, 3, 8, 16}) {
+    const ReuseProfile parallel =
+        profile_trace(addrs.data(), addrs.size(), config, workers);
+    EXPECT_EQ(serial.sampled(), parallel.sampled()) << workers << " workers";
+    EXPECT_EQ(serial.cold_misses(), parallel.cold_misses()) << workers << " workers";
+    EXPECT_EQ(serial.histogram(), parallel.histogram()) << workers << " workers";
+  }
+}
+
+TEST(ReuseProfile, MatchesTlbSimAsFullyAssociativeLru) {
+  // Cross-validation against an independent exact LRU: a TLB of E entries is
+  // a fully-associative E-way cache of pages, i.e. num_sets=1 at page
+  // granularity.
+  TlbConfig tlb_config;
+  tlb_config.page_bytes = 4096;
+  tlb_config.entries = 64;
+  TlbSim tlb(tlb_config);
+
+  ReuseProfileConfig config;
+  config.line_bytes = 4096;
+  config.num_sets = 1;
+  ReuseProfile profile(config);
+
+  std::mt19937_64 rng(17);
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 200000; ++i) {
+    addrs.push_back(rng() % (512ull * 4096));
+  }
+  for (const std::uint64_t a : addrs) tlb.access(a);
+  profile.observe(addrs.data(), addrs.size());
+
+  EXPECT_EQ(profile.sampled(), tlb.accesses());
+  EXPECT_EQ(profile.hits_for_ways(static_cast<std::uint64_t>(tlb_config.entries)),
+            tlb.accesses() - tlb.misses());
+}
+
+TEST(ReuseProfile, AccountingIdentities) {
+  const auto addrs = mixed_trace(1 << 18, 23);
+  ReuseProfile profile(geometry(32, 1));
+  profile.observe(addrs.data(), addrs.size());
+  EXPECT_EQ(profile.sampled(), profile.cold_misses() + profile.reuses());
+  std::uint64_t histogram_total = 0;
+  for (const std::uint64_t count : profile.histogram()) histogram_total += count;
+  EXPECT_EQ(histogram_total + profile.beyond_depth(), profile.reuses());
+  // Hit counts are monotone in ways and saturate at the reuse count.
+  std::uint64_t previous = 0;
+  for (std::uint64_t ways = 1; ways <= 64; ways *= 2) {
+    const std::uint64_t hits = profile.hits_for_ways(ways);
+    EXPECT_GE(hits, previous);
+    previous = hits;
+  }
+  EXPECT_LE(previous, profile.reuses());
+}
+
+TEST(ReuseProfile, DepthLimitAndValidation) {
+  ReuseProfileConfig shallow = geometry(1, 1);
+  shallow.max_depth = 4;
+  ReuseProfile profile(shallow);
+  // 8 lines swept twice: every reuse distance is 7, beyond max_depth.
+  std::vector<std::uint64_t> addrs;
+  trace::generate_sweep(0, 8 * 64, 64, 2, [&](std::uint64_t a) { addrs.push_back(a); });
+  profile.observe(addrs.data(), addrs.size());
+  EXPECT_EQ(profile.beyond_depth(), 8u);
+  EXPECT_EQ(profile.hits_for_ways(4), 0u);
+  EXPECT_THROW((void)profile.hits_for_ways(5), std::invalid_argument);
+
+  EXPECT_THROW(ReuseProfile(geometry(0, 1)), std::invalid_argument);
+  ReuseProfileConfig bad_line = geometry(4, 1);
+  bad_line.line_bytes = 96;
+  EXPECT_THROW(ReuseProfile{bad_line}, std::invalid_argument);
+  EXPECT_THROW((void)replay_capacity_reference(addrs.data(), addrs.size(), shallow, 0),
+               std::invalid_argument);
+}
+
+TEST(ReuseProfile, MergeAndResetRoundTrip) {
+  const auto addrs = mixed_trace(1 << 18, 29);
+  ReuseProfile whole(geometry(64, 1));
+  whole.observe(addrs.data(), addrs.size());
+
+  // Shard phases partition the sampled sets; merging them reproduces the
+  // whole profile exactly.
+  ReuseProfile merged(geometry(64, 1));
+  for (std::uint64_t phase = 0; phase < 4; ++phase) {
+    ReuseProfileConfig config = geometry(64, 1);
+    config.shard_stride = 4;
+    config.shard_phase = phase;
+    ReuseProfile part(config);
+    part.observe(addrs.data(), addrs.size());
+    merged.merge(part);
+  }
+  EXPECT_EQ(whole.sampled(), merged.sampled());
+  EXPECT_EQ(whole.histogram(), merged.histogram());
+
+  merged.reset();
+  EXPECT_EQ(merged.sampled(), 0u);
+  EXPECT_TRUE(merged.histogram().empty());
+  merged.observe(addrs.data(), addrs.size());
+  EXPECT_EQ(whole.histogram(), merged.histogram());
+
+  ReuseProfile other_geometry(geometry(32, 1));
+  EXPECT_THROW(merged.merge(other_geometry), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knl::sim
