@@ -11,6 +11,7 @@ namespace knl {
 
 Machine::Machine(MachineConfig config) : config_(config), timing_(config.timing) {
   config_.validate();
+  topology_ = config_.resolved_topology();
 }
 
 std::string Machine::describe() const {
@@ -34,6 +35,20 @@ std::string Machine::describe() const {
      << t.mcdram.sweep_sharpness << " (cache-mode STREAM anchors)\n";
   os << "  TLB: " << t.tlb.entries << " x " << t.tlb.page_bytes / MiB
      << " MiB pages (Fig. 3 rise at 128 MiB)\n";
+  os << "  topology: " << topology_.name << ", " << topology_.tier_count()
+     << " tiers (" << topology_.tier_names() << ")\n";
+  for (std::size_t i = 0; i < topology_.tier_count(); ++i) {
+    const sim::MemoryTier& tier = topology_.tier(i);
+    os << "    [" << i << "] " << tier.name << " (" << sim::to_string(tier.kind)
+       << "): " << tier.params.capacity_bytes / GiB << " GiB, stream "
+       << tier.params.stream_bw_gbs << " GB/s, idle " << tier.params.idle_latency_ns
+       << " ns, controllers " << tier.controllers_begin << ".." << tier.controllers_end;
+    if (tier.backing != -1) {
+      os << ", spills to " << topology_.tier(static_cast<std::size_t>(tier.backing)).name;
+    }
+    if (tier.cache_front) os << ", cache-capable";
+    os << "\n";
+  }
   return os.str();
 }
 
@@ -44,8 +59,89 @@ mem::NumaTopology Machine::topology(MemConfig config) const {
                            config_.timing.hbm.capacity_bytes);
 }
 
+Machine::Resolved Machine::resolve_waterfall(std::uint64_t resident_bytes, int preferred,
+                                             bool strict) const {
+  const sim::TierPlacement placed =
+      sim::place_waterfall(topology_, resident_bytes, preferred, strict);
+  Resolved resolved;
+  if (!placed.ok) {
+    resolved.error = placed.error;
+    return resolved;
+  }
+  resolved.ok = true;
+  resolved.fractions.assign(topology_.tier_count(), 0.0);
+  for (std::size_t i = 0; i < topology_.tier_count(); ++i) {
+    resolved.fractions[i] = placed.fraction_in(static_cast<int>(i));
+  }
+  // Empty resident sets place nowhere; charge the preferred tier so the
+  // fractions still form a distribution for the timing model.
+  if (resident_bytes == 0) {
+    resolved.fractions[static_cast<std::size_t>(preferred)] = 1.0;
+  }
+  resolved.hbm_fraction = resolved.fractions[static_cast<std::size_t>(
+      topology_.fast_tier())];
+  return resolved;
+}
+
+Machine::Resolved Machine::resolve_interleave(std::uint64_t resident_bytes) const {
+  // numactl --interleave over every tier: pages round-robin across the
+  // tiers; a tier that fills drops out and the survivors keep rotating.
+  // Byte-granular equivalent: repeatedly split the remainder evenly over
+  // the tiers with free capacity.
+  const std::size_t n = topology_.tier_count();
+  std::vector<std::uint64_t> taken(n, 0);
+  std::uint64_t remaining = resident_bytes;
+  while (remaining > 0) {
+    std::vector<std::size_t> open;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (taken[i] < topology_.tier(i).params.capacity_bytes) open.push_back(i);
+    }
+    if (open.empty()) break;
+    const std::uint64_t base = remaining / open.size();
+    std::uint64_t extra = remaining % open.size();
+    std::uint64_t absorbed = 0;
+    for (const std::size_t i : open) {
+      std::uint64_t want = base + (extra > 0 ? 1 : 0);
+      if (extra > 0) --extra;
+      const std::uint64_t free_bytes = topology_.tier(i).params.capacity_bytes - taken[i];
+      const std::uint64_t got = std::min(want, free_bytes);
+      taken[i] += got;
+      absorbed += got;
+    }
+    if (absorbed == 0) break;
+    remaining -= absorbed;
+  }
+  Resolved resolved;
+  if (remaining > 0) {
+    resolved.error = "interleave: resident set exceeds total memory capacity";
+    return resolved;
+  }
+  resolved.ok = true;
+  resolved.fractions.assign(n, 0.0);
+  if (resident_bytes == 0) {
+    resolved.fractions[static_cast<std::size_t>(topology_.dram_tier())] = 1.0;
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      resolved.fractions[i] =
+          static_cast<double>(taken[i]) / static_cast<double>(resident_bytes);
+    }
+  }
+  resolved.hbm_fraction = resolved.fractions[static_cast<std::size_t>(
+      topology_.fast_tier())];
+  return resolved;
+}
+
 Machine::Resolved Machine::resolve_placement(std::uint64_t resident_bytes,
                                              MemConfig config) const {
+  if (tiered()) {
+    // N-tier path: membind to the fast tier is strict (numactl semantics);
+    // DRAM and cache-mode residency waterfalls down the backing chain
+    // (DDR overflow demotes to NVM instead of failing).
+    if (config == MemConfig::HBM) {
+      return resolve_waterfall(resident_bytes, topology_.fast_tier(), /*strict=*/true);
+    }
+    return resolve_waterfall(resident_bytes, topology_.dram_tier(), /*strict=*/false);
+  }
   // Exercise the real placement machinery on a fresh process image so
   // capacity failures surface exactly as numactl would make them.
   sim::PhysicalMemory phys(config_.physical);
@@ -67,6 +163,18 @@ Machine::Resolved Machine::resolve_placement(std::uint64_t resident_bytes,
 
 Machine::Resolved Machine::resolve_flat(std::uint64_t resident_bytes,
                                         Placement placement) const {
+  if (tiered()) {
+    switch (placement) {
+      case Placement::DDR:
+        return resolve_waterfall(resident_bytes, topology_.dram_tier(), /*strict=*/false);
+      case Placement::HBM:
+        return resolve_waterfall(resident_bytes, topology_.fast_tier(), /*strict=*/true);
+      case Placement::Preferred:
+        return resolve_waterfall(resident_bytes, topology_.fast_tier(), /*strict=*/false);
+      case Placement::Interleave:
+        return resolve_interleave(resident_bytes);
+    }
+  }
   sim::PhysicalMemory phys(config_.physical);
   sim::PageTable pt(phys.page_bytes());
   mem::NumaPolicy policy = mem::NumaPolicy::local();
@@ -113,6 +221,34 @@ DetailedRunResult Machine::run_impl(const trace::AccessProfile& profile,
   return out;
 }
 
+DetailedRunResult Machine::run_impl_tiered(const trace::AccessProfile& profile,
+                                           const RunConfig& run_config,
+                                           const std::vector<double>& fractions,
+                                           bool want_phases) const {
+  DetailedRunResult out;
+  RunResult& r = out.summary;
+  r.feasible = true;
+
+  double latency_weight = 0.0;
+  double hit_weight = 0.0;
+  for (const auto& phase : profile.phases()) {
+    const sim::PhaseTiming t =
+        timing_.time_phase_tiered(phase, run_config, topology_, fractions);
+    r.seconds += t.seconds;
+    r.bytes_from_memory += t.memory_bytes;
+    r.flops += phase.flops;
+    r.avg_latency_ns += t.effective_latency_ns * t.memory_bytes;
+    latency_weight += t.memory_bytes;
+    r.mcdram_hit_rate += t.mcdram_hit_rate * t.memory_bytes;
+    hit_weight += t.memory_bytes;
+    if (want_phases) out.phases.push_back(PhaseReport{phase.name, t});
+  }
+  if (latency_weight > 0.0) r.avg_latency_ns /= latency_weight;
+  if (hit_weight > 0.0) r.mcdram_hit_rate /= hit_weight;
+  if (r.seconds > 0.0) r.achieved_bw_gbs = r.bytes_from_memory / (r.seconds * 1e9);
+  return out;
+}
+
 RunResult Machine::run(const trace::AccessProfile& profile,
                        const RunConfig& run_config) const {
   return run_detailed(profile, run_config).summary;
@@ -130,6 +266,10 @@ DetailedRunResult Machine::run_detailed(const trace::AccessProfile& profile,
     out.summary.infeasible_reason = resolved.error;
     return out;
   }
+  if (tiered()) {
+    return run_impl_tiered(profile, run_config, resolved.fractions,
+                           /*want_phases=*/true);
+  }
   const double hbm_fraction = run_config.config == MemConfig::HBM ? 1.0 : 0.0;
   return run_impl(profile, run_config, hbm_fraction, /*want_phases=*/true);
 }
@@ -146,6 +286,7 @@ RunResult Machine::run_flat_placement(const trace::AccessProfile& profile, int t
   RunConfig rc;
   rc.threads = threads;
   rc.config = MemConfig::DRAM;  // flat mode; split handled by hbm_fraction
+  if (tiered()) return run_impl_tiered(profile, rc, resolved.fractions, false).summary;
   return run_impl(profile, rc, resolved.hbm_fraction, false).summary;
 }
 

@@ -38,6 +38,17 @@ class Machine {
   [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
   [[nodiscard]] const sim::TimingModel& timing() const noexcept { return timing_; }
 
+  /// The resolved declared memory topology this machine runs on (the
+  /// canonical two-tier derivation unless the config declared one).
+  [[nodiscard]] const sim::MemoryTopology& memory_topology() const noexcept {
+    return topology_;
+  }
+
+  /// True when runs are resolved through the N-tier waterfall path (three
+  /// or more declared tiers) rather than the two-node legacy path, which is
+  /// kept bit-identical for every historical machine.
+  [[nodiscard]] bool tiered() const noexcept { return topology_.tier_count() > 2; }
+
   /// NUMA topology the OS would expose under the given configuration.
   [[nodiscard]] mem::NumaTopology topology(MemConfig config) const;
 
@@ -67,24 +78,39 @@ class Machine {
                                      std::uint64_t flat_hbm_bytes) const;
 
  private:
-  /// Resolve placement: returns the HBM page fraction, or an error string
-  /// when the configuration cannot hold the resident set.
+  /// Resolve placement: returns the HBM page fraction (two-node path) or
+  /// the per-tier fractions (tiered path), or an error string when the
+  /// configuration cannot hold the resident set.
   struct Resolved {
     bool ok = false;
     std::string error;
     double hbm_fraction = 0.0;
+    /// Per-tier resident fractions; non-empty only on the tiered path.
+    std::vector<double> fractions;
   };
   [[nodiscard]] Resolved resolve_placement(std::uint64_t resident_bytes,
                                            MemConfig config) const;
   [[nodiscard]] Resolved resolve_flat(std::uint64_t resident_bytes,
                                       Placement placement) const;
 
+  /// Tiered-path resolvers: waterfall from `preferred` down the backing
+  /// chain (strict = numactl membind, no spill) and round-robin interleave
+  /// across every tier.
+  [[nodiscard]] Resolved resolve_waterfall(std::uint64_t resident_bytes, int preferred,
+                                           bool strict) const;
+  [[nodiscard]] Resolved resolve_interleave(std::uint64_t resident_bytes) const;
+
   [[nodiscard]] DetailedRunResult run_impl(const trace::AccessProfile& profile,
                                            const RunConfig& run_config,
                                            double hbm_fraction, bool want_phases) const;
+  [[nodiscard]] DetailedRunResult run_impl_tiered(const trace::AccessProfile& profile,
+                                                  const RunConfig& run_config,
+                                                  const std::vector<double>& fractions,
+                                                  bool want_phases) const;
 
   MachineConfig config_;
   sim::TimingModel timing_;
+  sim::MemoryTopology topology_;
 };
 
 }  // namespace knl

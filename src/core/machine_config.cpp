@@ -36,9 +36,71 @@ void mix_node(std::uint64_t& h, const params::NodeParams& node) {
   mix(h, node.idle_latency_ns);
 }
 
+// The canonical two-tier derivation: what the timing view has always
+// implied. MCDRAM spans the 8 EDC controllers and can front DDR as a cache;
+// DDR4 spans the 6 DDR channels. With default timing this is exactly
+// sim::MemoryTopology::knl7210().
+sim::MemoryTopology derived_topology(const sim::TimingConfig& timing) {
+  sim::MemoryTopology topology;
+  topology.name = "knl7210";
+  topology.tiers = {
+      sim::MemoryTier{.name = "MCDRAM",
+                      .kind = sim::TierKind::HBM,
+                      .params = timing.hbm,
+                      .controllers_begin = 0,
+                      .controllers_end = 8,
+                      .backing = 1,
+                      .cache_front = true},
+      sim::MemoryTier{.name = "DDR4",
+                      .kind = sim::TierKind::DRAM,
+                      .params = timing.ddr,
+                      .controllers_begin = 8,
+                      .controllers_end = 14,
+                      .backing = -1,
+                      .cache_front = false},
+  };
+  return topology;
+}
+
 }  // namespace
 
+sim::MemoryTopology MachineConfig::resolved_topology() const {
+  return has_declared_topology() ? topology : derived_topology(timing);
+}
+
+void MachineConfig::apply_topology(const sim::MemoryTopology& declared) {
+  declared.validate();
+  topology = declared;
+  const sim::MemoryTier& fast = declared.tier(
+      static_cast<std::size_t>(declared.fast_tier()));
+  const sim::MemoryTier& dram = declared.tier(
+      static_cast<std::size_t>(declared.dram_tier()));
+  timing.hbm = fast.params;
+  timing.ddr = dram.params;
+  physical.hbm = fast.params;
+  physical.ddr = dram.params;
+  if (fast.cache_front) timing.mcdram.capacity_bytes = fast.params.capacity_bytes;
+}
+
+MachineConfig MachineConfig::from_machine_file(const std::string& text) {
+  MachineConfig cfg;
+  cfg.apply_topology(sim::MemoryTopology::parse_machine_file(text));
+  return cfg;
+}
+
 void MachineConfig::validate() const {
+  if (has_declared_topology()) {
+    topology.validate();
+    const sim::MemoryTier& fast =
+        topology.tier(static_cast<std::size_t>(topology.fast_tier()));
+    const sim::MemoryTier& dram =
+        topology.tier(static_cast<std::size_t>(topology.dram_tier()));
+    if (!(fast.params == timing.hbm) || !(dram.params == timing.ddr)) {
+      throw std::invalid_argument(
+          "MachineConfig: declared topology and timing views disagree "
+          "(use apply_topology to keep them in sync)");
+    }
+  }
   if (timing.ddr.capacity_bytes != physical.ddr.capacity_bytes ||
       timing.hbm.capacity_bytes != physical.hbm.capacity_bytes) {
     throw std::invalid_argument(
@@ -96,6 +158,13 @@ std::uint64_t MachineConfig::fingerprint() const {
   mix_node(h, physical.hbm);
   mix(h, physical.fragmentation);
   mix(h, physical.seed);
+  // Topology: mixed only when it deviates from the canonical two-tier
+  // derivation. A declaration equal to the derivation leaves the resolved
+  // topology unchanged, so skipping it keeps the mapping injective *and*
+  // preserves the KNL fingerprint embedded in the golden artifacts.
+  if (has_declared_topology() && !(topology == derived_topology(timing))) {
+    topology.mix_fingerprint(h);
+  }
   return h;
 }
 
@@ -113,6 +182,24 @@ MachineConfig MachineConfig::knl7210_snc4() {
   // Directory confined to a quadrant: a slightly cheaper lookup than
   // quadrant mode's memory-side co-location.
   cfg.timing.hierarchy.mesh.directory_lookup_ns = 9.0;
+  return cfg;
+}
+
+MachineConfig MachineConfig::xeon_max() {
+  MachineConfig cfg;
+  cfg.apply_topology(sim::MemoryTopology::xeon_max());
+  // Sapphire Rapids core complex: 56 performance cores, 2-way SMT, deeper
+  // out-of-order windows than KNL's Silvermont-derived cores.
+  cfg.timing.cores = 56;
+  cfg.timing.smt_per_core = 2;
+  cfg.timing.seq_mlp_per_core = 24.0;
+  cfg.timing.rand_mlp_per_thread = 8.0;
+  return cfg;
+}
+
+MachineConfig MachineConfig::knl_nvm() {
+  MachineConfig cfg;
+  cfg.apply_topology(sim::MemoryTopology::knl_nvm());
   return cfg;
 }
 

@@ -3,9 +3,12 @@
 
 #include <cstdint>
 
+#include <string>
+
 #include "sim/knl_params.hpp"
 #include "sim/physical_memory.hpp"
 #include "sim/timing_model.hpp"
+#include "sim/topology.hpp"
 
 namespace knl {
 
@@ -29,8 +32,30 @@ struct MachineConfig {
   sim::TimingConfig timing = {};
   sim::PhysicalMemoryConfig physical = {};
 
+  /// Declared memory topology (sim/topology.hpp). Empty tiers (the default)
+  /// mean "derived": resolved_topology() synthesizes the canonical two-tier
+  /// hierarchy from the timing view, so existing code that hand-tweaks
+  /// `timing` after construction keeps working untouched. Multi-tier
+  /// machines (machine files, xeon_max(), knl_nvm()) declare it explicitly;
+  /// declared topologies must stay in sync with the timing view (validate()
+  /// cross-checks the fast and DRAM tiers).
+  sim::MemoryTopology topology = {};
+
+  /// True when `topology` was declared (non-empty tier list) rather than
+  /// derived from the timing view.
+  [[nodiscard]] bool has_declared_topology() const noexcept {
+    return !topology.tiers.empty();
+  }
+
+  /// The effective topology: the declared one when present, else the
+  /// canonical two-tier derivation from `timing` (MCDRAM cache-capable over
+  /// DDR4, the paper testbed shape).
+  [[nodiscard]] sim::MemoryTopology resolved_topology() const;
+
   /// Sanity-check invariants (capacities match between the two views,
-  /// parameters positive). Throws std::invalid_argument on violation.
+  /// parameters positive, declared topology consistent with the timing
+  /// view). Throws std::invalid_argument (or knl::Error CorruptInput from
+  /// topology validation) on violation.
   void validate() const;
 
   /// Content hash (FNV-1a) of every calibrated parameter in both the timing
@@ -38,10 +63,37 @@ struct MachineConfig {
   /// bit-identical simulation results, so the sweep memoization cache
   /// (report/sweep.hpp) keys on this — entries never leak between, say,
   /// knl7210() and knl7210_equal_latency() machines.
+  ///
+  /// The topology is mixed in only when it differs from the canonical
+  /// two-tier derivation: a declaration equal to the derivation adds zero
+  /// information (the resolved topology is unchanged), so the mapping stays
+  /// injective and the historical KNL fingerprint — embedded in every golden
+  /// artifact — is preserved, while any real topology change (extra tier,
+  /// renamed tier, moved controller range, cache_front toggle) changes the
+  /// fingerprint. Asserted by tests/core/fingerprint_topology_test.cpp.
   [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Overwrite the declared topology and synchronize the timing and
+  /// physical views with it (fast tier -> hbm, DRAM tier -> ddr, cache-front
+  /// capacity -> mcdram cache capacity). The topology is validated first.
+  void apply_topology(const sim::MemoryTopology& declared);
+
+  /// Build a config from a machine file (sim::MemoryTopology machine-file
+  /// format): parses, validates, and applies the declared topology onto the
+  /// KNL base (core counts and cache hierarchy stay at testbed defaults
+  /// unless the caller adjusts them afterwards).
+  [[nodiscard]] static MachineConfig from_machine_file(const std::string& text);
 
   /// The paper's testbed configuration.
   [[nodiscard]] static MachineConfig knl7210();
+
+  /// Xeon Max / Sapphire Rapids HBM node (Aurora-class): 64 GiB HBM2e over
+  /// 512 GiB DDR5, 56 cores with 2-way SMT. Declared topology.
+  [[nodiscard]] static MachineConfig xeon_max();
+
+  /// The KNL testbed plus a 512 GiB NVM-class far tier behind DDR (the
+  /// NUMA-emulation paper's spill path). Declared three-tier topology.
+  [[nodiscard]] static MachineConfig knl_nvm();
 
   /// A machine with MCDRAM-like latency *equal* to DDR — the ablation
   /// machine for asking "how much of the random-access penalty is latency?"

@@ -1,0 +1,43 @@
+#include "core/machine_profiles.hpp"
+
+namespace knl {
+
+const std::vector<MachineProfile>& machine_profiles() {
+  static const std::vector<MachineProfile> profiles = {
+      MachineProfile{.name = "knl7210",
+                     .title = "KNL 7210 (paper testbed: 16 GiB MCDRAM + 96 GiB DDR4)",
+                     .machine_file = "machines/knl7210.machine",
+                     .golden_dir = "golden",
+                     .make = &MachineConfig::knl7210,
+                     .paper_checks = true},
+      MachineProfile{.name = "xeonmax",
+                     .title = "Xeon Max / Sapphire Rapids (64 GiB HBM2e + 512 GiB DDR5)",
+                     .machine_file = "machines/xeonmax.machine",
+                     .golden_dir = "golden/profiles/xeonmax",
+                     .make = &MachineConfig::xeon_max},
+      MachineProfile{.name = "knl_nvm",
+                     .title = "KNL 7210 + 512 GiB NVM far tier (NUMA-emulation spill path)",
+                     .machine_file = "machines/knl_nvm.machine",
+                     .golden_dir = "golden/profiles/knl_nvm",
+                     .make = &MachineConfig::knl_nvm},
+  };
+  return profiles;
+}
+
+const MachineProfile* find_machine_profile(const std::string& name) {
+  for (const MachineProfile& profile : machine_profiles()) {
+    if (profile.name == name) return &profile;
+  }
+  return nullptr;
+}
+
+std::string machine_profile_names() {
+  std::string names;
+  for (const MachineProfile& profile : machine_profiles()) {
+    if (!names.empty()) names += ", ";
+    names += profile.name;
+  }
+  return names;
+}
+
+}  // namespace knl

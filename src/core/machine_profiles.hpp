@@ -1,0 +1,40 @@
+// Shipped machine profiles: the cross-architecture conformance matrix.
+//
+// Each profile names a MachineConfig factory, the machine file that declares
+// its memory topology (under machines/), and the golden-baseline directory
+// `knl-repro` diffs it against. The KNL testbed keeps the historical root
+// golden/ directory — its artifacts predate the profile matrix and must stay
+// bit-for-bit stable — while every other profile blesses into
+// golden/profiles/<name>/.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/machine_config.hpp"
+
+namespace knl {
+
+struct MachineProfile {
+  std::string name;          ///< CLI spelling (`knl-repro run --profile <name>`)
+  std::string title;         ///< human label for logs and docs
+  std::string machine_file;  ///< repo-relative machine file under machines/
+  std::string golden_dir;    ///< repo-relative default golden directory
+  MachineConfig (*make)() = nullptr;
+  /// Whether the paper's KNL shape checks are expected to hold on this
+  /// machine. The checks encode figure-level claims measured on a KNL 7210
+  /// (crossovers, HT scaling); other architectures track goldens by metric
+  /// diff only, and `knl-repro bless` does not gate on checks for them.
+  bool paper_checks = false;
+};
+
+/// Every shipped profile, in matrix order (KNL first).
+[[nodiscard]] const std::vector<MachineProfile>& machine_profiles();
+
+/// Look up a profile by name; nullptr when unknown.
+[[nodiscard]] const MachineProfile* find_machine_profile(const std::string& name);
+
+/// Comma-joined profile names, for error messages and --help text.
+[[nodiscard]] std::string machine_profile_names();
+
+}  // namespace knl

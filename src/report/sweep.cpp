@@ -792,6 +792,32 @@ std::string capacity_cell_label(std::uint64_t bytes, int threads) {
 
 }  // namespace
 
+std::vector<std::uint64_t> default_capacity_axis(const sim::MemoryTopology& topology,
+                                                 std::uint64_t set_bytes,
+                                                 std::size_t points) {
+  if (set_bytes == 0 || points == 0) return {};
+  int front = topology.cache_front_of(topology.dram_tier());
+  if (front == -1) front = topology.fast_tier();
+  const std::uint64_t ceiling = topology.tier(static_cast<std::size_t>(front))
+                                    .params.capacity_bytes;
+  std::vector<std::uint64_t> axis;
+  for (std::size_t i = 1; i <= points; ++i) {
+    const std::uint64_t raw = ceiling / points * i;
+    const std::uint64_t aligned = raw / set_bytes * set_bytes;
+    if (aligned == 0) continue;
+    if (axis.empty() || axis.back() != aligned) axis.push_back(aligned);
+  }
+  return axis;
+}
+
+CapacityGrid default_capacity_grid(const sim::MemoryTopology& topology,
+                                   std::size_t points) {
+  CapacityGrid grid;
+  grid.capacities_bytes =
+      default_capacity_axis(topology, grid.line_bytes * grid.num_sets, points);
+  return grid;
+}
+
 struct SweepPlanner::Request {
   const Machine* machine = nullptr;
   trace::AccessProfile profile;

@@ -411,6 +411,21 @@ struct CapacityGrid {
   trace::SynthOptions synth{};
 };
 
+/// Default capacity axis for a declared topology: `points` equal steps up to
+/// the capacity of the cache-capable tier fronting the topology's DRAM tier
+/// (the fast tier when nothing is cache-capable), each aligned down to a
+/// multiple of `set_bytes` (= line_bytes * num_sets) so every entry is a
+/// legal set-associative capacity. Duplicate/zero steps collapse, so small
+/// tiers yield fewer than `points` entries.
+[[nodiscard]] std::vector<std::uint64_t> default_capacity_axis(
+    const sim::MemoryTopology& topology, std::uint64_t set_bytes,
+    std::size_t points = 8);
+
+/// CapacityGrid whose axis is default_capacity_axis() at the grid's default
+/// geometry — the "sweep the declared front tier" one-liner.
+[[nodiscard]] CapacityGrid default_capacity_grid(const sim::MemoryTopology& topology,
+                                                 std::size_t points = 8);
+
 /// One evaluated capacity cell: the exact hit rate at this capacity plus the
 /// derived timing (McdramCacheModel blend of the machine's HBM/DDR params).
 struct CapacityCell {

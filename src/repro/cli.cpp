@@ -11,6 +11,7 @@
 #include "core/fault/atomic_io.hpp"
 #include "core/fault/fault_injection.hpp"
 #include "core/machine.hpp"
+#include "core/machine_profiles.hpp"
 #include "repro/golden_diff.hpp"
 #include "repro/journal.hpp"
 #include "repro/pipeline.hpp"
@@ -29,6 +30,11 @@ struct CliOptions {
   bool out_dir_set = false;  ///< --out given explicitly (resume otherwise
                              ///< restores the journaled directory)
   std::string golden_dir = "golden";
+  bool golden_dir_set = false;  ///< --golden given explicitly (the default
+                                ///< otherwise follows the profile)
+  std::string profile = "knl7210";
+  bool profile_set = false;  ///< --profile given explicitly (resume otherwise
+                             ///< restores the journaled profile)
   std::string from_dir;  ///< diff: read artifacts instead of recomputing
   std::string runs_dir = "runs";
   std::string run_id;     ///< name of a fresh journaled run
@@ -50,12 +56,19 @@ void usage(std::ostream& os) {
         "  diff   recompute the suite and compare against the golden\n"
         "         baselines; exit 1 on any out-of-tolerance metric\n"
         "  bless  rewrite the golden baselines from the current model\n"
+        "  matrix run every shipped machine profile and diff each against its\n"
+        "         per-profile golden baselines (the cross-architecture\n"
+        "         conformance matrix); exit 1 on any drift\n"
         "  list   print the experiment registry (--markdown: emit the\n"
         "         docs/EXPERIMENT_REGISTRY.md text)\n"
         "\n"
         "options:\n"
-        "  --out DIR      artifact directory for `run` (default repro-out)\n"
-        "  --golden DIR   baseline directory (default golden)\n"
+        "  --profile NAME machine profile for run/diff/bless (default\n"
+        "                 knl7210; see machines/ and docs/MACHINES.md)\n"
+        "  --out DIR      artifact directory for `run` (default repro-out);\n"
+        "                 `matrix` writes per-profile subdirectories\n"
+        "  --golden DIR   baseline directory (default: golden for knl7210,\n"
+        "                 golden/profiles/<name> for other profiles)\n"
         "  --from DIR     diff pre-computed artifacts from DIR instead of\n"
         "                 recomputing\n"
         "  --jobs N       sweep worker threads (0 = hardware concurrency)\n"
@@ -112,6 +125,12 @@ bool parse(const std::vector<std::string>& args, CliOptions& opts, std::ostream&
       const std::string* v = take_value("--golden");
       if (v == nullptr) return false;
       opts.golden_dir = *v;
+      opts.golden_dir_set = true;
+    } else if (arg == "--profile") {
+      const std::string* v = take_value("--profile");
+      if (v == nullptr) return false;
+      opts.profile = *v;
+      opts.profile_set = true;
     } else if (arg == "--from") {
       const std::string* v = take_value("--from");
       if (v == nullptr) return false;
@@ -174,6 +193,24 @@ bool select_specs(const CliOptions& opts, std::vector<const ExperimentSpec*>& sp
   return true;
 }
 
+/// Resolve the --profile option to its registry entry; prints the known
+/// profiles on failure.
+const MachineProfile* select_profile(const std::string& name, std::ostream& err) {
+  const MachineProfile* profile = find_machine_profile(name);
+  if (profile == nullptr) {
+    err << "unknown machine profile '" << name << "' (known: "
+        << machine_profile_names() << ")\n";
+  }
+  return profile;
+}
+
+/// The baseline directory a command diffs/blesses: --golden when given,
+/// else the profile's own directory (golden/ for the KNL testbed,
+/// golden/profiles/<name>/ for the rest).
+std::string golden_dir_for(const CliOptions& opts, const MachineProfile& profile) {
+  return opts.golden_dir_set ? opts.golden_dir : profile.golden_dir;
+}
+
 void print_result_line(const ExperimentResult& result, std::ostream& out) {
   std::size_t passed = 0;
   for (const CheckOutcome& outcome : result.checks) {
@@ -224,9 +261,6 @@ std::string default_run_id() {
 
 int cmd_run(const CliOptions& opts, const std::vector<const ExperimentSpec*>& specs,
             std::ostream& out, std::ostream& err) {
-  const Machine machine;
-  const Pipeline pipeline(machine, PipelineOptions{.jobs = opts.jobs, .memoize = true});
-
   const bool resuming = !opts.resume_id.empty();
   const std::string run_id =
       resuming ? opts.resume_id
@@ -250,6 +284,24 @@ int cmd_run(const CliOptions& opts, const std::vector<const ExperimentSpec*>& sp
     }
   }
 
+  // A resumed run finishes on the machine it started on: the journaled
+  // profile wins unless --profile restates it, and a conflicting restatement
+  // is an error rather than a silent cross-machine splice.
+  std::string profile_name = opts.profile;
+  if (resuming && !prior.profile.empty()) {
+    if (opts.profile_set && opts.profile != prior.profile) {
+      err << "error: run '" << run_id << "' was journaled for profile '"
+          << prior.profile << "', not '" << opts.profile << "'\n";
+      return kExitUsage;
+    }
+    profile_name = prior.profile;
+  }
+  const MachineProfile* profile = select_profile(profile_name, err);
+  if (profile == nullptr) return kExitUsage;
+
+  const Machine machine(profile->make());
+  const Pipeline pipeline(machine, PipelineOptions{.jobs = opts.jobs, .memoize = true});
+
   // Resume writes where the original run did — the printed `--resume <id>`
   // hint must work verbatim — unless --out is explicitly repeated.
   const std::string out_dir = (resuming && !opts.out_dir_set && !prior.out_dir.empty())
@@ -266,7 +318,8 @@ int cmd_run(const CliOptions& opts, const std::vector<const ExperimentSpec*>& sp
   std::string error;
   auto writer = resuming
                     ? JournalWriter::append_to(opts.runs_dir, run_id, &error)
-                    : JournalWriter::create(opts.runs_dir, run_id, out_dir, &error);
+                    : JournalWriter::create(opts.runs_dir, run_id, out_dir, &error,
+                                            profile->name);
   if (!writer) {
     err << "error: " << error << '\n';
     return kExitUsage;
@@ -337,9 +390,11 @@ int cmd_run(const CliOptions& opts, const std::vector<const ExperimentSpec*>& sp
 
   out << "ran " << results.size() << " experiment(s)";
   if (skipped != 0) out << " (" << skipped << " resumed from journal)";
-  out << " -> " << out_dir << "/ [run " << run_id << "]\n";
+  out << " -> " << out_dir << "/ [run " << run_id << "]";
+  if (profile->name != "knl7210") out << " [profile " << profile->name << "]";
+  out << '\n';
   for (const ExperimentResult& result : results) print_result_line(result, out);
-  if (any_check_failed(results)) {
+  if (profile->paper_checks && any_check_failed(results)) {
     err << "error: a qualitative shape check failed — the model no longer "
            "matches the paper\n";
     return kExitConformance;
@@ -349,9 +404,13 @@ int cmd_run(const CliOptions& opts, const std::vector<const ExperimentSpec*>& sp
 
 int cmd_diff(const CliOptions& opts, const std::vector<const ExperimentSpec*>& specs,
              std::ostream& out, std::ostream& err) {
+  const MachineProfile* profile = select_profile(opts.profile, err);
+  if (profile == nullptr) return kExitUsage;
+  const std::string golden_dir = golden_dir_for(opts, *profile);
+
   // Startup integrity pass: a truncated or unparseable baseline is an I/O
   // problem with a readable cure, not a tolerance failure.
-  for (const std::string& dir : {opts.golden_dir, opts.from_dir}) {
+  for (const std::string& dir : {golden_dir, opts.from_dir}) {
     if (dir.empty()) continue;
     const std::vector<std::string> problems = golden_integrity_problems(dir);
     if (!problems.empty()) {
@@ -360,12 +419,12 @@ int cmd_diff(const CliOptions& opts, const std::vector<const ExperimentSpec*>& s
     }
   }
 
-  const Machine machine;
+  const Machine machine(profile->make());
   DiffReport report;
 
   if (!opts.from_dir.empty()) {
     // Compare two artifact directories file by file.
-    const std::filesystem::path golden_base(opts.golden_dir);
+    const std::filesystem::path golden_base(golden_dir);
     const std::filesystem::path from_base(opts.from_dir);
     for (const ExperimentSpec* spec : specs) {
       const std::string name = artifact_filename(spec->id);
@@ -390,7 +449,7 @@ int cmd_diff(const CliOptions& opts, const std::vector<const ExperimentSpec*>& s
     const Pipeline pipeline(machine,
                             PipelineOptions{.jobs = opts.jobs, .memoize = true});
     const std::vector<ExperimentResult> results = pipeline.run_all(specs);
-    report = diff_against_dir(opts.golden_dir, results, machine,
+    report = diff_against_dir(golden_dir, results, machine,
                               /*check_strays=*/opts.only.empty());
     if (!report.global.empty() &&
         report.global.front().find("does not exist") != std::string::npos) {
@@ -411,11 +470,17 @@ int cmd_diff(const CliOptions& opts, const std::vector<const ExperimentSpec*>& s
 
 int cmd_bless(const CliOptions& opts, const std::vector<const ExperimentSpec*>& specs,
               std::ostream& out, std::ostream& err) {
-  const Machine machine;
+  const MachineProfile* profile = select_profile(opts.profile, err);
+  if (profile == nullptr) return kExitUsage;
+  const std::string golden_dir = golden_dir_for(opts, *profile);
+
+  const Machine machine(profile->make());
   const Pipeline pipeline(machine, PipelineOptions{.jobs = opts.jobs, .memoize = true});
   const std::vector<ExperimentResult> results = pipeline.run_all(specs);
 
-  if (any_check_failed(results) && !opts.force) {
+  // The shape checks encode KNL figure claims; they only gate the bless for
+  // profiles that model the paper's testbed (see MachineProfile::paper_checks).
+  if (profile->paper_checks && any_check_failed(results) && !opts.force) {
     for (const ExperimentResult& result : results) {
       if (!result.checks_passed()) print_result_line(result, err);
     }
@@ -425,16 +490,16 @@ int cmd_bless(const CliOptions& opts, const std::vector<const ExperimentSpec*>& 
   }
 
   std::error_code ec;
-  std::filesystem::create_directories(opts.golden_dir, ec);
+  std::filesystem::create_directories(golden_dir, ec);
   if (ec) {
-    err << "error: could not create " << opts.golden_dir << ": " << ec.message()
+    err << "error: could not create " << golden_dir << ": " << ec.message()
         << '\n';
     return kExitUsage;
   }
   // Crash-safe bless: every baseline goes down atomically (temp-fsync-
   // rename), so a bless killed mid-way leaves each golden either old or
   // new — never torn, and the startup integrity pass stays quiet.
-  const std::filesystem::path base(opts.golden_dir);
+  const std::filesystem::path base(golden_dir);
   std::string error;
   for (const ExperimentResult& result : results) {
     const std::string text = artifact_json(result, machine).dump() + '\n';
@@ -458,9 +523,74 @@ int cmd_bless(const CliOptions& opts, const std::vector<const ExperimentSpec*>& 
     err << "error: " << error << '\n';
     return kExitUsage;
   }
-  out << "blessed " << results.size() << " experiment(s) -> " << opts.golden_dir
+  out << "blessed " << results.size() << " experiment(s) -> " << golden_dir
       << "/ (manifest covers " << ids.size() << ")\n";
   return kExitSuccess;
+}
+
+int cmd_matrix(const CliOptions& opts, const std::vector<const ExperimentSpec*>& specs,
+               std::ostream& out, std::ostream& err) {
+  // The cross-architecture conformance matrix: every shipped profile runs
+  // the registry and diffs against its own blessed baselines. All profiles
+  // execute even after a failure so the report names every drifting one.
+  bool failed = false;
+  for (const MachineProfile& profile : machine_profiles()) {
+    const std::string golden_dir = profile.golden_dir;
+    const std::vector<std::string> problems = golden_integrity_problems(golden_dir);
+    if (!problems.empty()) {
+      for (const std::string& problem : problems) err << "error: " << problem << '\n';
+      return kExitUsage;
+    }
+
+    const Machine machine(profile.make());
+    const Pipeline pipeline(machine,
+                            PipelineOptions{.jobs = opts.jobs, .memoize = true});
+    const std::vector<ExperimentResult> results = pipeline.run_all(specs);
+
+    if (opts.out_dir_set) {
+      const std::filesystem::path base =
+          std::filesystem::path(opts.out_dir) / profile.name;
+      std::error_code ec;
+      std::filesystem::create_directories(base, ec);
+      if (ec) {
+        err << "error: could not create " << base.string() << ": " << ec.message()
+            << '\n';
+        return kExitUsage;
+      }
+      std::string error;
+      std::vector<std::string> ids;
+      for (const ExperimentResult& result : results) {
+        ids.push_back(result.id);
+        if (!io::write_file_with_retry(
+                (base / artifact_filename(result.id)).string(),
+                artifact_text(result, machine), &error)) {
+          err << "error: " << error << '\n';
+          return kExitUsage;
+        }
+      }
+      if (!io::write_file_with_retry((base / "manifest.json").string(),
+                                     manifest_json(ids, machine).dump() + '\n',
+                                     &error)) {
+        err << "error: " << error << '\n';
+        return kExitUsage;
+      }
+    }
+
+    const DiffReport report = diff_against_dir(golden_dir, results, machine,
+                                               /*check_strays=*/opts.only.empty());
+    if (report.clean()) {
+      out << "  " << profile.name << ": PASS — " << report.experiments.size()
+          << " experiment(s), " << report.compared_metrics()
+          << " metrics within tolerance [" << golden_dir << "]\n";
+    } else {
+      failed = true;
+      out << "  " << profile.name << ": FAIL [" << golden_dir << "]\n";
+      out << report.render() << '\n';
+    }
+  }
+  out << "conformance matrix: " << (failed ? "FAIL" : "PASS") << " ("
+      << machine_profiles().size() << " profiles)\n";
+  return failed ? kExitConformance : kExitSuccess;
 }
 
 }  // namespace
@@ -504,6 +634,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
     if (opts.command == "run") return cmd_run(opts, specs, out, err);
     if (opts.command == "diff") return cmd_diff(opts, specs, out, err);
     if (opts.command == "bless") return cmd_bless(opts, specs, out, err);
+    if (opts.command == "matrix") return cmd_matrix(opts, specs, out, err);
   } catch (const Error& e) {
     err << "error: " << e.what() << '\n';
     return kExitUsage;

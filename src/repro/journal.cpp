@@ -30,12 +30,14 @@ bool fsync_file(std::FILE* file) {
 #endif
 }
 
-std::string header_line(const std::string& run_id, const std::string& out_dir) {
+std::string header_line(const std::string& run_id, const std::string& out_dir,
+                        const std::string& profile) {
   json::Value header = json::Value::object();
   header.set("schema_version", kSchemaVersion);
   header.set("generator", "knl-repro");
   header.set("run_id", run_id);
   header.set("out", out_dir);
+  if (!profile.empty()) header.set("profile", profile);
   return header.dump(0);
 }
 
@@ -112,6 +114,8 @@ std::optional<RunJournal> load_journal(const std::string& runs_dir,
   journal.run_id = run_id;
   const json::Value* out = header->find("out");
   journal.out_dir = out != nullptr ? out->as_string() : "";
+  const json::Value* profile = header->find("profile");
+  journal.profile = profile != nullptr ? profile->as_string() : "";
   while (std::getline(lines, line)) {
     if (line.empty()) continue;
     const auto record = json::Value::parse(line);
@@ -143,7 +147,8 @@ std::optional<RunJournal> load_journal(const std::string& runs_dir,
 std::optional<JournalWriter> JournalWriter::create(const std::string& runs_dir,
                                                    const std::string& run_id,
                                                    const std::string& out_dir,
-                                                   std::string* error) {
+                                                   std::string* error,
+                                                   const std::string& profile) {
   std::error_code ec;
   std::filesystem::create_directories(run_dir(runs_dir, run_id), ec);
   if (ec) {
@@ -161,7 +166,9 @@ std::optional<JournalWriter> JournalWriter::create(const std::string& runs_dir,
     return std::nullopt;
   }
   JournalWriter writer(file);
-  if (!writer.write_line(header_line(run_id, out_dir), error)) return std::nullopt;
+  if (!writer.write_line(header_line(run_id, out_dir, profile), error)) {
+    return std::nullopt;
+  }
   return writer;
 }
 

@@ -37,6 +37,11 @@ struct RunJournal {
   /// `--resume` restores it so the printed hint works without re-stating
   /// `--out`. Empty when the header predates the field.
   std::string out_dir;
+  /// Machine profile the original run executed ("profile" header field) —
+  /// `--resume` restores it so a resumed run can never silently finish the
+  /// remainder on a different machine. Empty when the header predates the
+  /// field (treated as the default profile).
+  std::string profile;
   std::vector<JournalEntry> completed;
   /// True when the file ended in a torn (unparseable) line — the signature
   /// of a crash mid-append. The torn line is dropped; everything before it
@@ -65,11 +70,12 @@ struct RunJournal {
 class JournalWriter {
  public:
   /// Create `<runs_dir>/<run_id>/journal.jsonl` with a fresh header
-  /// recording the run's artifact directory (truncating any previous
-  /// journal of the same id).
+  /// recording the run's artifact directory and machine profile (truncating
+  /// any previous journal of the same id).
   [[nodiscard]] static std::optional<JournalWriter> create(
       const std::string& runs_dir, const std::string& run_id,
-      const std::string& out_dir, std::string* error);
+      const std::string& out_dir, std::string* error,
+      const std::string& profile = "");
 
   /// Open an existing journal for appending (resume).
   [[nodiscard]] static std::optional<JournalWriter> append_to(

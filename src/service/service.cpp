@@ -1,6 +1,8 @@
 #include "service/service.hpp"
 
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 #include <future>
 #include <utility>
 
@@ -8,6 +10,7 @@
 #include "core/fault/error.hpp"
 #include "sim/replay_telemetry.hpp"
 #include "sim/simd.hpp"
+#include "sim/topology.hpp"
 #include "workloads/registry.hpp"
 
 namespace knl::service {
@@ -87,7 +90,9 @@ int require_threads(const Value& body, const std::string& key, int fallback) {
 MemConfig parse_config(const std::string& name) {
   if (name == "DRAM") return MemConfig::DRAM;
   if (name == "HBM") return MemConfig::HBM;
-  if (name == "Cache Mode" || name == "CacheMode") return MemConfig::CacheMode;
+  if (name == "Cache Mode" || name == "CacheMode" || name == "CACHE") {
+    return MemConfig::CacheMode;
+  }
   throw Error::corrupt_input("service/bad-config",
                              "unknown memory config '" + name +
                                  "' (known: DRAM, HBM, Cache Mode)");
@@ -255,6 +260,38 @@ class InflightGuard {
   std::atomic<std::uint64_t>& gauge_;
 };
 
+/// Declared-topology summary attached to query responses and /stats: which
+/// memory hierarchy a machine actually simulates, so multi-profile
+/// deployments can tell fingerprints apart without a registry lookup.
+Value topology_json(const Machine& machine) {
+  const sim::MemoryTopology& topology = machine.memory_topology();
+  char fingerprint[32];
+  std::snprintf(fingerprint, sizeof fingerprint, "%016" PRIx64,
+                machine.config().fingerprint());
+  Value out = Value::object();
+  out.set("name", topology.name);
+  out.set("fingerprint", std::string(fingerprint));
+  out.set("tiers", static_cast<double>(topology.tier_count()));
+  out.set("tier_names", topology.tier_names());
+  Value tiers = Value::array();
+  for (std::size_t i = 0; i < topology.tier_count(); ++i) {
+    const sim::MemoryTier& tier = topology.tier(i);
+    Value one = Value::object();
+    one.set("name", tier.name);
+    one.set("kind", sim::to_string(tier.kind));
+    one.set("capacity_bytes", static_cast<double>(tier.params.capacity_bytes));
+    one.set("stream_bw_gbs", tier.params.stream_bw_gbs);
+    one.set("idle_latency_ns", tier.params.idle_latency_ns);
+    one.set("cache_front", tier.cache_front);
+    if (tier.backing != -1) {
+      one.set("backing", topology.tier(static_cast<std::size_t>(tier.backing)).name);
+    }
+    tiers.push_back(std::move(one));
+  }
+  out.set("tier_detail", std::move(tiers));
+  return out;
+}
+
 }  // namespace
 
 PlacementService::PlacementService(ServiceOptions options)
@@ -265,6 +302,8 @@ PlacementService::PlacementService(ServiceOptions options)
                     Machine(MachineConfig::knl7210_equal_latency()));
   machines_.emplace("knl7210_snc4", Machine(MachineConfig::knl7210_snc4()));
   machines_.emplace("ddr_only", Machine(MachineConfig::ddr_only()));
+  machines_.emplace("xeonmax", Machine(MachineConfig::xeon_max()));
+  machines_.emplace("knl_nvm", Machine(MachineConfig::knl_nvm()));
   report::SweepCache::instance().set_capacity(options_.cache_capacity);
 }
 
@@ -506,6 +545,7 @@ Value PlacementService::do_whatif(const Value& body) const {
     out.set("metric_name", entry->info.metric_name);
   }
   out.set("cache_hit", cache_hit);
+  out.set("topology", topology_json(machine));
 
   // Optional MCDRAM-capacity what-if: a one-cell capacity grid through the
   // single-pass engine. Because profiles are keyed on (trace, machine,
@@ -562,28 +602,37 @@ Value PlacementService::do_sweep(const Value& body) const {
 
   if (capacities_field != nullptr) {
     // Capacity mode: one trace profiling pass answers the whole grid (and,
-    // via the profile cache, later grids with the same fingerprint).
-    if (!capacities_field->is_array() || capacities_field->as_array().empty()) {
-      throw Error::corrupt_input(
-          "service/bad-field",
-          "field 'capacities_bytes' must be a non-empty array");
-    }
+    // via the profile cache, later grids with the same fingerprint). The
+    // literal string "auto" derives the axis from the machine's declared
+    // topology (equal steps up to its cache-capable front tier).
     std::vector<std::uint64_t> capacities;
-    for (const Value& item : capacities_field->as_array()) {
-      if (!item.is_number() || !(item.as_number() > 0.0) ||
-          item.as_number() > 1e15) {
-        throw Error::corrupt_input("service/bad-field",
-                                   "'capacities_bytes' entries must be in (0, 1e15]");
+    report::CapacityGrid grid;
+    if (capacities_field->is_string() && capacities_field->as_string() == "auto") {
+      grid = parse_capacity_grid(body, {});
+      grid.capacities_bytes = report::default_capacity_axis(
+          machine.memory_topology(), grid.line_bytes * grid.num_sets);
+    } else {
+      if (!capacities_field->is_array() || capacities_field->as_array().empty()) {
+        throw Error::corrupt_input(
+            "service/bad-field",
+            "field 'capacities_bytes' must be a non-empty array or \"auto\"");
       }
-      capacities.push_back(static_cast<std::uint64_t>(item.as_number()));
+      for (const Value& item : capacities_field->as_array()) {
+        if (!item.is_number() || !(item.as_number() > 0.0) ||
+            item.as_number() > 1e15) {
+          throw Error::corrupt_input("service/bad-field",
+                                     "'capacities_bytes' entries must be in (0, 1e15]");
+        }
+        capacities.push_back(static_cast<std::uint64_t>(item.as_number()));
+      }
+      grid = parse_capacity_grid(body, std::move(capacities));
     }
-    if (capacities.size() > options_.max_sweep_cells) {
+    if (grid.capacities_bytes.size() > options_.max_sweep_cells) {
       throw Error::corrupt_input(
           "service/grid-too-large",
           "sweep grid exceeds " + std::to_string(options_.max_sweep_cells) +
               " cells; split the query");
     }
-    report::CapacityGrid grid = parse_capacity_grid(body, std::move(capacities));
     const std::uint64_t bytes = require_bytes(body, "bytes");
     const int threads = require_threads(body, "threads", 64);
     sweep_options.single_pass = bool_or(body, "single_pass", true);
@@ -614,6 +663,7 @@ Value PlacementService::do_sweep(const Value& body) const {
       }
       out.set("failures", std::move(failures));
     }
+    out.set("topology", topology_json(machine));
     return out;
   }
 
@@ -686,6 +736,7 @@ Value PlacementService::do_sweep(const Value& body) const {
     }
     out.set("failures", std::move(failures));
   }
+  out.set("topology", topology_json(machine));
   return out;
 }
 
@@ -742,6 +793,17 @@ Value PlacementService::do_stats() const {
   replay_json.set("replay_epochs", static_cast<double>(replay.replay_epochs));
   replay_json.set("overlapped_epochs", static_cast<double>(replay.overlapped_epochs));
   out.set("replay", std::move(replay_json));
+
+  // Per-machine topology identity: cache entries are keyed by fingerprint
+  // string alone, so a multi-profile deployment needs this table to map a
+  // fingerprint back to the hierarchy it simulates.
+  Value machines = Value::array();
+  for (const auto& [name, machine] : machines_) {
+    Value one = topology_json(machine);
+    one.set("machine", name);
+    machines.push_back(std::move(one));
+  }
+  out.set("machines", std::move(machines));
   return out;
 }
 

@@ -63,6 +63,8 @@ struct NodeParams {
   double stream_bw_gbs;      // attainable streaming bandwidth (STREAM cap)
   double random_bw_gbs;      // attainable bandwidth under random line access
   double idle_latency_ns;    // paper §IV-A
+
+  friend constexpr bool operator==(const NodeParams&, const NodeParams&) = default;
 };
 
 inline constexpr NodeParams kDdr{

@@ -255,4 +255,149 @@ PhaseTiming TimingModel::time_phase(const trace::AccessPhase& phase, const RunCo
   return out;
 }
 
+PhaseTiming TimingModel::time_phase_tiered(const trace::AccessPhase& phase,
+                                           const RunConfig& run,
+                                           const MemoryTopology& topology,
+                                           const std::vector<double>& fractions) const {
+  phase.validate();
+  if (!run.valid()) {
+    throw std::invalid_argument("time_phase_tiered: invalid RunConfig");
+  }
+  const std::size_t n = topology.tier_count();
+  if (fractions.size() != n) {
+    throw std::invalid_argument("time_phase_tiered: one fraction per tier required");
+  }
+  double fraction_sum = 0.0;
+  for (const double f : fractions) {
+    if (f < 0.0 || f > 1.0) {
+      throw std::invalid_argument("time_phase_tiered: fraction outside [0,1]");
+    }
+    fraction_sum += f;
+  }
+  if (std::abs(fraction_sum - 1.0) > 1e-6) {
+    throw std::invalid_argument("time_phase_tiered: fractions must sum to 1");
+  }
+
+  PhaseTiming out;
+  const int threads = run.threads;
+  const int ht = ht_per_core(threads);
+
+  double compute_seconds = 0.0;
+  if (phase.flops > 0.0) {
+    const double gflops = params::attainable_gflops(ht) * phase.compute_efficiency;
+    compute_seconds = phase.flops / (gflops * 1e9);
+  }
+
+  const double mem_bytes = memory_traffic_bytes(phase, threads);
+  out.memory_bytes = mem_bytes;
+
+  double mem_seconds = 0.0;
+  if (mem_bytes > 0.0) {
+    const int dram = topology.dram_tier();
+    const int front =
+        run.config == MemConfig::CacheMode ? topology.cache_front_of(dram) : -1;
+    const bool cache_mode = front != -1;
+
+    // Per-tier byte shares. Tiers behind the cache blend (the DRAM tier and
+    // its cache front) are folded into one cache-path share; the *last*
+    // remaining share is computed as a remainder so the split is exact (and
+    // bit-identical to time_phase's `mem_bytes - hbm_bytes` on two tiers).
+    struct Share {
+      int tier = -1;  // -1 = the cache-mode blended path
+      double bytes = 0.0;
+      double conc_share = 0.0;
+    };
+    std::vector<Share> shares;
+    double bytes_before = 0.0;
+    double conc_before = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int tier = static_cast<int>(i);
+      if (cache_mode && (tier == dram || tier == front)) continue;
+      Share s;
+      s.tier = tier;
+      s.bytes = mem_bytes * fractions[i];
+      s.conc_share = fractions[i];
+      bytes_before += s.bytes;
+      conc_before += fractions[i];
+      shares.push_back(s);
+    }
+    if (cache_mode) {
+      // Everything not placed on a direct tier drains through the cache.
+      shares.push_back(Share{-1, mem_bytes - bytes_before, 1.0 - conc_before});
+    } else if (!shares.empty()) {
+      // Sum only the *earlier* shares: fl(fl(a+b)-b) != a, so subtracting the
+      // last share back out of the running total would drift by an ulp from
+      // time_phase's `mem_bytes - hbm_bytes`.
+      double earlier_bytes = 0.0;
+      double earlier_conc = 0.0;
+      for (std::size_t s = 0; s + 1 < shares.size(); ++s) {
+        earlier_bytes += shares[s].bytes;
+        earlier_conc += shares[s].conc_share;
+      }
+      shares.back().bytes = mem_bytes - earlier_bytes;
+      shares.back().conc_share = 1.0 - earlier_conc;
+    }
+
+    double dominant_seconds = -1.0;
+    double dominant_latency = 0.0;
+    bool dominant_capped = false;
+    double hit_rate = 1.0;
+    for (const Share& share : shares) {
+      if (share.bytes <= 0.0) continue;
+      double seconds = 0.0;
+      double latency_ns = 0.0;
+      bool capped = false;
+      if (share.tier == -1) {
+        // The cache-mode blend, verbatim from time_phase: a direct-mapped
+        // front-tier cache over the DRAM tier.
+        const params::NodeParams& hbm_node =
+            topology.tier(static_cast<std::size_t>(front)).params;
+        const params::NodeParams& ddr_node =
+            topology.tier(static_cast<std::size_t>(dram)).params;
+        const double r = regularity(phase);
+        const double hit = r >= 0.5 ? mcdram_.sweep_hit_rate(phase.footprint_bytes)
+                                    : mcdram_.random_hit_rate(phase.footprint_bytes);
+        hit_rate = hit;
+        const double hbm_cap = node_cap_gbs(phase, hbm_node);
+        const double ddr_cap = node_cap_gbs(phase, ddr_node);
+        const double blended_cap = mcdram_.effective_bandwidth_gbs(hit, hbm_cap, ddr_cap);
+        const double conc = concurrency_lines(phase, threads) * share.conc_share;
+        const double lat_hbm = effective_latency_ns(phase, hbm_node, threads, 0.0);
+        const double lat_ddr = effective_latency_ns(phase, ddr_node, threads, 0.0);
+        const double lat = mcdram_.effective_latency_ns(hit, lat_hbm, lat_ddr);
+        const double demand = conc * static_cast<double>(params::kLineBytes) / lat;
+        const double bw = std::min(blended_cap, demand);
+        capped = demand >= blended_cap;
+        latency_ns = capped ? conc * static_cast<double>(params::kLineBytes) / bw : lat;
+        seconds = share.bytes / (bw * kNsPerSecond);
+      } else {
+        const NodePath path = time_on_node(
+            phase, topology.tier(static_cast<std::size_t>(share.tier)).params, threads,
+            share.bytes, share.conc_share);
+        seconds = path.seconds;
+        latency_ns = path.latency_ns;
+        capped = path.capped;
+      }
+      if (seconds > dominant_seconds) {
+        dominant_seconds = seconds;
+        dominant_latency = latency_ns;
+        dominant_capped = capped;
+      }
+      mem_seconds = std::max(mem_seconds, seconds);
+    }
+    out.effective_latency_ns = dominant_latency;
+    out.bandwidth_bound = dominant_capped;
+    out.concurrency_lines = concurrency_lines(phase, threads);
+    out.mcdram_hit_rate = hit_rate;
+  }
+
+  out.seconds = std::max(mem_seconds, compute_seconds);
+  out.compute_bound = compute_seconds > mem_seconds;
+  if (out.compute_bound) out.bandwidth_bound = false;
+  if (out.seconds > 0.0 && mem_bytes > 0.0) {
+    out.achieved_bw_gbs = mem_bytes / (out.seconds * kNsPerSecond) * 1.0;
+  }
+  return out;
+}
+
 }  // namespace knl::sim

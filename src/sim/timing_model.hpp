@@ -13,11 +13,14 @@
 // threads).
 #pragma once
 
+#include <vector>
+
 #include "core/types.hpp"
 #include "sim/cache_hierarchy.hpp"
 #include "sim/knl_params.hpp"
 #include "sim/mcdram_cache.hpp"
 #include "sim/tlb.hpp"
+#include "sim/topology.hpp"
 #include "trace/access_phase.hpp"
 
 namespace knl::sim {
@@ -64,6 +67,20 @@ class TimingModel {
   [[nodiscard]] PhaseTiming time_phase(const trace::AccessPhase& phase,
                                        const RunConfig& run,
                                        double hbm_fraction) const;
+
+  /// N-tier generalization of time_phase over a declared topology.
+  /// `fractions[i]` is the share of the phase's pages resident in tier i
+  /// (must sum to ~1). Flat configurations drain every tier's share
+  /// concurrently (seconds = max over tiers, the two-node rule generalized);
+  /// cache mode routes the DRAM tier's share through the cache-front tier's
+  /// blend while the remaining tiers (e.g. an NVM spill) are timed directly.
+  /// On a two-tier topology whose params match this model's config the
+  /// result is bit-identical to time_phase — asserted by
+  /// tests/sim/tier_spill_test.cpp.
+  [[nodiscard]] PhaseTiming time_phase_tiered(const trace::AccessPhase& phase,
+                                              const RunConfig& run,
+                                              const MemoryTopology& topology,
+                                              const std::vector<double>& fractions) const;
 
   /// Hardware threads per core implied by a total thread count.
   [[nodiscard]] int ht_per_core(int threads) const;

@@ -5,6 +5,26 @@
 
 namespace knl::sim {
 
+TraceMachineConfig TraceMachineConfig::for_tier(const MemoryTopology& topology,
+                                                std::size_t tier) {
+  if (tier >= topology.tier_count()) {
+    throw std::invalid_argument("TraceMachineConfig::for_tier: tier " +
+                                std::to_string(tier) + " out of range (topology '" +
+                                topology.name + "' has " +
+                                std::to_string(topology.tier_count()) + " tiers)");
+  }
+  TraceMachineConfig config;
+  config.node = topology.tier(tier).params;
+  const int front = topology.cache_front_of(static_cast<int>(tier));
+  if (front != -1) {
+    const MemoryTier& front_tier = topology.tier(static_cast<std::size_t>(front));
+    config.mcdram_cache_enabled = true;
+    config.mcdram.capacity_bytes = front_tier.params.capacity_bytes;
+    config.mcdram_node = front_tier.params;
+  }
+  return config;
+}
+
 TraceMachine::TraceMachine() : TraceMachine(TraceMachineConfig{}) {}
 
 TraceMachine::TraceMachine(TraceMachineConfig config)

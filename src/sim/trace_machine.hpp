@@ -24,6 +24,7 @@
 #include "sim/mesh.hpp"
 #include "sim/replay_stats.hpp"
 #include "sim/tlb.hpp"
+#include "sim/topology.hpp"
 
 namespace knl::sim {
 
@@ -46,6 +47,13 @@ struct TraceMachineConfig {
   bool mcdram_cache_enabled = false;
   McdramCacheConfig mcdram = {};
   params::NodeParams mcdram_node = params::kHbm;
+
+  /// Configuration targeting tier `tier` of a declared topology: the tier's
+  /// NodeParams become the memory target, and when a cache-capable tier
+  /// fronts it, cache mode is enabled with that front tier's parameters
+  /// (capacity, node timing). The topology must be validated.
+  [[nodiscard]] static TraceMachineConfig for_tier(const MemoryTopology& topology,
+                                                  std::size_t tier);
 };
 
 class TraceMachine {

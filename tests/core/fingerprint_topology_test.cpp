@@ -1,0 +1,136 @@
+// Fingerprint/topology contract: MachineConfig::fingerprint must change
+// exactly when the *resolved* topology (or any other modelled parameter)
+// changes. Two identities carry the whole golden corpus:
+//
+//   1. Declaring the canonical two-tier KNL topology adds nothing the
+//      timing view doesn't already encode, so the fingerprint is unchanged —
+//      golden artifacts recorded before topologies existed keep matching.
+//   2. Any *divergent* declaration (extra tier, different envelope, renamed
+//      tier) perturbs the fingerprint, so per-profile goldens can never be
+//      confused across machines.
+//
+// The machines/*.machine files on disk are also pinned to the in-code
+// profile builders here — a drive-by edit to a machine file that silently
+// re-parameterizes a shipped profile fails this suite.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/machine_config.hpp"
+#include "core/machine_profiles.hpp"
+#include "sim/topology.hpp"
+
+#ifndef KNLMEM_REPO_DIR
+#error "build must define KNLMEM_REPO_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace knl {
+namespace {
+
+std::string read_file(const std::string& relative) {
+  const std::string path = std::string(KNLMEM_REPO_DIR) + "/" + relative;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(FingerprintTopology, DeclaringTheCanonicalKnlTopologyIsAFingerprintNoOp) {
+  const MachineConfig plain = MachineConfig::knl7210();
+  MachineConfig declared = MachineConfig::knl7210();
+  declared.apply_topology(sim::MemoryTopology::knl7210());
+  ASSERT_TRUE(declared.has_declared_topology());
+  ASSERT_FALSE(plain.has_declared_topology());
+  // Same resolved hierarchy, same fingerprint: the goldens recorded before
+  // topologies existed stay valid through the declared path.
+  EXPECT_TRUE(plain.resolved_topology() == declared.resolved_topology());
+  EXPECT_EQ(plain.fingerprint(), declared.fingerprint());
+  EXPECT_NO_THROW(declared.validate());
+}
+
+TEST(FingerprintTopology, MachineFileKnlMatchesTheDefaultFingerprint) {
+  const MachineConfig from_file =
+      MachineConfig::from_machine_file(read_file("machines/knl7210.machine"));
+  EXPECT_EQ(from_file.fingerprint(), MachineConfig::knl7210().fingerprint());
+}
+
+TEST(FingerprintTopology, FingerprintChangesIffTheTopologyChanges) {
+  const std::uint64_t knl = MachineConfig::knl7210().fingerprint();
+
+  // Changes: a diverging declaration must perturb the fingerprint.
+  MachineConfig renamed = MachineConfig::knl7210();
+  sim::MemoryTopology topology = sim::MemoryTopology::knl7210();
+  topology.tiers[0].name = "MCDRAM2";
+  renamed.apply_topology(topology);
+  EXPECT_NE(renamed.fingerprint(), knl);
+
+  MachineConfig extra_tier = MachineConfig::knl_nvm();
+  EXPECT_NE(extra_tier.fingerprint(), knl);
+  EXPECT_NE(MachineConfig::xeon_max().fingerprint(), knl);
+  EXPECT_NE(MachineConfig::xeon_max().fingerprint(), extra_tier.fingerprint());
+
+  // No change: re-applying the identical declaration is idempotent.
+  MachineConfig again = MachineConfig::knl_nvm();
+  again.apply_topology(sim::MemoryTopology::knl_nvm());
+  EXPECT_EQ(again.fingerprint(), extra_tier.fingerprint());
+
+  // A controller-range edit alone (same envelope) still changes identity —
+  // the declared layout is part of what the fingerprint names.
+  MachineConfig relaid = MachineConfig::knl7210();
+  topology = sim::MemoryTopology::knl7210();
+  topology.tiers[0].controllers_end = 7;
+  topology.tiers[1].controllers_begin = 7;
+  relaid.apply_topology(topology);
+  EXPECT_NE(relaid.fingerprint(), knl);
+}
+
+TEST(FingerprintTopology, ApplyTopologySyncsTheLegacyViews) {
+  MachineConfig cfg;
+  cfg.apply_topology(sim::MemoryTopology::xeon_max());
+  EXPECT_EQ(cfg.timing.hbm.capacity_bytes, 64 * GiB);
+  EXPECT_EQ(cfg.timing.ddr.capacity_bytes, 512 * GiB);
+  EXPECT_EQ(cfg.physical.hbm.capacity_bytes, 64 * GiB);
+  EXPECT_EQ(cfg.timing.mcdram.capacity_bytes, 64 * GiB);  // cache-capable front
+  EXPECT_NO_THROW(cfg.validate());
+
+  // Desynchronizing the views after apply_topology is a validation error.
+  cfg.timing.hbm.stream_bw_gbs += 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(FingerprintTopology, ShippedMachineFilesMatchTheirBuilders) {
+  for (const MachineProfile& profile : machine_profiles()) {
+    const MachineConfig from_file =
+        MachineConfig::from_machine_file(read_file(profile.machine_file));
+    const MachineConfig built = profile.make();
+    EXPECT_TRUE(from_file.resolved_topology() == built.resolved_topology())
+        << profile.machine_file << " drifted from the " << profile.name
+        << " builder — regenerate it from MemoryTopology::to_machine_file()";
+    // Note: fingerprints may legitimately differ (xeon_max's builder also
+    // retunes the core complex), but the declared hierarchy may not.
+  }
+}
+
+TEST(FingerprintTopology, ProfileRegistryIsWellFormed) {
+  ASSERT_GE(machine_profiles().size(), 3u);
+  EXPECT_EQ(machine_profiles().front().name, "knl7210");  // matrix order
+  std::set<std::string> names;
+  std::set<std::string> golden_dirs;
+  for (const MachineProfile& profile : machine_profiles()) {
+    EXPECT_TRUE(names.insert(profile.name).second) << profile.name;
+    EXPECT_TRUE(golden_dirs.insert(profile.golden_dir).second)
+        << profile.name << ": golden dirs must be disjoint";
+    ASSERT_NE(profile.make, nullptr) << profile.name;
+    EXPECT_NO_THROW(profile.make().validate()) << profile.name;
+    EXPECT_EQ(find_machine_profile(profile.name), &profile);
+  }
+  EXPECT_EQ(find_machine_profile("pdp11"), nullptr);
+  EXPECT_EQ(machine_profiles()[0].golden_dir, "golden");  // historical root
+}
+
+}  // namespace
+}  // namespace knl

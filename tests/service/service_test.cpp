@@ -38,7 +38,7 @@ TEST_F(ServiceTest, HealthzListsMachinesAndWorkloads) {
             kMachineSchemaVersion);
   const Value* machines = r.body.find("machines");
   ASSERT_NE(machines, nullptr);
-  EXPECT_EQ(machines->as_array().size(), 4u);
+  EXPECT_EQ(machines->as_array().size(), 6u);
   const Value* workloads = r.body.find("workloads");
   ASSERT_NE(workloads, nullptr);
   EXPECT_EQ(workloads->as_array().size(), workloads::registry().size());
@@ -340,6 +340,69 @@ TEST_F(ServiceTest, StatsExposesProfileCacheCounters) {
   }
   EXPECT_EQ(static_cast<int>(cache->find("profile_capacity")->as_number()),
             static_cast<int>(report::SweepCache::kDefaultProfileCapacity));
+}
+
+TEST_F(ServiceTest, StatsExposesPerMachineTopologies) {
+  const ServiceResponse r = service_.handle("GET", "/stats", Value());
+  ASSERT_EQ(r.status, 200);
+  const Value* machines = r.body.find("machines");
+  ASSERT_NE(machines, nullptr);
+  EXPECT_EQ(machines->as_array().size(), 6u);
+  bool saw_nvm = false;
+  for (const Value& entry : machines->as_array()) {
+    ASSERT_NE(entry.find("machine"), nullptr);
+    ASSERT_NE(entry.find("fingerprint"), nullptr);
+    EXPECT_EQ(entry.find("fingerprint")->as_string().size(), 16u);
+    EXPECT_GE(entry.find("tiers")->as_number(), 2.0);
+    EXPECT_FALSE(entry.find("tier_names")->as_string().empty());
+    if (entry.find("machine")->as_string() == "knl_nvm") {
+      saw_nvm = true;
+      EXPECT_EQ(static_cast<int>(entry.find("tiers")->as_number()), 3);
+      EXPECT_EQ(entry.find("tier_names")->as_string(), "MCDRAM,DDR4,NVM");
+      EXPECT_EQ(entry.find("tier_detail")->as_array().size(), 3u);
+    }
+  }
+  EXPECT_TRUE(saw_nvm);
+}
+
+TEST_F(ServiceTest, WhatifReportsTheMachineTopology) {
+  Value body = Value::object();
+  body.set("workload", "STREAM");
+  body.set("bytes", 256.0 * (1ull << 20));
+  body.set("threads", 64);
+  body.set("machine", "xeonmax");
+  const ServiceResponse r = service_.handle("POST", "/whatif", body);
+  ASSERT_EQ(r.status, 200) << r.body.dump(0);
+  const Value* topology = r.body.find("topology");
+  ASSERT_NE(topology, nullptr);
+  EXPECT_EQ(topology->find("name")->as_string(), "xeonmax");
+  EXPECT_EQ(topology->find("tier_names")->as_string(), "HBM2e,DDR5");
+  EXPECT_EQ(static_cast<int>(topology->find("tiers")->as_number()), 2);
+  const Value* detail = topology->find("tier_detail");
+  ASSERT_NE(detail, nullptr);
+  ASSERT_EQ(detail->as_array().size(), 2u);
+  EXPECT_EQ(detail->as_array()[0].find("kind")->as_string(), "hbm");
+  EXPECT_EQ(detail->as_array()[0].find("backing")->as_string(), "DDR5");
+  EXPECT_TRUE(detail->as_array()[0].find("cache_front")->as_bool(false));
+}
+
+TEST_F(ServiceTest, SweepWithAutoCapacitiesDerivesTheAxisFromTheTopology) {
+  Value body = Value::object();
+  body.set("workload", "STREAM");
+  body.set("bytes", 1.0 * (1ull << 20));
+  body.set("threads", 64);
+  body.set("cache_sets", 64);
+  body.set("capacities_bytes", "auto");
+  const ServiceResponse r = service_.handle("POST", "/sweep", body);
+  ASSERT_EQ(r.status, 200) << r.body.dump(0);
+  const Value* cells = r.body.find("cells");
+  ASSERT_NE(cells, nullptr);
+  EXPECT_EQ(cells->as_array().size(), 8u);  // default 8-point axis
+  // The top cell is the full MCDRAM capacity of the default machine.
+  const Value& last = cells->as_array().back();
+  EXPECT_EQ(last.find("capacity_bytes")->as_number(), 16.0 * (1ull << 30));
+  ASSERT_NE(r.body.find("topology"), nullptr);
+  EXPECT_EQ(r.body.find("topology")->find("name")->as_string(), "knl7210");
 }
 
 TEST_F(ServiceTest, StatsExposesReplayTelemetry) {
