@@ -29,13 +29,18 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "core/fault/fault_injection.hpp"
+#include "report/sweep.hpp"
 #include "repro/json.hpp"
 #include "service/http.hpp"
+#include "service/recovery.hpp"
 #include "service/service.hpp"
 
 namespace {
@@ -51,6 +56,18 @@ struct BenchOptions {
   std::string out;         ///< write the JSON report here ("" = stdout only)
   double check_p99_ms = 0.0;  ///< > 0: exit 1 when p99 exceeds this bound
   bool check_errors = false;  ///< exit 1 on any non-2xx except 429
+  /// Chaos pass (http mode): a KNL_FAULT_PLAN-grammar plan interpreted
+  /// *client-side* — http-read selects requests sent as socket-level chaos
+  /// (torn frames, malformed JSON, oversized bodies), slow-client selects
+  /// requests trickled out in stalled slices. The server stays unfaulted,
+  /// so any reset seen by a healthy request is the server's fault.
+  std::string chaos_plan;
+  double check_chaos_ratio = 0.0;  ///< > 0: healthy p99 <= ratio * baseline p99
+  /// Kill-and-restart drill (needs the in-process engine: inproc mode or
+  /// self-hosted http): run the log, snapshot to this path, wipe the cache
+  /// (the "kill"), recover from the snapshot and rerun.
+  std::string restart_drill;
+  double check_recovery = 0.0;  ///< > 0: post/pre hit-rate ratio bound
 };
 
 /// SplitMix64: the deterministic request-log generator.
@@ -113,9 +130,15 @@ Request synth_request(std::uint64_t client, std::uint64_t index) {
   return {"GET", "/healthz", ""};
 }
 
-/// Minimal loopback HTTP client: one connection per request (no keep-alive
-/// bookkeeping; measures the full accept/parse/respond path).
-int http_round_trip(std::uint16_t port, const Request& request) {
+std::string request_wire(const Request& request) {
+  std::string wire = request.method + " " + request.target + " HTTP/1.1\r\n";
+  wire += "Host: 127.0.0.1\r\nConnection: close\r\n";
+  wire += "Content-Length: " + std::to_string(request.body.size()) + "\r\n\r\n";
+  wire += request.body;
+  return wire;
+}
+
+int connect_loopback(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
   sockaddr_in addr{};
@@ -126,29 +149,89 @@ int http_round_trip(std::uint16_t port, const Request& request) {
     ::close(fd);
     return -1;
   }
-  std::string wire = request.method + " " + request.target + " HTTP/1.1\r\n";
-  wire += "Host: 127.0.0.1\r\nConnection: close\r\n";
-  wire += "Content-Length: " + std::to_string(request.body.size()) + "\r\n\r\n";
-  wire += request.body;
+  return fd;
+}
+
+bool send_exact(int fd, const char* data, std::size_t size) {
   std::size_t sent = 0;
-  while (sent < wire.size()) {
-    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, 0);
-    if (n <= 0) {
-      ::close(fd);
-      return -1;
-    }
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, 0);
+    if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
+  return true;
+}
+
+int read_status(int fd) {
   std::string reply;
   char chunk[4096];
   ssize_t n = 0;
   while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
     reply.append(chunk, static_cast<std::size_t>(n));
   }
-  ::close(fd);
   // "HTTP/1.1 NNN ..."
-  if (reply.size() < 12 || reply.compare(0, 9, "HTTP/1.1 ") != 0) return -1;
+  if (reply.size() < 12 || reply.compare(0, 9, "HTTP/1.1 ") != 0) return 0;
   return std::stoi(reply.substr(9, 3));
+}
+
+/// Send `wire` in `slices` pieces with `stall_ms` pauses (slices <= 1 sends
+/// it whole), then read the status line. 0 = no parseable response,
+/// -1 = connection failure before the request was fully sent.
+int http_send(std::uint16_t port, const std::string& wire, int slices,
+              int stall_ms) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return -1;
+  if (slices <= 1) {
+    if (!send_exact(fd, wire.data(), wire.size())) {
+      ::close(fd);
+      return -1;
+    }
+  } else {
+    const std::size_t step =
+        std::max<std::size_t>(1, wire.size() / static_cast<std::size_t>(slices));
+    for (std::size_t at = 0; at < wire.size(); at += step) {
+      const std::size_t len = std::min(step, wire.size() - at);
+      if (!send_exact(fd, wire.data() + at, len)) {
+        ::close(fd);
+        return -1;
+      }
+      if (at + len < wire.size()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+      }
+    }
+  }
+  const int status = read_status(fd);
+  ::close(fd);
+  return status;
+}
+
+/// Minimal loopback HTTP client: one connection per request (no keep-alive
+/// bookkeeping; measures the full accept/parse/respond path).
+int http_round_trip(std::uint16_t port, const Request& request) {
+  return http_send(port, request_wire(request), 1, 0);
+}
+
+/// Pure client-side plan selection, deterministic in (seed, site, key) like
+/// the server-side injector but independent of it: the bench never arms the
+/// process-wide FaultInjector, so a self-hosted server stays unfaulted.
+bool plan_selects(const knl::fault::FaultPlan& plan, std::string_view site,
+                  std::uint64_t key) {
+  for (const knl::fault::FaultSite& clause : plan.sites) {
+    if (clause.site != site) continue;
+    if (clause.key >= 0) {
+      if (static_cast<std::uint64_t>(clause.key) == key) return true;
+      continue;
+    }
+    if (clause.rate > 0.0) {
+      const std::uint64_t h =
+          mix64(plan.seed ^ knl::fault::site_key(site) ^
+                (key * 0x9e3779b97f4a7c15ull));
+      if (static_cast<double>(h >> 11) * 0x1.0p-53 < clause.rate) return true;
+      continue;
+    }
+    if (clause.every > 0 && key % clause.every == 0) return true;
+  }
+  return false;
 }
 
 double percentile(const std::vector<double>& sorted, double p) {
@@ -216,11 +299,49 @@ int main(int argc, char** argv) {
       if (v == nullptr) return 2;
       options.check_p99_ms = std::stod(*v);
       options.check_errors = true;
+    } else if (arg == "--chaos-plan") {
+      const std::string* v = value();
+      if (v == nullptr) return 2;
+      options.chaos_plan = *v;
+    } else if (arg == "--check-chaos-ratio") {
+      const std::string* v = value();
+      if (v == nullptr) return 2;
+      options.check_chaos_ratio = std::stod(*v);
+    } else if (arg == "--restart-drill") {
+      const std::string* v = value();
+      if (v == nullptr) return 2;
+      options.restart_drill = *v;
+    } else if (arg == "--check-recovery") {
+      const std::string* v = value();
+      if (v == nullptr) return 2;
+      options.check_recovery = std::stod(*v);
     } else {
       std::cerr << "bench_service: unknown option " << arg << "\n"
                 << "usage: bench_service [--clients N] [--requests N]\n"
                 << "       [--mode inproc|http] [--port P] [--drivers N]\n"
-                << "       [--out FILE] [--check-p99-ms X]\n";
+                << "       [--out FILE] [--check-p99-ms X]\n"
+                << "       [--chaos-plan PLAN] [--check-chaos-ratio R]\n"
+                << "       [--restart-drill FILE] [--check-recovery R]\n";
+      return 2;
+    }
+  }
+
+  if (!options.chaos_plan.empty() && options.mode != "http") {
+    std::cerr << "bench_service: --chaos-plan requires --mode http\n";
+    return 2;
+  }
+  if (!options.restart_drill.empty() && options.mode == "http" &&
+      options.port != 0) {
+    std::cerr << "bench_service: --restart-drill needs the in-process engine "
+                 "(--mode inproc, or self-hosted http without --port)\n";
+    return 2;
+  }
+  knl::fault::FaultPlan chaos;
+  if (!options.chaos_plan.empty()) {
+    try {
+      chaos = knl::fault::FaultPlan::parse(options.chaos_plan);
+    } catch (const std::exception& e) {
+      std::cerr << "bench_service: bad --chaos-plan: " << e.what() << "\n";
       return 2;
     }
   }
@@ -299,6 +420,127 @@ int main(int argc, char** argv) {
   const double qps =
       wall_seconds > 0.0 ? static_cast<double>(options.requests) / wall_seconds : 0.0;
 
+  // -------------------------------------------------------------------------
+  // Chaos pass: the run above is the fault-free baseline; now replay the
+  // identical log with plan-selected requests replaced by socket-level
+  // faults and measure what the *healthy* requests experienced.
+  // -------------------------------------------------------------------------
+  std::optional<Value> chaos_report;
+  double healthy_p99_ratio = 0.0;
+  std::uint64_t healthy_conn_failures = 0;
+  std::uint64_t chaos_unexpected = 0;
+  if (!options.chaos_plan.empty()) {
+    std::vector<double> healthy_ms;
+    healthy_ms.reserve(options.requests);
+    std::mutex healthy_mutex;
+    std::atomic<std::uint64_t> torn{0};
+    std::atomic<std::uint64_t> malformed{0};
+    std::atomic<std::uint64_t> oversized{0};
+    std::atomic<std::uint64_t> slow{0};
+    std::atomic<std::uint64_t> healthy_ok{0};
+    std::atomic<std::uint64_t> healthy_shed{0};
+    std::atomic<std::uint64_t> healthy_failed{0};
+    std::atomic<std::uint64_t> unexpected{0};
+    std::atomic<std::size_t> chaos_next{0};
+
+    const auto chaos_worker = [&] {
+      std::vector<double> local;
+      for (;;) {
+        const std::size_t i = chaos_next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= options.requests) break;
+        const Request request =
+            synth_request(i % options.clients, i / options.clients);
+        if (plan_selects(chaos, knl::fault::kSiteHttpRead, i)) {
+          const std::uint64_t variant = mix64(i) % 3;
+          if (variant == 0) {
+            // Torn frame: promise the full body, send part of it, vanish.
+            const std::string wire = request_wire(request);
+            const int fd = connect_loopback(port);
+            if (fd >= 0) {
+              const std::size_t cut = wire.size() - request.body.size() / 2 - 1;
+              send_exact(fd, wire.data(), cut);
+              ::close(fd);
+            }
+            torn.fetch_add(1, std::memory_order_relaxed);
+          } else if (variant == 1) {
+            // Malformed JSON: a well-framed request whose body is garbage;
+            // the only acceptable answer is a taxonomy-shaped 400.
+            Request bad = request;
+            bad.method = "POST";
+            bad.target = "/whatif";
+            bad.body = "{\"workload\": \"STREAM\", broken";
+            const int status = http_send(port, request_wire(bad), 1, 0);
+            malformed.fetch_add(1, std::memory_order_relaxed);
+            if (status != 400) unexpected.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            // Oversized: a 16 MiB Content-Length must be refused as 413
+            // from the header alone, before any body lands.
+            std::string wire =
+                request.method + " " + request.target + " HTTP/1.1\r\n";
+            wire += "Host: 127.0.0.1\r\nConnection: close\r\n";
+            wire += "Content-Length: " + std::to_string(16u << 20) + "\r\n\r\n";
+            const int status = http_send(port, wire, 1, 0);
+            oversized.fetch_add(1, std::memory_order_relaxed);
+            if (status != 413) unexpected.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (plan_selects(chaos, knl::fault::kSiteSlowClient, i)) {
+          // Slow client: the whole request trickles out in stalled slices,
+          // pinning an acceptor thread for the duration.
+          (void)http_send(port, request_wire(request), 4, 15);
+          slow.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          const auto start = std::chrono::steady_clock::now();
+          const int status = http_round_trip(port, request);
+          const auto stop = std::chrono::steady_clock::now();
+          local.push_back(
+              std::chrono::duration<double, std::milli>(stop - start).count());
+          if (status == 200) {
+            healthy_ok.fetch_add(1, std::memory_order_relaxed);
+          } else if (status == 429) {
+            healthy_shed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            // Includes resets and unparsable replies (status <= 0): a
+            // healthy client must never eat another client's fault.
+            healthy_failed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      const std::lock_guard<std::mutex> lock(healthy_mutex);
+      healthy_ms.insert(healthy_ms.end(), local.begin(), local.end());
+    };
+    std::vector<std::thread> chaos_pool;
+    chaos_pool.reserve(static_cast<std::size_t>(drivers));
+    for (int i = 0; i < drivers; ++i) chaos_pool.emplace_back(chaos_worker);
+    for (std::thread& t : chaos_pool) t.join();
+
+    std::sort(healthy_ms.begin(), healthy_ms.end());
+    const double healthy_p99 = percentile(healthy_ms, 0.99);
+    healthy_p99_ratio = p99 > 0.0 ? healthy_p99 / p99 : 0.0;
+    healthy_conn_failures = healthy_failed.load();
+    chaos_unexpected = unexpected.load();
+
+    Value chaos_json = Value::object();
+    chaos_json.set("plan", chaos.to_string());
+    chaos_json.set("baseline_p99_ms", p99);
+    chaos_json.set("healthy_p99_ms", healthy_p99);
+    chaos_json.set("healthy_p99_ratio", healthy_p99_ratio);
+    Value injected = Value::object();
+    injected.set("torn_frames", static_cast<double>(torn.load()));
+    injected.set("malformed_json", static_cast<double>(malformed.load()));
+    injected.set("oversized_bodies", static_cast<double>(oversized.load()));
+    injected.set("slow_clients", static_cast<double>(slow.load()));
+    chaos_json.set("injected", std::move(injected));
+    Value healthy = Value::object();
+    healthy.set("requests", static_cast<double>(healthy_ms.size()));
+    healthy.set("ok", static_cast<double>(healthy_ok.load()));
+    healthy.set("shed", static_cast<double>(healthy_shed.load()));
+    healthy.set("failed", static_cast<double>(healthy_conn_failures));
+    chaos_json.set("healthy", std::move(healthy));
+    chaos_json.set("unexpected_fault_responses",
+                   static_cast<double>(chaos_unexpected));
+    chaos_report = std::move(chaos_json);
+  }
+
   Value report = Value::object();
   report.set("benchmark", "bench_service");
   report.set("mode", options.mode);
@@ -318,11 +560,81 @@ int main(int argc, char** argv) {
   responses.set("shed", static_cast<double>(shed.load()));
   responses.set("failed", static_cast<double>(failed.load()));
   report.set("responses", std::move(responses));
+  if (chaos_report.has_value()) report.set("chaos", std::move(*chaos_report));
   if (service.has_value()) {
     // In-process run: the engine's own view (cache hit rate, shed count).
     const auto stats =
         service->handle("GET", "/stats", knl::repro::json::Value());
     report.set("service_stats", stats.body);
+  }
+
+  // -------------------------------------------------------------------------
+  // Kill-and-restart drill: snapshot the warm cache, wipe it (the "kill"),
+  // recover a fresh service from the snapshot and replay the identical log.
+  // A working recovery path answers phase 2 mostly from the snapshot, so
+  // the post-restart hit rate lands at or above the pre-kill one.
+  // -------------------------------------------------------------------------
+  knl::service::SnapshotLoad drill_outcome = knl::service::SnapshotLoad::Missing;
+  double drill_recovery = 0.0;
+  if (!options.restart_drill.empty() && service.has_value()) {
+    // The drill replays through the engine directly; drain and drop any
+    // self-hosted server first so no socket can observe the service across
+    // the reset/re-emplace gap.
+    if (server.has_value()) {
+      server->stop();
+      server.reset();
+    }
+    const auto hit_rate = [&service]() -> double {
+      const auto stats =
+          service->handle("GET", "/stats", knl::repro::json::Value());
+      const Value* cache = stats.body.find("cache");
+      const Value* rate = cache != nullptr ? cache->find("hit_rate") : nullptr;
+      return rate != nullptr ? rate->as_number() : 0.0;
+    };
+    const double pre_hit_rate = hit_rate();
+    std::string error;
+    if (!knl::service::save_cache_snapshot(options.restart_drill, &error)) {
+      std::cerr << "bench_service: snapshot failed: " << error << "\n";
+      return 1;
+    }
+    const double entries_snapshotted =
+        static_cast<double>(knl::report::SweepCache::instance().size());
+
+    service.reset();
+    knl::report::SweepCache::instance().clear();
+    knl::report::SweepCache::instance().reset_stats();
+    std::string detail;
+    drill_outcome =
+        knl::service::load_cache_snapshot(options.restart_drill, &detail);
+    service.emplace(service_options);
+
+    std::atomic<std::size_t> drill_next{0};
+    const auto drill_worker = [&] {
+      for (;;) {
+        const std::size_t i = drill_next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= options.requests) return;
+        const Request request =
+            synth_request(i % options.clients, i / options.clients);
+        (void)service->handle_text(request.method, request.target, request.body);
+      }
+    };
+    std::vector<std::thread> drill_pool;
+    drill_pool.reserve(static_cast<std::size_t>(drivers));
+    for (int i = 0; i < drivers; ++i) drill_pool.emplace_back(drill_worker);
+    for (std::thread& t : drill_pool) t.join();
+
+    const double post_hit_rate = hit_rate();
+    drill_recovery = pre_hit_rate > 0.0 ? post_hit_rate / pre_hit_rate : 0.0;
+
+    Value drill = Value::object();
+    drill.set("snapshot_path", options.restart_drill);
+    drill.set("snapshot_outcome", knl::service::to_string(drill_outcome));
+    drill.set("snapshot_detail", detail);
+    drill.set("entries_snapshotted", entries_snapshotted);
+    drill.set("pre_kill_hit_rate", pre_hit_rate);
+    drill.set("post_restart_hit_rate", post_hit_rate);
+    drill.set("recovery_ratio", drill_recovery);
+    report.set("restart_drill", std::move(drill));
   }
 
   const std::string text = report.dump(2) + "\n";
@@ -346,6 +658,36 @@ int main(int argc, char** argv) {
     std::cerr << "bench_service: p99 " << p99 << " ms exceeds bound "
               << options.check_p99_ms << " ms\n";
     return 1;
+  }
+  if (options.check_chaos_ratio > 0.0) {
+    if (healthy_conn_failures > 0) {
+      std::cerr << "bench_service: " << healthy_conn_failures
+                << " healthy requests saw resets or unparsable replies under "
+                   "chaos\n";
+      return 1;
+    }
+    if (chaos_unexpected > 0) {
+      std::cerr << "bench_service: " << chaos_unexpected
+                << " injected faults drew the wrong response code\n";
+      return 1;
+    }
+    if (healthy_p99_ratio > options.check_chaos_ratio) {
+      std::cerr << "bench_service: healthy p99 ratio " << healthy_p99_ratio
+                << " exceeds bound " << options.check_chaos_ratio << "\n";
+      return 1;
+    }
+  }
+  if (options.check_recovery > 0.0) {
+    if (drill_outcome != knl::service::SnapshotLoad::Recovered) {
+      std::cerr << "bench_service: restart drill snapshot was not recovered ("
+                << knl::service::to_string(drill_outcome) << ")\n";
+      return 1;
+    }
+    if (drill_recovery < options.check_recovery) {
+      std::cerr << "bench_service: recovery ratio " << drill_recovery
+                << " below bound " << options.check_recovery << "\n";
+      return 1;
+    }
   }
   return 0;
 }

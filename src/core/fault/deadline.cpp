@@ -1,0 +1,50 @@
+#include "core/fault/deadline.hpp"
+
+#include <cstdio>
+#include <limits>
+
+namespace knl {
+
+Deadline Deadline::after_ms(double budget_ms) {
+  Deadline d;
+  d.bounded_ = true;
+  d.budget_ms_ = budget_ms;
+  return d;
+}
+
+std::shared_ptr<const Deadline> Deadline::shared_after_ms(double budget_ms) {
+  if (budget_ms <= 0.0) return nullptr;
+  return std::make_shared<const Deadline>(after_ms(budget_ms));
+}
+
+double Deadline::elapsed_ms() const noexcept {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+}
+
+double Deadline::remaining_ms() const noexcept {
+  if (cancelled_.load(std::memory_order_relaxed)) return 0.0;
+  if (!bounded_) return std::numeric_limits<double>::infinity();
+  const double left = budget_ms_ - elapsed_ms();
+  return left > 0.0 ? left : 0.0;
+}
+
+bool Deadline::expired() const noexcept {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  return bounded_ && elapsed_ms() >= budget_ms_;
+}
+
+void Deadline::check(const std::string& what) const {
+  if (!expired()) return;
+  char detail[160];
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    std::snprintf(detail, sizeof(detail), "cancelled after %.3f ms",
+                  elapsed_ms());
+  } else {
+    std::snprintf(detail, sizeof(detail),
+                  "deadline budget of %.3f ms exhausted (elapsed %.3f ms)",
+                  budget_ms_, elapsed_ms());
+  }
+  throw Error::resource(kDeadlineExceededCode, what + ": " + detail);
+}
+
+}  // namespace knl

@@ -45,6 +45,12 @@ inline constexpr const char* kSiteJsonWrite = "json-write";  // (filename hash)
 inline constexpr const char* kSiteReplayEpoch = "replay-epoch";  // (epoch index)
 inline constexpr const char* kSitePipelineInterrupt =
     "pipeline-interrupt";  // (experiment index); non-throwing, SIGINT-style
+inline constexpr const char* kSiteHttpRead =
+    "http-read";  // (connection ordinal); torn/aborted request read
+inline constexpr const char* kSiteHttpWrite =
+    "http-write";  // (connection ordinal); truncated response frame
+inline constexpr const char* kSiteSlowClient =
+    "slow-client";  // (request index); client-side stalled writes (slow-loris)
 
 inline constexpr const char* kFaultPlanEnvVar = "KNL_FAULT_PLAN";
 

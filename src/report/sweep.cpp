@@ -78,6 +78,16 @@ template <typename Eval>
 CellOutcome guarded_eval(const SweepOptions& options, std::size_t index,
                          const Eval& eval) {
   CellOutcome cell;
+  // Between-cell deadline check: once the request's budget is spent, the
+  // remaining cells fail fast (Resource, so the retry loop never re-runs
+  // them) instead of computing results the client already abandoned.
+  if (Deadline::expired(options.deadline)) {
+    cell.ok = false;
+    cell.category = ErrorCategory::Resource;
+    cell.message = std::string(kDeadlineExceededCode) + ": cell " +
+                   std::to_string(index) + " skipped, request budget exhausted";
+    return cell;
+  }
   fault::RetryStats tries;
   try {
     cell = fault::with_retry(
@@ -499,10 +509,9 @@ std::string cache_header() {
 }
 }
 
-bool SweepCache::save(const std::string& path) const {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) return false;
-  std::fprintf(file, "%s\n", cache_header().c_str());
+std::string SweepCache::serialize() const {
+  std::string out = cache_header() + "\n";
+  char line[1024];
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     for (const Entry& entry : shard.lru) {
@@ -511,31 +520,48 @@ bool SweepCache::save(const std::string& path) const {
       // Hex floats (%a) round-trip doubles exactly, keeping warm-cache runs
       // bit-identical to cold ones. The free-form infeasibility reason goes
       // last so it may contain spaces; "-" marks an empty reason.
-      std::fprintf(file,
-                   "%016" PRIx64 " %016" PRIx64 " %d %d %d %a %a %a %a %a %a %s\n",
-                   key.profile_hash, key.machine_hash, static_cast<int>(key.config),
-                   key.threads, r.feasible ? 1 : 0, r.seconds, r.bytes_from_memory,
-                   r.flops, r.avg_latency_ns, r.achieved_bw_gbs, r.mcdram_hit_rate,
-                   r.infeasible_reason.empty() ? "-" : r.infeasible_reason.c_str());
+      const int n = std::snprintf(
+          line, sizeof(line),
+          "%016" PRIx64 " %016" PRIx64 " %d %d %d %a %a %a %a %a %a %s\n",
+          key.profile_hash, key.machine_hash, static_cast<int>(key.config),
+          key.threads, r.feasible ? 1 : 0, r.seconds, r.bytes_from_memory,
+          r.flops, r.avg_latency_ns, r.achieved_bw_gbs, r.mcdram_hit_rate,
+          r.infeasible_reason.empty() ? "-" : r.infeasible_reason.c_str());
+      if (n > 0 && static_cast<std::size_t>(n) < sizeof(line)) out += line;
     }
   }
-  const bool ok = std::fclose(file) == 0;
+  return out;
+}
+
+bool SweepCache::save(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string text = serialize();
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  const bool ok = std::fclose(file) == 0 && wrote;
   return ok;
 }
 
-bool SweepCache::load(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "r");
-  if (file == nullptr) return false;
-  char line[1024];
+bool SweepCache::deserialize(const std::string& text) {
   const std::string header = cache_header();
-  if (std::fgets(line, sizeof(line), file) == nullptr ||
-      std::strncmp(line, header.c_str(), header.size()) != 0 ||
-      (line[header.size()] != '\n' && line[header.size()] != '\r' &&
-       line[header.size()] != '\0')) {
-    std::fclose(file);
+  if (text.size() < header.size() ||
+      text.compare(0, header.size(), header) != 0 ||
+      (text.size() > header.size() && text[header.size()] != '\n' &&
+       text[header.size()] != '\r')) {
     return false;
   }
-  while (std::fgets(line, sizeof(line), file) != nullptr) {
+  std::size_t pos = text.find('\n');
+  char line[1024];
+  while (pos != std::string::npos && pos + 1 < text.size()) {
+    const std::size_t start = pos + 1;
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::size_t len = std::min(end - start, sizeof(line) - 1);
+    std::memcpy(line, text.data() + start, len);
+    line[len] = '\0';
+    pos = end == text.size() ? std::string::npos : end;
+
     SweepKey key;
     RunResult r;
     int config = 0;
@@ -557,8 +583,20 @@ bool SweepCache::load(const std::string& path) {
     if (reason != "-") r.infeasible_reason = reason;
     store(key, r);
   }
-  std::fclose(file);
   return true;
+}
+
+bool SweepCache::load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return false;
+  std::string text;
+  char chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    text.append(chunk, got);
+  }
+  std::fclose(file);
+  return deserialize(text);
 }
 
 // ---------------------------------------------------------------------------
@@ -570,6 +608,14 @@ RunResult cached_run(const Machine& machine, const trace::AccessProfile& profile
                      run_config.config, run_config.threads};
   return SweepCache::instance().fetch_or_compute(
       key, [&] { return machine.run(profile, run_config); }, cache_hit);
+}
+
+std::optional<RunResult> cached_lookup(const Machine& machine,
+                                       const trace::AccessProfile& profile,
+                                       const RunConfig& run_config) {
+  const SweepKey key{profile_fingerprint(profile), machine.config().fingerprint(),
+                     run_config.config, run_config.threads};
+  return SweepCache::instance().lookup(key);
 }
 
 // ---------------------------------------------------------------------------
@@ -592,7 +638,16 @@ SweepRun sweep_sizes_run(const Machine& machine, const WorkloadFactory& factory,
     cell.x = static_cast<double>(workload->footprint_bytes()) / 1e9;
     const RunConfig run_config{config, threads};
     RunResult result;
-    if (options.memoize) {
+    if (options.cache_only) {
+      const auto hit = cached_lookup(machine, workload->profile(), run_config);
+      if (!hit.has_value()) {
+        throw Error::resource("sweep/cache-only-miss",
+                              "cell not resident in the SweepCache and the "
+                              "service is degraded (cache-only mode)");
+      }
+      cell.cache_hit = true;
+      result = *hit;
+    } else if (options.memoize) {
       result = cached_run(machine, workload->profile(), run_config, &cell.cache_hit);
     } else {
       result = machine.run(workload->profile(), run_config);
@@ -640,7 +695,16 @@ SweepRun sweep_threads_run(const Machine& machine, const workloads::Workload& wo
     cell.x = static_cast<double>(threads);
     const RunConfig run_config{config, threads};
     RunResult result;
-    if (options.memoize) {
+    if (options.cache_only) {
+      const auto hit = cached_lookup(machine, profile, run_config);
+      if (!hit.has_value()) {
+        throw Error::resource("sweep/cache-only-miss",
+                              "cell not resident in the SweepCache and the "
+                              "service is degraded (cache-only mode)");
+      }
+      cell.cache_hit = true;
+      result = *hit;
+    } else if (options.memoize) {
       result = cached_run(machine, profile, run_config, &cell.cache_hit);
     } else {
       result = machine.run(profile, run_config);
@@ -875,6 +939,18 @@ std::vector<CapacitySweepRun> SweepPlanner::run() {
     for (std::size_t g = 0; g < groups.size(); ++g) {
       Group& group = groups[g];
       const Request& first = requests_[group.members.front()];
+      // Brownout: a degraded service answers only from resident profiles —
+      // no trace synthesis, no profiling pass. Cells of groups with no
+      // resident profile fail with "sweep/cache-only-miss" in phase 2.
+      if (options_.cache_only) {
+        group.profile = SweepCache::instance().lookup_profile(first.key);
+        group.pass_cache_hit = group.profile != nullptr;
+        group.pass_ran = group.profile != nullptr;
+        continue;
+      }
+      // Out of budget: skip the remaining passes; phase 2 fails each cell
+      // fast with the deadline error instead of replaying traces.
+      if (Deadline::expired(options_.deadline)) break;
       const std::uint64_t pass_key = kProfilePassKeyBase + g;
       fault::RetryStats tries;
       try {
@@ -946,8 +1022,10 @@ std::vector<CapacitySweepRun> SweepPlanner::run() {
     }
 
     // The reference path replays the concrete trace per cell; synthesize it
-    // once per group.
-    if (group.profile == nullptr && group.trace == nullptr) {
+    // once per group. Degraded (cache-only) and out-of-budget sweeps never
+    // synthesize: their cells fail fast inside eval instead.
+    if (group.profile == nullptr && group.trace == nullptr &&
+        !options_.cache_only && !Deadline::expired(options_.deadline)) {
       group.trace = std::make_shared<const std::vector<std::uint64_t>>(
           trace::synthesize_trace(request.profile, grid.synth));
     }
@@ -984,7 +1062,7 @@ std::vector<CapacitySweepRun> SweepPlanner::run() {
                             : static_cast<double>(group.profile->hits_for_ways(ways)) /
                                   static_cast<double>(sampled);
         cell.profile_hit = true;
-      } else {
+      } else if (group.trace != nullptr) {
         sim::ReuseProfileConfig geometry;
         geometry.line_bytes = grid.line_bytes;
         geometry.num_sets = grid.num_sets;
@@ -994,6 +1072,13 @@ std::vector<CapacitySweepRun> SweepPlanner::run() {
         cell.hit_rate = ref.sampled == 0 ? 0.0
                                          : static_cast<double>(ref.hits) /
                                                static_cast<double>(ref.sampled);
+      } else {
+        // No profile and no trace: cache-only with nothing resident (or the
+        // budget expired before synthesis could run).
+        throw Error::resource(
+            options_.cache_only ? "sweep/cache-only-miss" : kDeadlineExceededCode,
+            "reuse profile not resident and the per-cell reference is "
+            "unavailable in this mode");
       }
 
       // Timing: the machine's MCDRAM blend model at this cell's capacity.

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/fault/deadline.hpp"
 #include "core/fault/error.hpp"
 #include "core/fault/retry.hpp"
 #include "core/machine.hpp"
@@ -67,6 +68,17 @@ struct SweepOptions {
   /// the default). false selects the retained per-cell reference path that
   /// re-replays the trace through the exact simulator for every capacity.
   bool single_pass = true;
+  /// Request-scoped wall-clock budget, checked between cells (and before
+  /// each profiling pass). When it expires, remaining cells fail fast with
+  /// code "deadline/exceeded" instead of computing dead work; completed
+  /// cells keep their points. nullptr (the default) is unbounded — the
+  /// golden/repro pipeline never sets one, so results are bit-identical.
+  std::shared_ptr<const Deadline> deadline = nullptr;
+  /// Brownout mode: serve cells from the SweepCache only. A cell whose key
+  /// is not resident fails with code "sweep/cache-only-miss" instead of
+  /// simulating; capacity grids derive from resident reuse profiles only
+  /// (no trace synthesis, no profiling passes).
+  bool cache_only = false;
 };
 
 /// Counters describing how a sweep call spent its time. `cells` is the full
@@ -269,6 +281,13 @@ class SweepCache {
   /// Write every entry to `path`, replacing it. Returns false on I/O error.
   [[nodiscard]] bool save(const std::string& path) const;
 
+  /// The save() file rendered as a string (header + one line per entry, in
+  /// shard/LRU order) — the payload snapshots wrap with a digest line.
+  [[nodiscard]] std::string serialize() const;
+  /// Merge entries from a serialize() payload. Returns false when the
+  /// header is missing or from another machine-profile schema version.
+  bool deserialize(const std::string& text);
+
  private:
   struct Entry {
     SweepKey key;
@@ -337,6 +356,13 @@ class SweepCache {
                                    const trace::AccessProfile& profile,
                                    const RunConfig& run_config,
                                    bool* cache_hit = nullptr);
+
+/// Cache-only probe of the same key cached_run uses: the resident result,
+/// or nullopt without simulating anything. The brownout path of degraded
+/// sweeps (SweepOptions::cache_only).
+[[nodiscard]] std::optional<RunResult> cached_lookup(
+    const Machine& machine, const trace::AccessProfile& profile,
+    const RunConfig& run_config);
 
 /// Fig. 4-style sweep: metric vs problem size for each memory config at a
 /// fixed thread count. Infeasible runs (e.g. HBM beyond 16 GB) are omitted,

@@ -26,11 +26,13 @@ report::SweepOptions sweep_options(const PipelineOptions& options) {
   // single_pass stays at its default (true): any capacity-sweep experiment
   // the registry grows runs through the single-pass engine, whose cells are
   // exact-equal to the per-cell reference wherever LRU inclusion holds.
-  return report::SweepOptions{.jobs = options.jobs,
-                              .memoize = options.memoize,
-                              .retry = options.retry,
-                              .cell_deadline_ms = options.cell_deadline_ms,
-                              .single_pass = true};
+  report::SweepOptions sweep;
+  sweep.jobs = options.jobs;
+  sweep.memoize = options.memoize;
+  sweep.retry = options.retry;
+  sweep.cell_deadline_ms = options.cell_deadline_ms;
+  sweep.single_pass = true;
+  return sweep;
 }
 
 /// Turn a sweep's collected cell failures into one aggregate error naming

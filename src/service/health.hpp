@@ -1,0 +1,116 @@
+// HealthMonitor — the service's brownout state machine.
+//
+// The monitor folds two load signals — a rolling window of request
+// latencies and the current inflight queue depth — into one of three
+// states:
+//
+//   | state    | POST queries               | /sweep behaviour              |
+//   |----------|----------------------------|-------------------------------|
+//   | Healthy  | served normally            | full engine                   |
+//   | Degraded | served normally            | cache-only, coarsened "auto"  |
+//   | Shedding | rejected 429 (brownout)    | —                             |
+//
+// Escalation is immediate: the first evaluation that sees p99 or queue
+// depth past a threshold transitions up. De-escalation is damped twice
+// over — the metric must fall below `recover_fraction` of the threshold
+// (hysteresis) AND `min_dwell_ms` must have elapsed since the last
+// transition — so the service cannot flap between states on a noisy
+// boundary. Every transition resets the latency window: the new state gets
+// a fresh probation period judged on its own traffic, not on samples
+// recorded under the old regime (otherwise one burst of slow requests
+// would pin the window's p99 high and lock the service in Shedding with no
+// new samples to clear it).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace knl::service {
+
+enum class HealthState : int { Healthy = 0, Degraded = 1, Shedding = 2 };
+
+[[nodiscard]] const char* to_string(HealthState state);
+
+struct HealthOptions {
+  /// Rolling latency window, in samples.
+  std::size_t window = 256;
+  /// Below this many samples the latency signal abstains (queue depth can
+  /// still escalate) — a cold service is not judged on 3 requests.
+  std::size_t min_samples = 32;
+  /// p99 thresholds (ms): at or above degraded_p99_ms the service browns
+  /// out; at or above shedding_p99_ms it sheds POST queries outright.
+  double degraded_p99_ms = 250.0;
+  double shedding_p99_ms = 1000.0;
+  /// Queue-depth thresholds as a fraction of max_inflight.
+  double degraded_queue_fraction = 0.50;
+  double shedding_queue_fraction = 0.90;
+  /// Hysteresis: to step DOWN a state, the metric must be below
+  /// threshold * recover_fraction, not merely below threshold.
+  double recover_fraction = 0.7;
+  /// Minimum dwell between transitions (ms); bounds flap frequency.
+  double min_dwell_ms = 500.0;
+};
+
+/// Point-in-time view for /healthz and /stats.
+struct HealthSnapshot {
+  HealthState state = HealthState::Healthy;
+  double p99_ms = 0.0;
+  std::size_t samples = 0;
+  std::uint64_t transitions = 0;
+};
+
+class HealthMonitor {
+ public:
+  /// from, to, one-line reason ("p99 412.3 ms >= 250.0 ms").
+  using TransitionLog =
+      std::function<void(HealthState from, HealthState to, const std::string& why)>;
+
+  explicit HealthMonitor(HealthOptions options = {});
+
+  void set_transition_log(TransitionLog log);
+
+  /// Record one completed request and re-evaluate the state machine.
+  void record(double latency_ms, std::size_t inflight, std::size_t max_inflight);
+
+  /// Re-evaluate on queue depth alone (the admission path calls this before
+  /// work is enqueued, so a flood escalates before any completion lands).
+  void note_queue(std::size_t inflight, std::size_t max_inflight);
+
+  /// Lock-free read — the per-request fast path.
+  [[nodiscard]] HealthState state() const noexcept {
+    return state_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HealthSnapshot snapshot() const;
+
+  /// Pin the state for deterministic tests (and release with a second call
+  /// passing pin=false).
+  void force_state_for_testing(HealthState state, bool pin = true);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void evaluate_locked(std::size_t inflight, std::size_t max_inflight);
+  [[nodiscard]] double p99_locked() const;
+  [[nodiscard]] HealthState desired_locked(double p99, double queue_fraction,
+                                           double scale) const;
+  void transition_locked(HealthState to, const std::string& why);
+
+  mutable std::mutex mutex_;
+  HealthOptions options_;
+  std::vector<double> ring_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+  Clock::time_point last_transition_ = Clock::now();
+  std::uint64_t transitions_ = 0;
+  bool pinned_ = false;
+  TransitionLog log_;
+  std::atomic<HealthState> state_{HealthState::Healthy};
+};
+
+}  // namespace knl::service

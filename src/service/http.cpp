@@ -8,11 +8,14 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <string_view>
 
 #include "core/fault/error.hpp"
+#include "core/fault/fault_injection.hpp"
 
 namespace knl::service {
 
@@ -47,6 +50,7 @@ const char* reason_phrase(int status) {
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return status >= 500 ? "Internal Server Error" : "Error";
   }
 }
@@ -71,34 +75,148 @@ struct ParsedRequest {
   std::string target;
   std::string body;
   bool keep_alive = true;
+  /// X-Deadline-Ms header, forwarded into the service's budget resolution;
+  /// 0 = header absent.
+  double deadline_ms = 0.0;
 };
 
 /// Outcome of reading one request off the wire.
 enum class ReadStatus {
   Ok,
-  Closed,    ///< orderly close or idle timeout: just drop the connection
-  TooLarge,  ///< body over the limit: answer 413 and close
-  Malformed  ///< unparseable request line/headers: answer 400 and close
+  Closed,           ///< orderly close or idle keep-alive timeout: just drop
+  Timeout,          ///< request started but stalled past read_deadline_ms: 408
+  TooLargeBody,     ///< body over max_body_bytes: 413
+  TooLargeHeaders,  ///< head over max_header_bytes: 413
+  Malformed         ///< unparseable request line/headers/framing: 400
 };
+
+/// One request's wire-reading state: a recv wrapper that distinguishes the
+/// idle gap between keep-alive requests (a benign close) from a client that
+/// started a request and then trickled or stalled it (the slow-loris case,
+/// answered 408). The wall clock starts at the request's first byte, so
+/// one-byte-per-second clients cannot ride the per-recv SO_RCVTIMEO forever.
+struct RequestReader {
+  int fd;
+  std::string& buffer;  ///< carries bytes pipelined past the previous request
+  double read_deadline_ms;
+  bool started = false;
+  std::chrono::steady_clock::time_point start{};
+
+  /// Pull more bytes; Ok means "progress", anything else ends the request.
+  ReadStatus fill() {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n == 0) {
+        // Orderly close: benign between requests, a torn frame mid-request.
+        return started ? ReadStatus::Malformed : ReadStatus::Closed;
+      }
+      if (n < 0) {
+        // EAGAIN/EWOULDBLOCK = SO_RCVTIMEO fired: an idle keep-alive
+        // connection before the first byte, a stalled client after it.
+        return started ? ReadStatus::Timeout : ReadStatus::Closed;
+      }
+      if (!started) {
+        started = true;
+        start = std::chrono::steady_clock::now();
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      if (read_deadline_ms > 0.0) {
+        const std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - start;
+        if (elapsed.count() > read_deadline_ms) return ReadStatus::Timeout;
+      }
+      return ReadStatus::Ok;
+    }
+  }
+
+  /// Block until `buffer` holds at least `want` bytes.
+  ReadStatus fill_until(std::size_t want) {
+    while (buffer.size() < want) {
+      const ReadStatus status = fill();
+      if (status != ReadStatus::Ok) return status;
+    }
+    return ReadStatus::Ok;
+  }
+};
+
+/// Decode a chunked body starting at buffer[pos]. On Ok, `out` holds the
+/// reassembled body and `pos` points one past the final CRLF.
+ReadStatus decode_chunked(RequestReader& reader, std::string& buffer,
+                          std::size_t& pos, std::size_t max_body,
+                          std::string& out) {
+  for (;;) {
+    // Size line: hex digits, optionally ";ext", terminated by CRLF.
+    std::size_t eol;
+    while ((eol = buffer.find("\r\n", pos)) == std::string::npos) {
+      if (buffer.size() - pos > 64) return ReadStatus::Malformed;
+      const ReadStatus status = reader.fill();
+      if (status != ReadStatus::Ok) {
+        return status == ReadStatus::Closed ? ReadStatus::Malformed : status;
+      }
+    }
+    std::string size_line = buffer.substr(pos, eol - pos);
+    const std::size_t semi = size_line.find(';');
+    if (semi != std::string::npos) size_line.erase(semi);
+    if (size_line.empty() ||
+        size_line.find_first_not_of("0123456789abcdefABCDEF") != std::string::npos) {
+      return ReadStatus::Malformed;
+    }
+    const std::size_t chunk_size =
+        static_cast<std::size_t>(std::strtoull(size_line.c_str(), nullptr, 16));
+    if (chunk_size > max_body || out.size() + chunk_size > max_body) {
+      return ReadStatus::TooLargeBody;
+    }
+    pos = eol + 2;
+
+    if (chunk_size == 0) {
+      // Trailer section: zero or more header lines, then an empty line.
+      for (;;) {
+        std::size_t teol;
+        while ((teol = buffer.find("\r\n", pos)) == std::string::npos) {
+          const ReadStatus status = reader.fill();
+          if (status != ReadStatus::Ok) {
+            return status == ReadStatus::Closed ? ReadStatus::Malformed : status;
+          }
+        }
+        const bool empty_line = teol == pos;
+        pos = teol + 2;
+        if (empty_line) return ReadStatus::Ok;
+      }
+    }
+
+    const ReadStatus status = reader.fill_until(pos + chunk_size + 2);
+    if (status != ReadStatus::Ok) return status;
+    if (buffer[pos + chunk_size] != '\r' || buffer[pos + chunk_size + 1] != '\n') {
+      return ReadStatus::Malformed;  // chunk data must end in CRLF
+    }
+    out.append(buffer, pos, chunk_size);
+    pos += chunk_size + 2;
+  }
+}
 
 /// Blocking read of one HTTP/1.1 request. `buffer` carries bytes pipelined
 /// past the previous request on this connection.
-ReadStatus read_request(int fd, std::string& buffer, std::size_t max_body,
+ReadStatus read_request(int fd, std::string& buffer, const HttpServerOptions& options,
                         ParsedRequest& out) {
-  char chunk[4096];
+  RequestReader reader{fd, buffer, static_cast<double>(options.read_deadline_ms)};
+  reader.started = !buffer.empty();  // pipelined bytes already start the clock
+  if (reader.started) reader.start = std::chrono::steady_clock::now();
+
   std::size_t header_end = std::string::npos;
   while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
-    if (buffer.size() > max_body + 8192) return ReadStatus::TooLarge;
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      // 0 = orderly close; EAGAIN/EWOULDBLOCK = SO_RCVTIMEO idle timeout.
-      return ReadStatus::Closed;
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    // Only unfinished heads are bounded here; once the blank line is in,
+    // body bytes in the same buffer are the body limit's problem.
+    if (buffer.size() > options.max_header_bytes) return ReadStatus::TooLargeHeaders;
+    const ReadStatus status = reader.fill();
+    if (status != ReadStatus::Ok) return status;
   }
+  if (header_end > options.max_header_bytes) return ReadStatus::TooLargeHeaders;
 
   const std::string head = buffer.substr(0, header_end);
+  // Binary garbage (the NUL-byte fuzz arm) is never a legal HTTP head.
+  if (head.find('\0') != std::string::npos) return ReadStatus::Malformed;
   const std::size_t line_end = head.find("\r\n");
   const std::string request_line =
       line_end == std::string::npos ? head : head.substr(0, line_end);
@@ -114,9 +232,12 @@ ReadStatus read_request(int fd, std::string& buffer, std::size_t max_body,
     return ReadStatus::Malformed;
   }
 
-  // Headers we care about: Content-Length and Connection.
+  // Headers we care about: Content-Length, Transfer-Encoding, Connection
+  // and the deadline the client propagates.
   std::size_t content_length = 0;
+  bool chunked = false;
   out.keep_alive = true;
+  out.deadline_ms = 0.0;
   std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
   while (pos < head.size()) {
     std::size_t eol = head.find("\r\n", pos);
@@ -135,23 +256,40 @@ ReadStatus read_request(int fd, std::string& buffer, std::size_t max_body,
         for (const char c : value) {
           if (c < '0' || c > '9') return ReadStatus::Malformed;
           content_length = content_length * 10 + static_cast<std::size_t>(c - '0');
-          if (content_length > max_body) return ReadStatus::TooLarge;
+          if (content_length > options.max_body_bytes) return ReadStatus::TooLargeBody;
         }
+      } else if (iequals(name, "transfer-encoding")) {
+        if (!iequals(value, "chunked")) return ReadStatus::Malformed;
+        chunked = true;
       } else if (iequals(name, "connection") && iequals(value, "close")) {
         out.keep_alive = false;
+      } else if (iequals(name, "x-deadline-ms")) {
+        const std::string text(value);
+        char* end = nullptr;
+        const double parsed = std::strtod(text.c_str(), &end);
+        if (end == text.c_str() || *end != '\0' || !(parsed > 0.0)) {
+          return ReadStatus::Malformed;
+        }
+        out.deadline_ms = parsed;
       }
     }
     pos = eol + 2;
   }
 
-  const std::size_t body_start = header_end + 4;
-  while (buffer.size() < body_start + content_length) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return ReadStatus::Closed;
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
+  std::size_t body_start = header_end + 4;
+  if (chunked) {
+    std::string body;
+    const ReadStatus status =
+        decode_chunked(reader, buffer, body_start, options.max_body_bytes, body);
+    if (status != ReadStatus::Ok) return status;
+    out.body = std::move(body);
+    buffer.erase(0, body_start);  // keep pipelined bytes
+    return ReadStatus::Ok;
+  }
+
+  {
+    const ReadStatus status = reader.fill_until(body_start + content_length);
+    if (status != ReadStatus::Ok) return status;
   }
   out.body = buffer.substr(body_start, content_length);
   buffer.erase(0, body_start + content_length);  // keep pipelined bytes
@@ -169,10 +307,11 @@ std::string render_response(int status, const std::string& body, bool keep_alive
   return out;
 }
 
-std::string error_body(int status, const std::string& code, const std::string& msg) {
+std::string error_body(int status, const std::string& category,
+                       const std::string& code, const std::string& msg) {
   repro::json::Value detail = repro::json::Value::object();
   detail.set("status", status);
-  detail.set("category", "corrupt-input");
+  detail.set("category", category);
   detail.set("code", code);
   detail.set("message", msg);
   repro::json::Value envelope = repro::json::Value::object();
@@ -254,12 +393,17 @@ void HttpServer::accept_loop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       return;  // listening socket closed by stop()
     }
-    serve_connection(fd);
+    serve_connection(fd, connections_.fetch_add(1, std::memory_order_relaxed));
     ::close(fd);
   }
 }
 
-void HttpServer::serve_connection(int fd) {
+void HttpServer::serve_connection(int fd, std::uint64_t conn_id) {
+  // Server-side socket chaos, keyed on the connection ordinal so a plan
+  // can target exactly connection N: http-read drops the connection before
+  // a byte is read (a peer reset from the client's point of view).
+  if (fault::fires(fault::kSiteHttpRead, conn_id)) return;
+
   // Keep-alive idle timeout: a silent connection past the deadline makes
   // recv fail with EAGAIN, which read_request reports as an orderly close.
   timeval tv{};
@@ -272,31 +416,54 @@ void HttpServer::serve_connection(int fd) {
   std::string buffer;
   while (running_.load(std::memory_order_relaxed)) {
     ParsedRequest request;
-    const ReadStatus status =
-        read_request(fd, buffer, options_.max_body_bytes, request);
+    const ReadStatus status = read_request(fd, buffer, options_, request);
     if (status == ReadStatus::Closed) return;
-    if (status == ReadStatus::TooLarge) {
-      send_all(fd, render_response(
-                       413, error_body(413, "http/body-too-large",
-                                       "request body exceeds the configured limit"),
-                       false));
-      return;
-    }
-    if (status == ReadStatus::Malformed) {
-      send_all(fd, render_response(400,
-                                   error_body(400, "http/malformed",
-                                              "cannot parse the HTTP request"),
+    if (status != ReadStatus::Ok) {
+      // Every wire-level rejection is a well-formed taxonomy envelope, so
+      // chaos clients never have to parse a bare reset.
+      int code = 400;
+      const char* category = "corrupt-input";
+      const char* slug = "http/malformed";
+      const char* message = "cannot parse the HTTP request";
+      switch (status) {
+        case ReadStatus::Timeout:
+          code = 408;
+          category = "resource";
+          slug = "http/slow-client";
+          message = "request not completed within the read deadline";
+          break;
+        case ReadStatus::TooLargeBody:
+          code = 413;
+          category = "corrupt-input";
+          slug = "http/body-too-large";
+          message = "request body exceeds the configured limit";
+          break;
+        case ReadStatus::TooLargeHeaders:
+          code = 413;
+          category = "corrupt-input";
+          slug = "http/header-too-large";
+          message = "request headers exceed the configured limit";
+          break;
+        default:
+          break;
+      }
+      send_all(fd, render_response(code, error_body(code, category, slug, message),
                                    false));
       return;
     }
 
-    const ServiceResponse response =
-        service_.handle_text(request.method, request.target, request.body);
+    const ServiceResponse response = service_.handle_text(
+        request.method, request.target, request.body, request.deadline_ms);
     // Compact body: one line per response keeps the bench replay parseable.
-    if (!send_all(fd, render_response(response.status, response.body.dump(0),
-                                      request.keep_alive))) {
+    std::string rendered = render_response(response.status, response.body.dump(0),
+                                           request.keep_alive);
+    // http-write chaos: tear the response mid-frame — the client sees a
+    // Content-Length promise the wire never honours.
+    if (fault::fires(fault::kSiteHttpWrite, conn_id)) {
+      send_all(fd, rendered.substr(0, rendered.size() / 2));
       return;
     }
+    if (!send_all(fd, rendered)) return;
     if (!request.keep_alive) return;
   }
 }

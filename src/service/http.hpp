@@ -29,8 +29,18 @@ struct HttpServerOptions {
   int threads = 8;
   /// Keep-alive idle timeout per connection, milliseconds.
   int idle_timeout_ms = 5000;
-  /// Largest accepted request body; larger requests are rejected with 400.
+  /// Largest accepted request body; larger requests are rejected with 413
+  /// (http/body-too-large) before any buffering past the bound.
   std::size_t max_body_bytes = 1u << 20;
+  /// Largest accepted request head (request line + headers); past it the
+  /// connection gets 413 (http/header-too-large) and is closed.
+  std::size_t max_header_bytes = 8u << 10;
+  /// Slow-loris guard: once a request's first byte arrives, the whole
+  /// request must land within this budget or the client gets 408
+  /// (http/slow-client) and the connection is closed. Distinct from
+  /// idle_timeout_ms, which only times out the quiet gap *between*
+  /// requests on a keep-alive connection.
+  int read_deadline_ms = 10000;
 };
 
 class HttpServer {
@@ -54,13 +64,17 @@ class HttpServer {
 
  private:
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(int fd, std::uint64_t conn_id);
 
   PlacementService& service_;
   HttpServerOptions options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
+  /// Monotonic connection ordinal — the key the http-read / http-write
+  /// fault-injection sites select on, so a plan can target "connection 7"
+  /// deterministically.
+  std::atomic<std::uint64_t> connections_{0};
   std::vector<std::thread> workers_;
 };
 

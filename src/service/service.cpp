@@ -1,5 +1,7 @@
 #include "service/service.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -8,6 +10,7 @@
 
 #include "core/advisor.hpp"
 #include "core/fault/error.hpp"
+#include "service/recovery.hpp"
 #include "sim/replay_telemetry.hpp"
 #include "sim/simd.hpp"
 #include "sim/topology.hpp"
@@ -296,7 +299,8 @@ Value topology_json(const Machine& machine) {
 
 PlacementService::PlacementService(ServiceOptions options)
     : options_(options),
-      pool_(options.workers <= 0 ? 0u : static_cast<unsigned>(options.workers)) {
+      pool_(options.workers <= 0 ? 0u : static_cast<unsigned>(options.workers)),
+      health_(options.health) {
   machines_.emplace("knl7210", Machine(MachineConfig::knl7210()));
   machines_.emplace("knl7210_equal_latency",
                     Machine(MachineConfig::knl7210_equal_latency()));
@@ -323,7 +327,20 @@ ServiceCounters PlacementService::counters() const {
   c.shed = shed_.load(std::memory_order_relaxed);
   c.errors = errors_.load(std::memory_order_relaxed);
   c.inflight = inflight_.load(std::memory_order_relaxed);
+  c.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  c.brownout = brownout_.load(std::memory_order_relaxed);
+  c.degraded = degraded_.load(std::memory_order_relaxed);
   return c;
+}
+
+int PlacementService::adaptive_retry_after_ms() const {
+  const double base = static_cast<double>(options_.retry_after_ms);
+  const double fraction =
+      options_.max_inflight == 0
+          ? 1.0
+          : static_cast<double>(inflight_.load(std::memory_order_relaxed)) /
+                static_cast<double>(options_.max_inflight);
+  return static_cast<int>(base * (1.0 + 8.0 * std::min(fraction, 1.0)));
 }
 
 const Machine& PlacementService::find_machine(const Value& body) const {
@@ -350,7 +367,8 @@ const Machine& PlacementService::find_machine(const Value& body) const {
 
 ServiceResponse PlacementService::handle_text(const std::string& method,
                                               const std::string& target,
-                                              const std::string& body_text) {
+                                              const std::string& body_text,
+                                              double deadline_ms) {
   Value body;
   if (!body_text.empty()) {
     std::string error;
@@ -368,24 +386,31 @@ ServiceResponse PlacementService::handle_text(const std::string& method,
     }
     body = std::move(*parsed);
   }
-  return handle(method, target, body);
+  return handle(method, target, body, deadline_ms);
 }
 
 ServiceResponse PlacementService::handle(const std::string& method,
                                          const std::string& target,
-                                         const Value& body) {
+                                         const Value& body,
+                                         double deadline_ms) {
   try {
-    return dispatch(method, target, body);
+    return dispatch(method, target, body, deadline_ms);
   } catch (const Error& e) {
     int status = status_for(e.category());
     // Routing failures are CorruptInput in the taxonomy but deserve their
-    // classic HTTP spellings.
+    // classic HTTP spellings; an exhausted budget is the gateway-timeout
+    // arm of the Resource category.
     if (e.code() == "service/not-found") status = 404;
     if (e.code() == "service/bad-method") status = 405;
+    if (e.code() == kDeadlineExceededCode) status = 504;
     if (status == 429) {
       shed_.fetch_add(1, std::memory_order_relaxed);
+      if (e.code() == "service/brownout") {
+        brownout_.fetch_add(1, std::memory_order_relaxed);
+      }
     } else {
       errors_.fetch_add(1, std::memory_order_relaxed);
+      if (status == 504) deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
     }
     Value envelope = Value::object();
     Value detail = Value::object();
@@ -393,7 +418,12 @@ ServiceResponse PlacementService::handle(const std::string& method,
     detail.set("category", to_string(e.category()));
     detail.set("code", e.code());
     detail.set("message", e.message());
-    if (status == 429) detail.set("retry_after_ms", options_.retry_after_ms);
+    if (status == 429 || status == 503) {
+      // Back-pressure hints: how long to wait (scaled by queue depth) and
+      // which brownout state produced the rejection.
+      detail.set("retry_after_ms", adaptive_retry_after_ms());
+      detail.set("health", to_string(health_.state()));
+    }
     envelope.set("error", std::move(detail));
     return {status, std::move(envelope)};
   } catch (const std::exception& e) {
@@ -411,7 +441,8 @@ ServiceResponse PlacementService::handle(const std::string& method,
 
 ServiceResponse PlacementService::dispatch(const std::string& method,
                                            const std::string& target,
-                                           const Value& body) {
+                                           const Value& body,
+                                           double deadline_ms) {
   // Strip any query string: routing is on the path alone.
   const std::string path = target.substr(0, target.find('?'));
 
@@ -432,7 +463,7 @@ ServiceResponse PlacementService::dispatch(const std::string& method,
     return {200, do_stats()};
   }
 
-  using Query = Value (PlacementService::*)(const Value&) const;
+  using Query = Value (PlacementService::*)(const Value&, const QueryContext&) const;
   Query query = nullptr;
   std::atomic<std::uint64_t>* counter = nullptr;
   if (path == "/placement") {
@@ -451,27 +482,93 @@ ServiceResponse PlacementService::dispatch(const std::string& method,
     throw Error::corrupt_input("service/bad-method", path + " expects POST");
   }
 
+  // Resolve the request budget: transport header first, then the body's
+  // own `deadline_ms` field, then the server default. A null deadline
+  // (default 0 everywhere) stays unbounded.
+  double budget_ms = deadline_ms;
+  if (budget_ms <= 0.0 && body.is_object()) {
+    budget_ms = number_or(body, "deadline_ms", 0.0);
+    if (budget_ms < 0.0) {
+      throw Error::corrupt_input("service/bad-field",
+                                 "field 'deadline_ms' must be positive");
+    }
+  }
+  if (budget_ms <= 0.0) budget_ms = options_.default_deadline_ms;
+
+  QueryContext ctx;
+  ctx.deadline = Deadline::shared_after_ms(budget_ms);
+
   // Load shedding (the Resource arm of the taxonomy): admit at most
   // max_inflight queries; past the bound, reject with a retry-after hint
-  // rather than queueing without bound.
-  if (inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) {
+  // rather than queueing without bound. Shedding state rejects everything
+  // the same way — the brownout has decided the service cannot keep its
+  // latency promises at all.
+  const std::uint64_t inflight_now = inflight_.load(std::memory_order_relaxed);
+  health_.note_queue(inflight_now, options_.max_inflight);
+  if (inflight_now >= options_.max_inflight) {
     throw Error::resource("service/overloaded",
                           "service at capacity (" +
                               std::to_string(options_.max_inflight) +
                               " queries in flight); retry later");
   }
+  if (health_.state() == HealthState::Shedding) {
+    throw Error::resource("service/brownout",
+                          "service is shedding load (rolling p99 or queue depth "
+                          "over the brownout threshold); retry later");
+  }
+  // Admission deadline check: a request whose budget is already gone (the
+  // client queued it behind a slow connection, or sent a stale retry) is
+  // answered 504 without costing a pool slot.
+  if (ctx.deadline != nullptr) ctx.deadline->check("admission of " + path);
+
+  ctx.degraded = health_.state() == HealthState::Degraded;
+  if (ctx.degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+
   const InflightGuard guard(inflight_);
   counter->fetch_add(1, std::memory_order_relaxed);
 
+  // Journal the admitted request (when knl-serve armed one): a kill between
+  // here and JournalGuard's end record leaves a begin without an end, which
+  // the restarted daemon replays to re-warm the cache.
+  RequestJournal* journal = journal_.load(std::memory_order_acquire);
+  struct JournalGuard {
+    RequestJournal* journal;
+    std::uint64_t seq;
+    ~JournalGuard() {
+      if (journal != nullptr) journal->end(seq);
+    }
+  } journal_guard{journal,
+                  journal != nullptr ? journal->begin(method, path, body.dump(0)) : 0};
+
+  // Feed the brownout monitor on every admitted query, success or error —
+  // the p99 it watches must include the slow failures.
+  struct LatencyRecorder {
+    HealthMonitor& monitor;
+    const std::atomic<std::uint64_t>& inflight;
+    std::size_t max_inflight;
+    std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+    ~LatencyRecorder() {
+      const std::chrono::duration<double, std::milli> elapsed =
+          std::chrono::steady_clock::now() - start;
+      monitor.record(elapsed.count(), inflight.load(std::memory_order_relaxed),
+                     max_inflight);
+    }
+  } latency_recorder{health_, inflight_, options_.max_inflight};
+
   // Execute on the service pool: socket threads block here while at most
   // `workers` queries compute. The future rethrows any query error into
-  // the caller's error envelope.
+  // the caller's error envelope. The dequeue check catches budgets that
+  // died waiting for a worker.
   const Value& parsed = require_object(body);
-  auto future = pool_.submit([this, query, &parsed] { return (this->*query)(parsed); });
+  auto future = pool_.submit([this, query, &parsed, &ctx] {
+    if (ctx.deadline != nullptr) ctx.deadline->check("pool dequeue");
+    return (this->*query)(parsed, ctx);
+  });
   return {200, future.get()};
 }
 
-Value PlacementService::do_placement(const Value& body) const {
+Value PlacementService::do_placement(const Value& body,
+                                     const QueryContext& /*ctx*/) const {
   const Machine& machine = find_machine(body);
   const Value* app_field = body.find("app");
   const Value& app_body = app_field != nullptr ? *app_field : body;
@@ -513,7 +610,8 @@ Value PlacementService::do_placement(const Value& body) const {
   return out;
 }
 
-Value PlacementService::do_whatif(const Value& body) const {
+Value PlacementService::do_whatif(const Value& body,
+                                  const QueryContext& ctx) const {
   const Machine& machine = find_machine(body);
   const std::string workload_name = require_string(body, "workload");
   const workloads::RegistryEntry* entry = nullptr;
@@ -557,6 +655,8 @@ Value PlacementService::do_whatif(const Value& body) const {
     report::SweepOptions sweep_options;
     sweep_options.jobs = options_.sweep_jobs;
     sweep_options.single_pass = bool_or(body, "single_pass", true);
+    sweep_options.deadline = ctx.deadline;
+    sweep_options.cache_only = ctx.degraded;
     const report::CapacitySweepRun capacity_run = report::sweep_capacities_run(
         machine, workload->profile(), threads, std::move(grid),
         report::Figure("capacity what-if", "GB", ""), sweep_options);
@@ -571,7 +671,8 @@ Value PlacementService::do_whatif(const Value& body) const {
   return out;
 }
 
-Value PlacementService::do_sweep(const Value& body) const {
+Value PlacementService::do_sweep(const Value& body,
+                                 const QueryContext& ctx) const {
   const Machine& machine = find_machine(body);
   const std::string workload_name = require_string(body, "workload");
   const workloads::RegistryEntry* entry = nullptr;
@@ -599,6 +700,11 @@ Value PlacementService::do_sweep(const Value& body) const {
 
   report::SweepOptions sweep_options;
   sweep_options.jobs = options_.sweep_jobs;
+  sweep_options.deadline = ctx.deadline;
+  // Degraded brownout: answer from residency alone — cache hits and
+  // already-profiled grids succeed, cold cells fail fast as
+  // sweep/cache-only-miss instead of competing for the simulator.
+  sweep_options.cache_only = ctx.degraded;
 
   if (capacities_field != nullptr) {
     // Capacity mode: one trace profiling pass answers the whole grid (and,
@@ -609,8 +715,12 @@ Value PlacementService::do_sweep(const Value& body) const {
     report::CapacityGrid grid;
     if (capacities_field->is_string() && capacities_field->as_string() == "auto") {
       grid = parse_capacity_grid(body, {});
+      // Degraded brownout coarsens the derived axis: half the points means
+      // half the cells that can miss the cache, so "auto" keeps answering
+      // something useful instead of failing most of a fine grid.
       grid.capacities_bytes = report::default_capacity_axis(
-          machine.memory_topology(), grid.line_bytes * grid.num_sets);
+          machine.memory_topology(), grid.line_bytes * grid.num_sets,
+          ctx.degraded ? 4 : 8);
     } else {
       if (!capacities_field->is_array() || capacities_field->as_array().empty()) {
         throw Error::corrupt_input(
@@ -643,8 +753,17 @@ Value PlacementService::do_sweep(const Value& body) const {
         report::Figure(entry->info.name + " capacity sweep", "GB", ""),
         sweep_options);
 
+    if (Deadline::expired(ctx.deadline)) {
+      throw Error::resource(
+          kDeadlineExceededCode,
+          "deadline exceeded after completing " +
+              std::to_string(run.stats.cells - run.stats.failed) + " of " +
+              std::to_string(run.stats.cells) + " capacity cells");
+    }
+
     Value out = Value::object();
     out.set("workload", entry->info.name);
+    if (ctx.degraded) out.set("served_degraded", true);
     out.set("figure", figure_json(run.figure));
     out.set("stats", sweep_stats_json(run.stats));
     Value cells = Value::array();
@@ -720,8 +839,17 @@ Value PlacementService::do_sweep(const Value& body) const {
         sweep_options);
   }
 
+  if (Deadline::expired(ctx.deadline)) {
+    throw Error::resource(kDeadlineExceededCode,
+                          "deadline exceeded after completing " +
+                              std::to_string(run.stats.cells - run.stats.failed) +
+                              " of " + std::to_string(run.stats.cells) +
+                              " sweep cells");
+  }
+
   Value out = Value::object();
   out.set("workload", entry->info.name);
+  if (ctx.degraded) out.set("served_degraded", true);
   out.set("metric_name", entry->info.metric_name);
   out.set("figure", figure_json(run.figure));
   out.set("stats", sweep_stats_json(run.stats));
@@ -780,6 +908,18 @@ Value PlacementService::do_stats() const {
   out.set("inflight", static_cast<double>(c.inflight));
   out.set("max_inflight", static_cast<double>(options_.max_inflight));
   out.set("workers", static_cast<double>(pool_.size()));
+  out.set("deadline_exceeded", static_cast<double>(c.deadline_exceeded));
+  out.set("brownout_rejects", static_cast<double>(c.brownout));
+  out.set("served_degraded", static_cast<double>(c.degraded));
+  out.set("retry_after_ms", adaptive_retry_after_ms());
+
+  const HealthSnapshot health = health_.snapshot();
+  Value health_json = Value::object();
+  health_json.set("state", to_string(health.state));
+  health_json.set("rolling_p99_ms", health.p99_ms);
+  health_json.set("samples", static_cast<double>(health.samples));
+  health_json.set("transitions", static_cast<double>(health.transitions));
+  out.set("health", std::move(health_json));
 
   // Replay-engine telemetry: what the sharded classification substrate has
   // done process-wide, plus the SIMD level its decompose kernels dispatch to.
@@ -808,8 +948,18 @@ Value PlacementService::do_stats() const {
 }
 
 Value PlacementService::do_healthz() const {
+  const HealthSnapshot health = health_.snapshot();
   Value out = Value::object();
-  out.set("status", "ok");
+  // "ok" only while fully healthy: probes watching /healthz see the
+  // brownout state the moment the monitor degrades.
+  out.set("status", health.state == HealthState::Healthy ? "ok"
+                                                         : to_string(health.state));
+  Value health_json = Value::object();
+  health_json.set("state", to_string(health.state));
+  health_json.set("rolling_p99_ms", health.p99_ms);
+  health_json.set("samples", static_cast<double>(health.samples));
+  health_json.set("transitions", static_cast<double>(health.transitions));
+  out.set("health", std::move(health_json));
   out.set("service", "knl-serve");
   out.set("machine_schema_version", kMachineSchemaVersion);
   Value machines = Value::array();

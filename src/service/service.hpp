@@ -28,8 +28,11 @@
 #include "core/thread_pool.hpp"
 #include "report/sweep.hpp"
 #include "repro/json.hpp"
+#include "service/health.hpp"
 
 namespace knl::service {
+
+class RequestJournal;  // service/recovery.hpp
 
 struct ServiceOptions {
   /// Query-execution workers (the service's ThreadPool): 0 = one per
@@ -50,6 +53,13 @@ struct ServiceOptions {
   /// Largest sweep grid (cells = sizes-or-threads x configs) one query may
   /// request; larger grids are rejected as CorruptInput.
   std::size_t max_sweep_cells = 512;
+  /// Server-side default request budget (ms), applied when a request
+  /// carries neither an X-Deadline-Ms header nor a `deadline_ms` body
+  /// field. Checked at admission, at pool-dequeue and between sweep cells;
+  /// exhaustion answers 504 with partial-progress detail. 0 disables.
+  double default_deadline_ms = 30000.0;
+  /// Brownout state machine thresholds (service/health.hpp).
+  HealthOptions health{};
 };
 
 /// One routed reply: HTTP-style status plus the JSON body to serialize.
@@ -68,6 +78,9 @@ struct ServiceCounters {
   std::uint64_t shed = 0;        ///< 429 rejections (load shedding)
   std::uint64_t errors = 0;      ///< non-shed error responses (4xx/5xx)
   std::uint64_t inflight = 0;    ///< queries admitted and not yet answered
+  std::uint64_t deadline_exceeded = 0;  ///< 504 responses (budget exhausted)
+  std::uint64_t brownout = 0;    ///< 429 rejections from the Shedding state
+  std::uint64_t degraded = 0;    ///< queries served in Degraded (cache-only) mode
 };
 
 class PlacementService {
@@ -76,29 +89,59 @@ class PlacementService {
 
   /// Route one request. `body` is ignored by the GET endpoints. Never
   /// throws: every failure becomes an error-shaped JSON response.
+  /// `deadline_ms` is the transport-carried budget (the X-Deadline-Ms
+  /// header); <= 0 defers to the body's `deadline_ms` field, then to
+  /// options().default_deadline_ms.
   [[nodiscard]] ServiceResponse handle(const std::string& method,
                                        const std::string& target,
-                                       const repro::json::Value& body);
+                                       const repro::json::Value& body,
+                                       double deadline_ms = 0.0);
 
   /// Same, parsing `body_text` first (empty text = null body). A body that
   /// is not valid JSON is a CorruptInput -> 400.
   [[nodiscard]] ServiceResponse handle_text(const std::string& method,
                                             const std::string& target,
-                                            const std::string& body_text);
+                                            const std::string& body_text,
+                                            double deadline_ms = 0.0);
 
   [[nodiscard]] const ServiceOptions& options() const noexcept { return options_; }
   [[nodiscard]] std::vector<std::string> machine_names() const;
   [[nodiscard]] ServiceCounters counters() const;
 
+  /// The brownout state machine: knl-serve wires its transition log here;
+  /// /healthz and /stats report its snapshot; tests may pin its state.
+  [[nodiscard]] HealthMonitor& health() noexcept { return health_; }
+
+  /// Arm the in-flight request journal (service/recovery.hpp): every
+  /// admitted POST writes a begin record, every completion an end record,
+  /// so a crashed daemon can replay what it lost. The journal must outlive
+  /// the service; nullptr disarms.
+  void set_journal(RequestJournal* journal) noexcept { journal_ = journal; }
+
  private:
+  /// Request-scoped execution context threaded through the POST queries.
+  struct QueryContext {
+    std::shared_ptr<const Deadline> deadline;
+    bool degraded = false;  ///< health was Degraded at admission
+  };
+
   [[nodiscard]] ServiceResponse dispatch(const std::string& method,
                                          const std::string& target,
-                                         const repro::json::Value& body);
-  [[nodiscard]] repro::json::Value do_placement(const repro::json::Value& body) const;
-  [[nodiscard]] repro::json::Value do_whatif(const repro::json::Value& body) const;
-  [[nodiscard]] repro::json::Value do_sweep(const repro::json::Value& body) const;
+                                         const repro::json::Value& body,
+                                         double deadline_ms);
+  [[nodiscard]] repro::json::Value do_placement(const repro::json::Value& body,
+                                                const QueryContext& ctx) const;
+  [[nodiscard]] repro::json::Value do_whatif(const repro::json::Value& body,
+                                             const QueryContext& ctx) const;
+  [[nodiscard]] repro::json::Value do_sweep(const repro::json::Value& body,
+                                            const QueryContext& ctx) const;
   [[nodiscard]] repro::json::Value do_stats() const;
   [[nodiscard]] repro::json::Value do_healthz() const;
+
+  /// Retry-After hint scaled by queue depth: base at an idle service,
+  /// base * 9 at a full admission window — a saturated service asks
+  /// clients to back off longer instead of inviting an immediate stampede.
+  [[nodiscard]] int adaptive_retry_after_ms() const;
 
   /// Registry lookup; throws CorruptInput naming the known machines.
   [[nodiscard]] const Machine& find_machine(const repro::json::Value& body) const;
@@ -117,6 +160,11 @@ class PlacementService {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> brownout_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  HealthMonitor health_;
+  std::atomic<RequestJournal*> journal_{nullptr};
 };
 
 }  // namespace knl::service

@@ -1,0 +1,299 @@
+// Wire-level hardening of the HTTP front end: the malformed-HTTP fuzz
+// corpus (truncated request lines, bad chunked framing, header overflow,
+// NUL bytes), the body/header size limits, slow-client read deadlines,
+// X-Deadline-Ms propagation into the service's 504 path, and the
+// http-read / http-write socket fault-injection sites.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/fault/fault_injection.hpp"
+#include "service/http.hpp"
+#include "service/service.hpp"
+
+namespace knl::service {
+namespace {
+
+using repro::json::Value;
+
+/// Raw blocking loopback client (deliberately not the server's parser).
+class RawClient {
+ public:
+  explicit RawClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  void send_raw(const std::string& wire) const {
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      // MSG_NOSIGNAL: the server may close mid-trickle (408 path); that is
+      // the behaviour under test, not a reason to SIGPIPE the test binary.
+      const ssize_t n =
+          ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return;  // peer already rejected us; the test reads why
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Half-close the write side: the server sees EOF, the read side stays up.
+  void finish_writing() const { ::shutdown(fd_, SHUT_WR); }
+
+  struct Reply {
+    int status = 0;  ///< 0 = connection dropped with no parseable response
+    std::string body;
+  };
+
+  /// Read until the peer closes and parse the status line + body.
+  Reply read_reply() const {
+    std::string reply;
+    char chunk[4096];
+    ssize_t n = 0;
+    while ((n = ::recv(fd_, chunk, sizeof(chunk), 0)) > 0) {
+      reply.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (reply.size() < 12 || reply.compare(0, 9, "HTTP/1.1 ") != 0) return {};
+    Reply out;
+    out.status = std::stoi(reply.substr(9, 3));
+    const std::size_t body_at = reply.find("\r\n\r\n");
+    if (body_at != std::string::npos) out.body = reply.substr(body_at + 4);
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+/// The error envelope's code field, or "" when the body is not an envelope.
+std::string error_code(const RawClient::Reply& reply) {
+  const auto body = Value::parse(reply.body);
+  if (!body.has_value()) return "";
+  const Value* error = body->find("error");
+  if (error == nullptr) return "";
+  const Value* code = error->find("code");
+  return code != nullptr ? code->as_string() : "";
+}
+
+class HttpHardeningTest : public ::testing::Test {
+ protected:
+  HttpHardeningTest()
+      : server_(service_, HttpServerOptions{.port = 0,
+                                            .threads = 2,
+                                            .idle_timeout_ms = 250,
+                                            .max_body_bytes = 2048,
+                                            .max_header_bytes = 1024,
+                                            .read_deadline_ms = 250}) {
+    server_.start();
+  }
+  ~HttpHardeningTest() override { server_.stop(); }
+
+  PlacementService service_{ServiceOptions{.workers = 2}};
+  HttpServer server_;
+};
+
+TEST_F(HttpHardeningTest, TruncatedRequestLineIs400) {
+  RawClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  client.send_raw("GET /heal");  // request line cut mid-target, then EOF
+  client.finish_writing();
+  const RawClient::Reply reply = client.read_reply();
+  EXPECT_EQ(reply.status, 400);
+  EXPECT_EQ(error_code(reply), "http/malformed");
+}
+
+TEST_F(HttpHardeningTest, TornBodyIs400) {
+  RawClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  // Content-Length promises 100 bytes; only 10 arrive before EOF.
+  client.send_raw(
+      "POST /whatif HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\n0123456789");
+  client.finish_writing();
+  EXPECT_EQ(client.read_reply().status, 400);
+}
+
+TEST_F(HttpHardeningTest, NulBytesInHeadAre400) {
+  RawClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  std::string wire = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+  wire[6] = '\0';
+  client.send_raw(wire);
+  const RawClient::Reply reply = client.read_reply();
+  EXPECT_EQ(reply.status, 400);
+  EXPECT_EQ(error_code(reply), "http/malformed");
+}
+
+TEST_F(HttpHardeningTest, HeaderOverflowIs413) {
+  RawClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  std::string wire = "GET /healthz HTTP/1.1\r\nHost: t\r\n";
+  wire += "X-Filler: " + std::string(4096, 'x') + "\r\n\r\n";
+  client.send_raw(wire);
+  const RawClient::Reply reply = client.read_reply();
+  EXPECT_EQ(reply.status, 413);
+  EXPECT_EQ(error_code(reply), "http/header-too-large");
+}
+
+TEST_F(HttpHardeningTest, OversizedContentLengthIs413BeforeTheBodyLands) {
+  RawClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  // The limit must trip on the declared length alone — no body is sent.
+  client.send_raw(
+      "POST /whatif HTTP/1.1\r\nHost: t\r\nContent-Length: 1000000\r\n\r\n");
+  const RawClient::Reply reply = client.read_reply();
+  EXPECT_EQ(reply.status, 413);
+  EXPECT_EQ(error_code(reply), "http/body-too-large");
+}
+
+TEST_F(HttpHardeningTest, ChunkedBodyDecodes) {
+  RawClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  const std::string body =
+      R"({"workload": "STREAM", "bytes": 268435456, "threads": 64})";
+  const std::string first = body.substr(0, 10);
+  const std::string rest = body.substr(10);
+  char size_line[16];
+  std::string wire =
+      "POST /whatif HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n";
+  std::snprintf(size_line, sizeof size_line, "%zx\r\n", first.size());
+  wire += size_line + first + "\r\n";
+  std::snprintf(size_line, sizeof size_line, "%zx\r\n", rest.size());
+  wire += size_line + rest + "\r\n";
+  wire += "0\r\n\r\n";
+  client.send_raw(wire);
+  client.finish_writing();
+  EXPECT_EQ(client.read_reply().status, 200);
+}
+
+TEST_F(HttpHardeningTest, BadChunkedFramingIs400) {
+  RawClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  client.send_raw(
+      "POST /whatif HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "ZZZ\r\ngarbage\r\n");
+  const RawClient::Reply reply = client.read_reply();
+  EXPECT_EQ(reply.status, 400);
+  EXPECT_EQ(error_code(reply), "http/malformed");
+}
+
+TEST_F(HttpHardeningTest, ChunkedBodyOverLimitIs413) {
+  RawClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  std::string wire =
+      "POST /whatif HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n";
+  wire += "10000\r\n";  // one 64 KiB chunk against a 2 KiB body limit
+  client.send_raw(wire);
+  EXPECT_EQ(client.read_reply().status, 413);
+}
+
+TEST_F(HttpHardeningTest, SlowLorisClientGets408) {
+  RawClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  client.send_raw("GET /healthz HTT");  // request started, then silence
+  const RawClient::Reply reply = client.read_reply();
+  EXPECT_EQ(reply.status, 408);
+  EXPECT_EQ(error_code(reply), "http/slow-client");
+}
+
+TEST_F(HttpHardeningTest, TricklingPastTheReadDeadlineGets408) {
+  RawClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  // One byte every 100 ms defeats a per-recv idle timeout; the per-request
+  // wall clock (250 ms) still catches it.
+  const std::string wire = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+  for (std::size_t i = 0; i < 6; ++i) {
+    client.send_raw(wire.substr(i, 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_EQ(client.read_reply().status, 408);
+}
+
+TEST_F(HttpHardeningTest, IdleKeepAliveConnectionClosesQuietly) {
+  RawClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  // No bytes at all: the idle timeout closes the connection with no
+  // response — idleness between requests is not an error.
+  EXPECT_EQ(client.read_reply().status, 0);
+}
+
+TEST_F(HttpHardeningTest, DeadlineHeaderPropagatesTo504) {
+  RawClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  client.send_raw(
+      "POST /placement HTTP/1.1\r\nHost: t\r\nX-Deadline-Ms: 0.000001\r\n"
+      "Content-Length: 26\r\n\r\n{\"footprint_bytes\": 1024}\n");
+  const RawClient::Reply reply = client.read_reply();
+  EXPECT_EQ(reply.status, 504);
+  EXPECT_EQ(error_code(reply), "deadline/exceeded");
+  EXPECT_EQ(service_.counters().deadline_exceeded, 1u);
+}
+
+TEST_F(HttpHardeningTest, MalformedDeadlineHeaderIs400) {
+  RawClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  client.send_raw(
+      "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Deadline-Ms: soon\r\n\r\n");
+  EXPECT_EQ(client.read_reply().status, 400);
+}
+
+TEST_F(HttpHardeningTest, HttpReadFaultDropsExactlyTheSelectedConnection) {
+  // Connection ordinals count from 0 per server; target the first one.
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.sites.push_back({.site = fault::kSiteHttpRead, .key = 0});
+  const fault::ScopedFaultPlan scoped(plan);
+
+  RawClient victim(server_.port());
+  ASSERT_TRUE(victim.connected());
+  victim.send_raw("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(victim.read_reply().status, 0);  // dropped before the read
+
+  RawClient survivor(server_.port());
+  ASSERT_TRUE(survivor.connected());
+  survivor.send_raw("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(survivor.read_reply().status, 200);
+}
+
+TEST_F(HttpHardeningTest, HttpWriteFaultTearsExactlyTheSelectedResponse) {
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.sites.push_back({.site = fault::kSiteHttpWrite, .key = 0});
+  const fault::ScopedFaultPlan scoped(plan);
+
+  RawClient victim(server_.port());
+  ASSERT_TRUE(victim.connected());
+  victim.send_raw("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  // The frame is torn at the halfway mark: the status line survives but
+  // the JSON body can never be complete.
+  const RawClient::Reply torn = victim.read_reply();
+  EXPECT_FALSE(Value::parse(torn.body).has_value()) << torn.body;
+
+  RawClient survivor(server_.port());
+  ASSERT_TRUE(survivor.connected());
+  survivor.send_raw("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  const RawClient::Reply whole = survivor.read_reply();
+  EXPECT_EQ(whole.status, 200);
+  EXPECT_TRUE(Value::parse(whole.body).has_value()) << whole.body;
+}
+
+}  // namespace
+}  // namespace knl::service

@@ -177,7 +177,12 @@ TEST_F(ServiceTest, LoadSheddingRejectsWith429AndRetryAfter) {
   const ServiceResponse r = shedding.handle("POST", "/placement", body);
   EXPECT_EQ(r.status, 429);
   EXPECT_EQ(error_of(r)->find("category")->as_string(), "resource");
-  EXPECT_EQ(static_cast<int>(error_of(r)->find("retry_after_ms")->as_number()), 77);
+  // Adaptive retry: the hint scales up from the configured base with queue
+  // depth (max_inflight = 0 reads as a saturated admission window).
+  EXPECT_GE(static_cast<int>(error_of(r)->find("retry_after_ms")->as_number()), 77);
+  // max_inflight = 0 also reads as a 100% queue to the brownout monitor,
+  // so the advertised health state is "shedding" here.
+  EXPECT_EQ(error_of(r)->find("health")->as_string(), "shedding");
   EXPECT_EQ(shedding.counters().shed, 1u);
   EXPECT_EQ(shedding.counters().errors, 0u);
   // GETs bypass shedding: health stays answerable at capacity.
